@@ -1,0 +1,123 @@
+// Command bench regenerates the experimental content of the paper: Tables
+// 1–4, the Figure-1 worked example, and the §3.5 scaling study, over the
+// synthesized ACM/SIGDA suite.
+//
+// Usage:
+//
+//	bench                      # quick subset (circuits ≤ ~3000 nodes, 5 runs)
+//	bench -full                # the paper's protocol: all circuits, 20 runs
+//	bench -table 2             # only Table 2 (runs the needed methods)
+//	bench -figure1             # only the Figure-1 numerics
+//	bench -scaling             # only the Θ(m log n) scaling study
+//	bench -ablation            # PROP design-choice ablations (§3 knobs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prop/internal/bench"
+)
+
+func main() {
+	var (
+		full     = flag.Bool("full", false, "paper protocol: all 16 circuits, 20 base runs")
+		table    = flag.Int("table", 0, "print only this table (1-4); 0 = all requested content")
+		figure1  = flag.Bool("figure1", false, "print only the Figure-1 worked example")
+		scaling  = flag.Bool("scaling", false, "print only the scaling study")
+		ablation = flag.Bool("ablation", false, "print only the PROP ablation study")
+		exts     = flag.Bool("extensions", false, "print only the extensions study (multilevel, KL/SK, SA)")
+		balSweep = flag.Bool("balance", false, "print only the balance-window sweep")
+		maxNodes = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
+		runs     = flag.Int("runs", 0, "override base multi-start count")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		verbose  = flag.Bool("v", false, "log per-method progress")
+	)
+	flag.Parse()
+
+	switch {
+	case *figure1:
+		if err := bench.WriteFigure1(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	case *scaling:
+		if err := bench.WriteScaling(os.Stdout, nil, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	case *ablation:
+		if err := bench.WriteAblation(os.Stdout, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	case *exts:
+		if err := bench.WriteExtensions(os.Stdout, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	case *balSweep:
+		if err := bench.WriteBalanceSweep(os.Stdout, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opts := bench.Options{Seed: *seed}
+	if *full {
+		opts.Runs = 20
+	} else {
+		opts.Runs = 5
+		opts.MaxNodes = 3100
+	}
+	if *maxNodes != 0 {
+		opts.MaxNodes = *maxNodes
+	}
+	if *runs != 0 {
+		opts.Runs = *runs
+	}
+	if *table == 1 || *table == 2 {
+		opts.Skip45 = true
+	}
+	var progress *os.File
+	if *verbose {
+		progress = os.Stderr
+	}
+	var results []bench.CircuitResult
+	var err error
+	if progress != nil {
+		results, err = bench.RunSuite(opts, progress)
+	} else {
+		results, err = bench.RunSuite(opts, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *table == 0 || *table == 1 {
+		bench.WriteTable1(os.Stdout, results)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 2 {
+		bench.WriteTable2(os.Stdout, results, opts.Runs)
+		fmt.Println()
+	}
+	if (*table == 0 || *table == 3) && !opts.Skip45 {
+		bench.WriteTable3(os.Stdout, results, opts.Runs)
+		fmt.Println()
+	}
+	if *table == 0 || *table == 4 {
+		bench.WriteTable4(os.Stdout, results, opts.Runs)
+		fmt.Println()
+	}
+	if *table == 0 {
+		if err := bench.WriteFigure1(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

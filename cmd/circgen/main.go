@@ -1,0 +1,90 @@
+// Command circgen synthesizes benchmark circuits: either a clone of one of
+// the paper's sixteen ACM/SIGDA circuits (-suite <name>) or a custom
+// netlist with the given characteristics.
+//
+// Usage:
+//
+//	circgen -suite balu -out balu.hgr
+//	circgen -nodes 5000 -nets 5200 -pins 18000 -seed 7 -format json -out c.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prop"
+)
+
+func main() {
+	var (
+		suite  = flag.String("suite", "", "suite circuit name (one of: "+strings.Join(prop.BenchmarkNames(), ", ")+")")
+		nodes  = flag.Int("nodes", 1000, "node count (custom circuit)")
+		nets   = flag.Int("nets", 1050, "net count")
+		pins   = flag.Int("pins", 3600, "total pin count")
+		spread = flag.Float64("spread", 0, "mean net window spread (0 = default 10)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		format = flag.String("format", "hgr", "output format: hgr, netare, json")
+		out    = flag.String("out", "", "output file (default stdout; netare writes <out> and <out>.are)")
+		stats  = flag.Bool("stats", false, "print circuit statistics to stderr")
+	)
+	flag.Parse()
+
+	var n *prop.Netlist
+	var err error
+	if *suite != "" {
+		n, err = prop.Benchmark(*suite)
+	} else {
+		n, err = prop.Generate(prop.GenParams{
+			Nodes: *nodes, Nets: *nets, Pins: *pins, MeanSpread: *spread, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, n.Stats())
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "hgr":
+		err = n.WriteHGR(w)
+	case "json":
+		err = n.WriteJSON(w)
+	case "netare":
+		var areW *os.File
+		if *out != "" {
+			f, cerr := os.Create(*out + ".are")
+			if cerr != nil {
+				fatal(cerr)
+			}
+			defer f.Close()
+			areW = f
+		}
+		if areW != nil {
+			err = n.WriteNetAre(w, areW)
+		} else {
+			err = n.WriteNetAre(w, nil)
+		}
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "circgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,184 @@
+// Command propart partitions a circuit netlist with any of the
+// implemented algorithms.
+//
+// Usage:
+//
+//	propart -in circuit.hgr [-format hgr|netare|json] [-algo prop] \
+//	        [-r1 0.5 -r2 0.5] [-runs 20] [-k 2] [-seed 1] [-out sides.txt]
+//
+// With -format netare, -in names the .net file and -are the .are file.
+// The output lists one "node side" pair per line; -k > 2 performs
+// recursive k-way partitioning and prints part indices instead.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prop"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input netlist file (required; '-' for stdin)")
+		are    = flag.String("are", "", ".are module-area file (netare format)")
+		format = flag.String("format", "hgr", "input format: hgr, netare, json")
+		algo   = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, eig1, melo, paraboli, window")
+		laK    = flag.Int("la", 2, "lookahead depth for -algo la")
+		r1     = flag.Float64("r1", 0.5, "lower balance bound")
+		r2     = flag.Float64("r2", 0.5, "upper balance bound")
+		runs   = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
+		k      = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output assignment file (default stdout)")
+		check  = flag.String("check", "", "verify a saved \"node side\" assignment file instead of partitioning")
+		quiet  = flag.Bool("q", false, "print only the cut size")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	n, err := load(*in, *are, *format)
+	if err != nil {
+		fatal(err)
+	}
+	opts := prop.Options{
+		Algorithm: prop.Algorithm(*algo),
+		R1:        *r1, R2: *r2,
+		Runs: *runs, Seed: *seed, LADepth: *laK,
+	}
+
+	if *check != "" {
+		sides, err := readSides(*check, n.NumNodes())
+		if err != nil {
+			fatal(err)
+		}
+		cost, nets, err := prop.Verify(n, sides, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verified: cut cost %g over %d nets, balance %g-%g ok\n", cost, nets, *r1, *r2)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *k > 2 {
+		res, err := prop.KWay(n, *k, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%d-way: cut nets %d, cut cost %g, part weights %v, %.2fs\n",
+				*k, res.CutNets, res.CutCost, res.PartWeights, res.Elapsed.Seconds())
+		} else {
+			fmt.Println(res.CutNets)
+		}
+		for u, p := range res.Parts {
+			fmt.Fprintf(w, "%d %d\n", u, p)
+		}
+		return
+	}
+
+	res, err := prop.Partition(n, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%s: cut nets %d, cut cost %g (best of %d runs, run %d), %.2fs\n",
+			*algo, res.CutNets, res.CutCost, res.Runs, res.BestRun, res.Elapsed.Seconds())
+	} else {
+		fmt.Println(res.CutNets)
+	}
+	for u, s := range res.Sides {
+		fmt.Fprintf(w, "%d %d\n", u, s)
+	}
+}
+
+func load(in, are, format string) (*prop.Netlist, error) {
+	r := os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	switch format {
+	case "hgr":
+		return prop.ReadHGR(r)
+	case "json":
+		return prop.ReadJSON(r)
+	case "netare":
+		var areR *os.File
+		if are != "" {
+			f, err := os.Open(are)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			areR = f
+		}
+		if areR != nil {
+			return prop.ReadNetAre(r, areR)
+		}
+		return prop.ReadNetAre(r, nil)
+	}
+	return nil, fmt.Errorf("unknown format %q", format)
+}
+
+// readSides parses "node side" lines (as written by -out) into a side
+// slice.
+func readSides(path string, n int) ([]uint8, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sides := make([]uint8, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var u, s int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &s); err != nil {
+			return nil, fmt.Errorf("bad assignment line %q: %w", line, err)
+		}
+		if u < 0 || u >= n || s < 0 || s > 1 {
+			return nil, fmt.Errorf("assignment line %q out of range", line)
+		}
+		sides[u] = uint8(s)
+		seen[u] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for u, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("node %d missing from assignment", u)
+		}
+	}
+	return sides, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "propart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package prop_test
+
+import (
+	"fmt"
+
+	"prop"
+)
+
+// ExamplePartition bisects a tiny two-cluster circuit with PROP.
+func ExamplePartition() {
+	b := prop.NewBuilder()
+	b.EnsureNodes(8)
+	// Two squares joined by one bridge net.
+	for c := 0; c < 2; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			if err := b.AddNet("", 1, base+i, base+(i+1)%4); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if err := b.AddNet("bridge", 1, 0, 4); err != nil {
+		panic(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut nets:", res.CutNets)
+	// Output:
+	// cut nets: 1
+}
+
+// ExampleBenchmark synthesizes one of the paper's Table-1 circuits.
+func ExampleBenchmark() {
+	n, err := prop.Benchmark("balu")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n.NumNodes(), n.NumNets(), n.NumPins())
+	// Output:
+	// 801 735 2697
+}
+
+// ExampleVerify recounts a partition independently of the engines.
+func ExampleVerify() {
+	b := prop.NewBuilder()
+	b.EnsureNodes(4)
+	if err := b.AddNet("", 1, 0, 1); err != nil {
+		panic(err)
+	}
+	if err := b.AddNet("", 1, 2, 3); err != nil {
+		panic(err)
+	}
+	if err := b.AddNet("", 1, 1, 2); err != nil {
+		panic(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	cost, nets, err := prop.Verify(n, []uint8{0, 0, 1, 1}, prop.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cut cost %.0f over %d nets\n", cost, nets)
+	// Output:
+	// cut cost 1 over 1 nets
+}

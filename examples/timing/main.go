@@ -1,0 +1,75 @@
+// timing: timing-driven partitioning with weighted nets, the application
+// of reference [8] in the paper ("a critical net is assigned more weight
+// than a non-critical one to ensure that the length of critical or
+// near-critical nets are kept as short as possible").
+//
+// The example marks 5% of a circuit's nets as timing-critical with weight
+// 10, partitions once with unit costs and once with the weighted costs
+// (using the tree-based engines, since FM's bucket structure requires unit
+// costs — paper §1), and reports how many critical nets each partition
+// cuts.
+//
+// Run with: go run ./examples/timing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prop"
+)
+
+func main() {
+	n, err := prop.Benchmark("p2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Mark every 20th net critical (deterministic stand-in for a static
+	// timing analysis pass).
+	const criticalWeight = 10
+	critical := map[int]bool{}
+	costs := make([]float64, n.NumNets())
+	for e := range costs {
+		costs[e] = 1
+		if e%20 == 0 {
+			costs[e] = criticalWeight
+			critical[e] = true
+		}
+	}
+	weighted, err := n.WithNetCosts(costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit p2: %v, %d critical nets (weight %d)\n\n", n.Stats(), len(critical), criticalWeight)
+
+	run := func(label string, target *prop.Netlist) {
+		res, err := prop.Partition(target, prop.Options{Algorithm: prop.AlgoPROP, Runs: 10, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cutCrit := 0
+		cutAll := 0
+		for e := 0; e < n.NumNets(); e++ {
+			s0, s1 := false, false
+			for _, u := range n.Net(e) {
+				if res.Sides[u] == 0 {
+					s0 = true
+				} else {
+					s1 = true
+				}
+			}
+			if s0 && s1 {
+				cutAll++
+				if critical[e] {
+					cutCrit++
+				}
+			}
+		}
+		fmt.Printf("%-22s cut nets %4d, critical nets cut %3d\n", label, cutAll, cutCrit)
+	}
+	run("unit costs:", n)
+	run("timing-driven costs:", weighted)
+	fmt.Println("\nWeighted costs steer PROP away from cutting critical nets, at a")
+	fmt.Println("modest increase in total cut nets — the Jackson–Srinivasan–Kuh")
+	fmt.Println("trade the paper cites.")
+}

@@ -1,0 +1,3 @@
+module prop
+
+go 1.22

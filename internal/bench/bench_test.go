@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// TestSeriesBestOfAndMean: prefix-best and mean arithmetic.
+func TestSeriesBestOfAndMean(t *testing.T) {
+	s := Series{Cuts: []float64{10, 7, 12, 5, 9}}
+	cases := []struct {
+		k    int
+		want float64
+	}{{1, 10}, {2, 7}, {3, 7}, {4, 5}, {99, 5}}
+	for _, c := range cases {
+		if got := s.BestOf(c.k); got != c.want {
+			t.Errorf("BestOf(%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+	if m := s.Mean(); m != 8.6 {
+		t.Errorf("Mean = %g, want 8.6", m)
+	}
+}
+
+// TestImprovementFormula matches the paper's definition: (improvement /
+// larger cutset)·100.
+func TestImprovementFormula(t *testing.T) {
+	cases := []struct {
+		x, prop, want float64
+	}{
+		{245, 154, (245.0 - 154) / 245 * 100}, // PROP better
+		{154, 245, (154.0 - 245) / 245 * 100}, // PROP worse (negative)
+		{100, 100, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Improvement(c.x, c.prop); got != c.want {
+			t.Errorf("Improvement(%g, %g) = %g, want %g", c.x, c.prop, got, c.want)
+		}
+	}
+}
+
+// TestRunSuiteSmall exercises the whole harness on the smallest circuit
+// with minimal runs and checks every table renders with plausible content.
+func TestRunSuiteSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run")
+	}
+	results, err := RunSuite(Options{MaxNodes: 850, Runs: 2, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// balu (801) and p1 (833) are the circuits at or below 850 nodes.
+	if len(results) != 2 || results[0].Spec.Name != "balu" || results[1].Spec.Name != "p1" {
+		t.Fatalf("suite circuits = %d", len(results))
+	}
+	r := results[0]
+	for _, m := range []string{"FM", "FM-tree", "LA-2", "LA-3", "WINDOW", "PROP"} {
+		s, ok := r.S5050[m]
+		if !ok || len(s.Cuts) == 0 {
+			t.Errorf("missing 50-50 series %s", m)
+			continue
+		}
+		if s.BestOf(len(s.Cuts)) <= 0 {
+			t.Errorf("%s: nonpositive cut", m)
+		}
+	}
+	for _, m := range []string{"EIG1", "MELO", "Paraboli", "PROP"} {
+		if _, ok := r.S4555[m]; !ok {
+			t.Errorf("missing 45-55 series %s", m)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, results)
+	WriteTable2(&buf, results, 2)
+	WriteTable3(&buf, results, 2)
+	WriteTable4(&buf, results, 2)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "balu", "Total", "PROP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}
+
+// TestWriteFigure1Content: the rendered example carries the paper's key
+// numbers.
+func TestWriteFigure1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2.0016", "2.0400", "2.6400", "1.8000", "-0.4920", "-0.3000", "best node: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 output missing %q", want)
+		}
+	}
+}
+
+// TestWriteScalingRuns: the scaling study runs on tiny sizes.
+func TestWriteScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling run")
+	}
+	var buf bytes.Buffer
+	if err := WriteScaling(&buf, []int{500, 1000}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "m·log2 n") {
+		t.Error("scaling output malformed")
+	}
+}
+
+// TestMethodsProduceFeasibleCuts: every Method constructor yields runs
+// whose cuts are ≥ 0 and deterministic in the seed.
+func TestMethodsProduceFeasibleCuts(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 220, Nets: 240, Pins: 820, Seed: 91})
+	bal := partition.Exact5050()
+	for _, m := range []Method{
+		PROPMethod(2), LAMethod(2, 2), WindowMethod(2), EIG1Method(), MELOMethod(), ParaboliMethod(),
+	} {
+		s1, err := RunSeries(h, bal, m, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		s2, err := RunSeries(h, bal, m, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := range s1.Cuts {
+			if s1.Cuts[i] < 0 {
+				t.Errorf("%s: negative cut", m.Name)
+			}
+			if s1.Cuts[i] != s2.Cuts[i] {
+				t.Errorf("%s: nondeterministic run %d: %g vs %g", m.Name, i, s1.Cuts[i], s2.Cuts[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"prop/internal/anneal"
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+	"prop/internal/kl"
+	"prop/internal/multilevel"
+	"prop/internal/partition"
+	"prop/internal/sk"
+)
+
+// WriteExtensions compares the extension systems against flat PROP on
+// three suite circuits: the multilevel V-cycle of the paper's conclusion
+// ("PROP in conjunction with a clustering initial phase"), and the other
+// two algorithm families the paper's §1 surveys — pair-swap methods
+// (Kernighan–Lin, Schweikert–Kernighan) and simulated annealing.
+func WriteExtensions(w io.Writer, seed int64) error {
+	circuits := []string{"balu", "struct", "t3"}
+	const runs = 10
+	bal := partition.Exact5050()
+
+	type method struct {
+		name string
+		runs int
+		run  func(h *hypergraph.Hypergraph, s int64) (float64, error)
+	}
+	methods := []method{
+		{"PROP (flat)", runs, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			m := PROPMethod(1)
+			return m.Run(h, bal, s)
+		}},
+		{"ML-PROP", 3, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			r, err := multilevel.Partition(h, multilevel.Config{Balance: bal, Seed: s})
+			return r.CutCost, err
+		}},
+		{"ML-FM", 3, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			r, err := multilevel.Partition(h, multilevel.Config{Balance: bal, Refine: multilevel.FMRefiner(), Seed: s})
+			return r.CutCost, err
+		}},
+		{"KL", runs, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			rng := rand.New(rand.NewSource(s))
+			r, err := kl.Partition(h, partition.RandomSides(h, bal, rng), kl.Config{})
+			return r.CutCost, err
+		}},
+		{"SK", runs, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			rng := rand.New(rand.NewSource(s))
+			r, err := sk.Partition(h, partition.RandomSides(h, bal, rng), sk.Config{})
+			return r.CutCost, err
+		}},
+		{"SA", 3, func(h *hypergraph.Hypergraph, s int64) (float64, error) {
+			rng := rand.New(rand.NewSource(s))
+			r, err := anneal.Partition(h, partition.RandomSides(h, bal, rng), anneal.Config{Balance: bal, Seed: s})
+			return r.CutCost, err
+		}},
+	}
+
+	fmt.Fprintln(w, "Extensions study: paper §1 families and the §5 multilevel proposal")
+	fmt.Fprintf(w, "(best of N runs per cell; N per method: flat/KL/SK=%d, ML/SA=3)\n", runs)
+	fmt.Fprintf(w, "%-12s", "method")
+	for _, c := range circuits {
+		fmt.Fprintf(w, " %9s %9s", c, "s/run")
+	}
+	fmt.Fprintln(w)
+	for _, m := range methods {
+		fmt.Fprintf(w, "%-12s", m.name)
+		for _, name := range circuits {
+			c, err := gen.SuiteCircuit(specOf(name))
+			if err != nil {
+				return err
+			}
+			best := -1.0
+			start := time.Now()
+			for r := 0; r < m.runs; r++ {
+				cut, err := m.run(c.H, seed+int64(r))
+				if err != nil {
+					return err
+				}
+				if best < 0 || cut < best {
+					best = cut
+				}
+			}
+			per := time.Since(start).Seconds() / float64(m.runs)
+			fmt.Fprintf(w, " %9.0f %9.3f", best, per)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"prop/internal/core"
+	"prop/internal/gen"
+	"prop/internal/la"
+	"prop/internal/partition"
+)
+
+// WriteFigure1 reproduces the worked example of the paper's Figure 1: the
+// FM gains and LA-3 gain vectors of nodes 1–3 (panel a), the initial
+// deterministic gains and probabilities (panel b), and the second-iteration
+// probabilistic gains (panel c) that single out node 3.
+func WriteFigure1(w io.Writer) error {
+	f := gen.Figure1()
+	b, err := partition.NewBisection(f.H, f.Sides)
+	if err != nil {
+		return err
+	}
+	locked := make([]bool, f.H.NumNodes())
+	for _, a := range f.Anchors {
+		locked[a] = true
+	}
+	vecs := la.VectorsWithLocks(b, locked, 3)
+
+	calc := core.NewCalculator(b)
+	for _, a := range f.Anchors {
+		calc.Lock(a)
+	}
+	// Panel (b) probabilities quoted in §3.3: f maps deterministic gain
+	// 2→1.0, 1→0.8, −1→0.2; the unseen partners of nets n12–n17 are given
+	// probability 0.5 by assumption.
+	pOf := map[float64]float64{2: 1.0, 1: 0.8, -1: 0.2}
+	initProb := make([]float64, 18)
+	for paper := 1; paper <= 11; paper++ {
+		initProb[paper] = pOf[b.Gain(f.Node[paper])]
+		calc.P[f.Node[paper]] = initProb[paper]
+	}
+	for paper := 12; paper <= 17; paper++ {
+		initProb[paper] = 0.5
+		calc.P[f.Node[paper]] = 0.5
+	}
+	calc.Rebuild()
+
+	fmt.Fprintln(w, "Figure 1: FM vs LA-3 vs PROP gains on the worked example")
+	fmt.Fprintf(w, "%-6s %8s %14s %10s %14s\n", "node", "FM gain", "LA-3 vector", "p(u) init", "PROP gain it2")
+	best, bestG := -1, 0.0
+	for paper := 1; paper <= 11; paper++ {
+		u := f.Node[paper]
+		g := calc.Gain(u)
+		if best < 0 || g > bestG {
+			best, bestG = paper, g
+		}
+		v := vecs[u]
+		fmt.Fprintf(w, "%-6d %8.0f (%3.0f,%3.0f,%3.0f) %10.2f %14.4f\n",
+			paper, b.Gain(u), v[0], v[1], v[2], initProb[paper], g)
+	}
+	fmt.Fprintf(w, "PROP's best node: %d (gain %.4f) — FM ties 1,2,3 at +2; LA-3 ties 2,3 at (2,0,1);\n", best, bestG)
+	fmt.Fprintln(w, "PROP alone identifies node 3, matching the paper's analysis (g(3)=2.64 > g(2)=2.04 > g(1)=2.0016).")
+	return nil
+}

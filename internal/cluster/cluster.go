@@ -1,0 +1,250 @@
+// Package cluster provides heavy-edge matching coarsening and clustered
+// initial partitions — the "clustering initial phase" the paper's §5
+// proposes combining with PROP, and a reusable substrate for the
+// clustering-based baselines.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// Coarsening maps a fine hypergraph to a smaller one whose nodes are
+// clusters of fine nodes.
+type Coarsening struct {
+	Fine   *hypergraph.Hypergraph
+	Coarse *hypergraph.Hypergraph
+	// Map[u] is the coarse node holding fine node u.
+	Map []int
+	// Levels is the number of matching rounds applied.
+	Levels int
+}
+
+// Project expands a side assignment of the coarse nodes to the fine nodes.
+func (c *Coarsening) Project(coarseSides []uint8) ([]uint8, error) {
+	if len(coarseSides) != c.Coarse.NumNodes() {
+		return nil, fmt.Errorf("cluster: %d coarse sides for %d coarse nodes",
+			len(coarseSides), c.Coarse.NumNodes())
+	}
+	fine := make([]uint8, c.Fine.NumNodes())
+	for u := range fine {
+		fine[u] = coarseSides[c.Map[u]]
+	}
+	return fine, nil
+}
+
+// Level is one heavy-edge matching step: Coarse is the shrunken
+// hypergraph and Map sends each node of the previous (finer) level to its
+// coarse cluster.
+type Level struct {
+	Coarse *hypergraph.Hypergraph
+	Map    []int
+}
+
+// CoarsenSteps repeatedly applies heavy-edge matching until the hypergraph
+// has at most target nodes or a round makes no progress, returning every
+// intermediate level fine→coarse. This is the hierarchy a multilevel
+// V-cycle refines back through. The result is deterministic in seed.
+func CoarsenSteps(h *hypergraph.Hypergraph, target int, seed int64) ([]Level, error) {
+	if target < 2 {
+		return nil, fmt.Errorf("cluster: target %d, want ≥ 2", target)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var levels []Level
+	cur := h
+	for cur.NumNodes() > target {
+		mapping, coarse, err := matchOnce(cur, rng)
+		if err != nil {
+			return nil, err
+		}
+		if coarse.NumNodes() >= cur.NumNodes() {
+			break // no progress (e.g. no nets left)
+		}
+		levels = append(levels, Level{Coarse: coarse, Map: mapping})
+		cur = coarse
+	}
+	return levels, nil
+}
+
+// Coarsen composes CoarsenSteps into a single fine→coarsest mapping.
+func Coarsen(h *hypergraph.Hypergraph, target int, seed int64) (*Coarsening, error) {
+	levels, err := CoarsenSteps(h, target, seed)
+	if err != nil {
+		return nil, err
+	}
+	total := make([]int, h.NumNodes())
+	for i := range total {
+		total[i] = i
+	}
+	cur := h
+	for _, l := range levels {
+		for i := range total {
+			total[i] = l.Map[total[i]]
+		}
+		cur = l.Coarse
+	}
+	return &Coarsening{Fine: h, Coarse: cur, Map: total, Levels: len(levels)}, nil
+}
+
+// matchOnce performs one heavy-edge matching round and builds the coarser
+// hypergraph.
+func matchOnce(h *hypergraph.Hypergraph, rng *rand.Rand) ([]int, *hypergraph.Hypergraph, error) {
+	n := h.NumNodes()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	weight := make(map[int]float64, 16)
+	for _, u := range order {
+		if match[u] >= 0 {
+			continue
+		}
+		for k := range weight {
+			delete(weight, k)
+		}
+		for _, e := range h.NetsOf(u) {
+			w := h.NetCost(e) / float64(h.NetSize(e)-1)
+			for _, v := range h.Net(e) {
+				if v != u && match[v] < 0 {
+					weight[v] += w
+				}
+			}
+		}
+		best, bw := -1, 0.0
+		for v, w := range weight {
+			if w > bw || (w == bw && best >= 0 && v < best) {
+				best, bw = v, w
+			}
+		}
+		if best >= 0 {
+			match[u], match[best] = best, u
+		}
+	}
+	// Assign coarse IDs.
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	next := 0
+	for u := 0; u < n; u++ {
+		if mapping[u] >= 0 {
+			continue
+		}
+		mapping[u] = next
+		if v := match[u]; v >= 0 {
+			mapping[v] = next
+		}
+		next++
+	}
+	// Build the coarse hypergraph: weights summed, nets re-pinned.
+	b := hypergraph.NewBuilder()
+	cw := make([]int64, next)
+	for u := 0; u < n; u++ {
+		cw[mapping[u]] += h.NodeWeight(u)
+	}
+	for c := 0; c < next; c++ {
+		b.AddNode("", cw[c])
+	}
+	pins := make([]int, 0, 16)
+	for e := 0; e < h.NumNets(); e++ {
+		pins = pins[:0]
+		for _, u := range h.Net(e) {
+			pins = append(pins, mapping[u])
+		}
+		if err := b.AddNet(h.NetName(e), h.NetCost(e), pins...); err != nil {
+			return nil, nil, err
+		}
+	}
+	coarse, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return mapping, coarse, nil
+}
+
+// ClusteredSides produces an initial bisection by coarsening to roughly
+// clusters nodes, splitting the coarse hypergraph greedily by weight, and
+// projecting back — the paper's proposed clustering pre-phase (§5).
+func ClusteredSides(h *hypergraph.Hypergraph, bal partition.Balance, clusters int, seed int64) ([]uint8, error) {
+	if clusters < 2 {
+		clusters = 2
+	}
+	c, err := Coarsen(h, clusters, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Greedy weight packing: heaviest coarse node first into the lighter
+	// side, which lands within bounds whenever feasible at this coarseness.
+	nc := c.Coarse.NumNodes()
+	order := make([]int, nc)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := c.Coarse.NodeWeight(order[i]), c.Coarse.NodeWeight(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	sides := make([]uint8, nc)
+	var w [2]int64
+	for _, u := range order {
+		s := uint8(0)
+		if w[1] < w[0] {
+			s = 1
+		}
+		sides[u] = s
+		w[s] += c.Coarse.NodeWeight(u)
+	}
+	fine, err := c.Project(sides)
+	if err != nil {
+		return nil, err
+	}
+	// Repair pass at the fine level if greedy packing missed the window.
+	if err := repairBalance(h, fine, bal, seed); err != nil {
+		return nil, err
+	}
+	return fine, nil
+}
+
+// repairBalance flips lightest nodes from the heavy side until the bounds
+// (with one-cell slack) hold.
+func repairBalance(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance, seed int64) error {
+	total := h.TotalNodeWeight()
+	var w [2]int64
+	for u, s := range sides {
+		w[s] += h.NodeWeight(u)
+	}
+	var maxW int64 = 1
+	for u := 0; u < h.NumNodes(); u++ {
+		if nw := h.NodeWeight(u); nw > maxW {
+			maxW = nw
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(h.NumNodes())
+	for _, u := range perm {
+		if bal.FeasibleWithSlack(w[0], total, maxW) {
+			return nil
+		}
+		heavy := uint8(0)
+		if w[1] > w[0] {
+			heavy = 1
+		}
+		if sides[u] == heavy {
+			sides[u] = 1 - heavy
+			w[heavy] -= h.NodeWeight(u)
+			w[1-heavy] += h.NodeWeight(u)
+		}
+	}
+	if !bal.FeasibleWithSlack(w[0], total, maxW) {
+		return fmt.Errorf("cluster: could not repair balance (side-0 weight %d of %d)", w[0], total)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// TestCoarsenShrinksAndConserves: coarsening reaches the target, conserves
+// total node weight, and the map is a valid surjection.
+func TestCoarsenShrinksAndConserves(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 400, Nets: 440, Pins: 1500, Seed: 51})
+	c, err := Coarsen(h, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Coarse.NumNodes() > 2*50 {
+		t.Errorf("coarse nodes = %d, want near 50", c.Coarse.NumNodes())
+	}
+	if c.Coarse.TotalNodeWeight() != h.TotalNodeWeight() {
+		t.Errorf("weight changed: %d -> %d", h.TotalNodeWeight(), c.Coarse.TotalNodeWeight())
+	}
+	hit := make([]bool, c.Coarse.NumNodes())
+	for u, m := range c.Map {
+		if m < 0 || m >= c.Coarse.NumNodes() {
+			t.Fatalf("node %d maps to %d out of range", u, m)
+		}
+		hit[m] = true
+	}
+	for m, ok := range hit {
+		if !ok {
+			t.Errorf("coarse node %d has no fine node", m)
+		}
+	}
+	if c.Levels < 1 {
+		t.Error("no coarsening levels applied")
+	}
+}
+
+// TestCoarseCutProjectsExactly: for any coarse bisection, the projected
+// fine cut cost equals the coarse cut cost (coarsening preserves the cut
+// structure of cluster-respecting partitions).
+func TestCoarseCutProjectsExactly(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 300, Nets: 330, Pins: 1100, Seed: 52})
+	c, err := Coarsen(h, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseSides := make([]uint8, c.Coarse.NumNodes())
+	for i := range coarseSides {
+		coarseSides[i] = uint8(i % 2)
+	}
+	cb, err := partition.NewBisection(c.Coarse, coarseSides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := c.Project(coarseSides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := partition.NewBisection(h, fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.CutCost() != fb.CutCost() {
+		t.Errorf("coarse cut %g, projected fine cut %g", cb.CutCost(), fb.CutCost())
+	}
+}
+
+// TestClusteredSidesBalanced: the clustering pre-phase yields a feasible
+// initial bisection.
+func TestClusteredSidesBalanced(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 500, Nets: 550, Pins: 1900, Seed: 53})
+	bal := partition.Exact5050()
+	sides, err := ClusteredSides(h, bal, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := partition.NewBisection(h, sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bal.FeasibleWithSlack(b.SideWeight(0), h.TotalNodeWeight(), b.MaxNodeWeight()) {
+		t.Errorf("unbalanced: %d of %d", b.SideWeight(0), h.TotalNodeWeight())
+	}
+	// Clustered starts should beat random starts on average.
+	rb, err := partition.NewBisection(h, partition.RandomSides(h, bal, newRand(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CutCost() >= rb.CutCost() {
+		t.Logf("note: clustered cut %g not below random cut %g on this instance", b.CutCost(), rb.CutCost())
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

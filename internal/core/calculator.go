@@ -1,0 +1,243 @@
+package core
+
+// Calculator evaluates PROP's probabilistic net and node gains (Eqns. 2–6)
+// for an arbitrary probability assignment and lock state over a bisection.
+// It is the computational core of the partitioner and is exported within
+// this module so examples and tests can reproduce the paper's Figure 1
+// numerics directly.
+//
+// Following §3.4 of the paper ("after moving a node u ... we first update
+// p(n^{1→2}) and p(n^{2→1}) of every net that u is connected to"), the
+// calculator maintains, per net and side, the product of the probabilities
+// of the unlocked pins. Node gains then cost Θ(deg) regardless of net
+// sizes. Products are maintained incrementally under SetP/MoveLock and
+// rebuilt exactly by Rebuild (call it after writing P directly).
+import (
+	"prop/internal/partition"
+)
+
+// Calculator computes probabilistic gains over b. P holds the current node
+// probabilities; Locked marks nodes locked this pass (their probability is
+// implicitly 0 and nets they pin can never be freed from their side —
+// Eqns. 5 and 6 fall out of this treatment).
+type Calculator struct {
+	B *partition.Bisection
+	// P is the node probability vector. Write it directly only in bulk,
+	// followed by Rebuild; use SetP for incremental changes.
+	P      []float64
+	Locked []bool
+
+	lockedPins [2][]int32
+	// prod[s][e] = Π P[v] over unlocked pins v of net e on side s.
+	prod [2][]float64
+}
+
+// NewCalculator creates a Calculator with no locked nodes and probabilities
+// all zero. Seed P (directly or via SetP after a Rebuild) before computing
+// gains.
+func NewCalculator(b *partition.Bisection) *Calculator {
+	n := b.H.NumNodes()
+	c := &Calculator{
+		B:      b,
+		P:      make([]float64, n),
+		Locked: make([]bool, n),
+	}
+	e := b.H.NumNets()
+	c.lockedPins[0] = make([]int32, e)
+	c.lockedPins[1] = make([]int32, e)
+	c.prod[0] = make([]float64, e)
+	c.prod[1] = make([]float64, e)
+	c.Rebuild()
+	return c
+}
+
+// Rebuild recomputes every net's side products exactly from P, the lock
+// state and the current side assignment. Call after bulk writes to P or
+// ResetLocks.
+func (c *Calculator) Rebuild() {
+	h := c.B.H
+	for e := 0; e < h.NumNets(); e++ {
+		p0, p1 := 1.0, 1.0
+		for _, v := range h.Net(e) {
+			if c.Locked[v] {
+				continue
+			}
+			if c.B.Side(v) == 0 {
+				p0 *= c.P[v]
+			} else {
+				p1 *= c.P[v]
+			}
+		}
+		c.prod[0][e], c.prod[1][e] = p0, p1
+	}
+}
+
+// ResetLocks clears all locks (start of a pass) and rebuilds products.
+func (c *Calculator) ResetLocks() {
+	for i := range c.Locked {
+		c.Locked[i] = false
+	}
+	for s := 0; s < 2; s++ {
+		for i := range c.lockedPins[s] {
+			c.lockedPins[s][i] = 0
+		}
+	}
+	c.Rebuild()
+}
+
+// SetP changes the probability of unlocked node u, maintaining the side
+// products of its nets.
+func (c *Calculator) SetP(u int, p float64) {
+	old := c.P[u]
+	if old == p {
+		return
+	}
+	c.P[u] = p
+	s := c.B.Side(u)
+	if c.Locked[u] {
+		return // locked nodes are outside the products
+	}
+	h := c.B.H
+	if old == 0 {
+		// Cannot divide out a zero factor: rebuild the affected nets.
+		for _, e := range h.NetsOf(u) {
+			c.rebuildNet(e)
+		}
+		return
+	}
+	ratio := p / old
+	for _, e := range h.NetsOf(u) {
+		c.prod[s][e] *= ratio
+	}
+}
+
+func (c *Calculator) rebuildNet(e int) {
+	p0, p1 := 1.0, 1.0
+	for _, v := range c.B.H.Net(e) {
+		if c.Locked[v] {
+			continue
+		}
+		if c.B.Side(v) == 0 {
+			p0 *= c.P[v]
+		} else {
+			p1 *= c.P[v]
+		}
+	}
+	c.prod[0][e], c.prod[1][e] = p0, p1
+}
+
+// Lock marks u (currently on side c.B.Side(u)) as locked without moving
+// it: its probability leaves the products and its pins pin the nets on its
+// current side. Used for analysis (Figure 1's anchored V2 nodes).
+func (c *Calculator) Lock(u int) {
+	if c.Locked[u] {
+		return
+	}
+	s := c.B.Side(u)
+	h := c.B.H
+	if c.P[u] != 0 {
+		for _, e := range h.NetsOf(u) {
+			c.prod[s][e] /= c.P[u]
+		}
+	} else {
+		for _, e := range h.NetsOf(u) {
+			c.rebuildNet(e)
+		}
+	}
+	c.Locked[u] = true
+	c.P[u] = 0
+	for _, e := range h.NetsOf(u) {
+		c.lockedPins[s][e]++
+	}
+}
+
+// MoveLock performs the partitioner's move step: remove u from its side's
+// products, move it across the bisection, lock it on the new side, and
+// return the immediate (deterministic) gain of the move.
+func (c *Calculator) MoveLock(u int) float64 {
+	s := c.B.Side(u)
+	h := c.B.H
+	if c.P[u] != 0 {
+		for _, e := range h.NetsOf(u) {
+			c.prod[s][e] /= c.P[u]
+		}
+	} else {
+		for _, e := range h.NetsOf(u) {
+			c.rebuildNet(e)
+		}
+	}
+	c.Locked[u] = true
+	c.P[u] = 0
+	imm := c.B.Move(u)
+	t := 1 - s
+	for _, e := range h.NetsOf(u) {
+		c.lockedPins[t][e]++
+	}
+	return imm
+}
+
+// Prod returns the cached product of probabilities of the unlocked pins of
+// net e on side s (without the locked-pin zeroing FreeProb applies).
+func (c *Calculator) Prod(s uint8, e int) float64 { return c.prod[s][e] }
+
+// LockedPins returns the number of locked pins net e has on side s.
+func (c *Calculator) LockedPins(s uint8, e int) int { return int(c.lockedPins[s][e]) }
+
+// FreeProb returns p(n^{s→t}): the probability that net e is freed from
+// side s by moving all of its side-s pins across. It is the product of the
+// probabilities of the unlocked side-s pins, or 0 if a locked pin holds the
+// net on side s. excluding ≥ 0 names a pin to leave out of the product
+// (conditioning on that node's own move, Eqn. 3); pass −1 for none.
+func (c *Calculator) FreeProb(s uint8, e int, excluding int) float64 {
+	if c.lockedPins[s][e] > 0 {
+		return 0
+	}
+	p := c.prod[s][e]
+	if excluding >= 0 && !c.Locked[excluding] && c.B.Side(excluding) == s {
+		if pe := c.P[excluding]; pe != 0 {
+			p /= pe
+		} else {
+			// Exact exclusion of a zero-probability pin: recompute.
+			p = 1
+			for _, v := range c.B.H.Net(e) {
+				if v == excluding || c.Locked[v] || c.B.Side(v) != s {
+					continue
+				}
+				p *= c.P[v]
+			}
+		}
+	}
+	return p
+}
+
+// NetGain returns g_net(u), node u's gain contribution from net e:
+//
+//	net in cutset (Eqn. 2/3):  c(e)·[p(n^{s→t}|u) − p(n^{t→s}|u^c)]
+//	net uncut on u's side (Eqn. 4): −c(e)·(1 − p(n^{s→t}|u))
+//
+// The locked-net special cases (Eqns. 5 and 6) are subsumed: a locked pin
+// on a side zeroes that side's freeing probability.
+func (c *Calculator) NetGain(u, e int) float64 {
+	h := c.B.H
+	s := c.B.Side(u)
+	t := 1 - s
+	cost := h.NetCost(e)
+	if c.B.PinCount(t, e) > 0 {
+		// Net in cutset: moving u helps complete the s→t evacuation and
+		// precludes the t→s one.
+		return cost * (c.FreeProb(s, e, u) - c.FreeProb(t, e, -1))
+	}
+	// Net entirely on side s: moving u throws it into the cutset unless all
+	// other pins follow.
+	return -cost * (1 - c.FreeProb(s, e, u))
+}
+
+// Gain returns the total probabilistic gain g(u) = Σ_{e ∋ u} g_e(u) in
+// Θ(deg(u)) using the cached products.
+func (c *Calculator) Gain(u int) float64 {
+	var g float64
+	for _, e := range c.B.H.NetsOf(u) {
+		g += c.NetGain(u, e)
+	}
+	return g
+}

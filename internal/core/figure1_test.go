@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"prop/internal/core"
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// figure1Calc builds the paper's Figure-1 state: anchors locked, node
+// probabilities set to the values of Fig. 1(b) (p(1..3)=1, p(10,11)=0.8,
+// p(4..9)=0.2, unseen partners 12..17 at 0.5 per §3.3).
+func figure1Calc(t *testing.T) (*gen.Figure1Fixture, *core.Calculator) {
+	t.Helper()
+	f := gen.Figure1()
+	b, err := partition.NewBisection(f.H, f.Sides)
+	if err != nil {
+		t.Fatalf("NewBisection: %v", err)
+	}
+	calc := core.NewCalculator(b)
+	for _, a := range f.Anchors {
+		calc.Lock(a)
+	}
+	set := func(paperNode int, p float64) { calc.P[f.Node[paperNode]] = p }
+	for _, v := range []int{1, 2, 3} {
+		set(v, 1.0)
+	}
+	for _, v := range []int{10, 11} {
+		set(v, 0.8)
+	}
+	for _, v := range []int{4, 5, 6, 7, 8, 9} {
+		set(v, 0.2)
+	}
+	for _, v := range []int{12, 13, 14, 15, 16, 17} {
+		set(v, 0.5)
+	}
+	calc.Rebuild()
+	return f, calc
+}
+
+// TestFigure1FMGains checks the deterministic Eqn.-1 gains of Fig. 1(a):
+// nodes 1–3 gain 2, nodes 10–11 gain 1, nodes 4–9 gain −1.
+func TestFigure1FMGains(t *testing.T) {
+	f := gen.Figure1()
+	b, err := partition.NewBisection(f.H, f.Sides)
+	if err != nil {
+		t.Fatalf("NewBisection: %v", err)
+	}
+	want := map[int]float64{
+		1: 2, 2: 2, 3: 2,
+		10: 1, 11: 1,
+		4: -1, 5: -1, 6: -1, 7: -1, 8: -1, 9: -1,
+	}
+	for paperNode, g := range want {
+		if got := b.Gain(f.Node[paperNode]); got != g {
+			t.Errorf("FM gain of node %d = %g, want %g", paperNode, got, g)
+		}
+	}
+}
+
+// TestFigure1PROPGains checks the second-iteration probabilistic gains of
+// Fig. 1(c) to full precision: g(1)=2.0016, g(2)=2.04, g(3)=2.64,
+// g(10)=g(11)=1.8, g(4..7)=−0.492 (−.49 in the figure), g(8)=g(9)=−0.3.
+func TestFigure1PROPGains(t *testing.T) {
+	f, calc := figure1Calc(t)
+	want := map[int]float64{
+		1:  2.0016,
+		2:  2.04,
+		3:  2.64,
+		10: 1.8,
+		11: 1.8,
+		4:  -0.492,
+		5:  -0.492,
+		6:  -0.492,
+		7:  -0.492,
+		8:  -0.3,
+		9:  -0.3,
+	}
+	for paperNode, g := range want {
+		got := calc.Gain(f.Node[paperNode])
+		if math.Abs(got-g) > 1e-12 {
+			t.Errorf("PROP gain of node %d = %.10f, want %.10f", paperNode, got, g)
+		}
+	}
+}
+
+// TestFigure1Node3Wins verifies the paper's headline point for the example:
+// after the probabilistic refinement, node 3 has the strictly highest gain,
+// resolving the tie FM and LA-3 cannot break.
+func TestFigure1Node3Wins(t *testing.T) {
+	f, calc := figure1Calc(t)
+	best, bestG := -1, math.Inf(-1)
+	for paperNode := 1; paperNode <= 17; paperNode++ {
+		if g := calc.Gain(f.Node[paperNode]); g > bestG {
+			best, bestG = paperNode, g
+		}
+	}
+	if best != 3 {
+		t.Fatalf("best node = %d (gain %g), want 3", best, bestG)
+	}
+}
+
+// TestFigure1NetGains spot-checks individual net gain terms quoted in §3.3.
+func TestFigure1NetGains(t *testing.T) {
+	f, calc := figure1Calc(t)
+	cases := []struct {
+		node int
+		net  string
+		want float64
+	}{
+		{1, "n1", 1}, {1, "n2", 1}, {1, "n9", 0.0016},
+		{2, "n3", 1}, {2, "n4", 1}, {2, "n10", 0.04},
+		{3, "n6", 1}, {3, "n7", 1}, {3, "n11", 0.64},
+		{8, "n10", 0.2}, {8, "n16", -0.5},
+		{4, "n9", 0.008}, {4, "n12", -0.5},
+	}
+	for _, c := range cases {
+		got := calc.NetGain(f.Node[c.node], f.Net[c.net])
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("g_%s(%d) = %.6f, want %.6f", c.net, c.node, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"prop/internal/ds"
+	"prop/internal/partition"
+)
+
+// Result reports the outcome of a PROP run.
+type Result struct {
+	Sides   []uint8
+	CutCost float64
+	CutNets int
+	Passes  int
+	Moves   int
+	// PassCuts records the cut cost after each pass — the convergence
+	// trajectory (the paper reports convergence in 2–4 passes).
+	PassCuts []float64
+}
+
+// Partition runs PROP (Fig. 2 of the paper) on the bisection in place:
+// repeat passes of {seed probabilities, refine gain↔probability, move/lock
+// all nodes by best probabilistic gain under the balance criterion, keep
+// the maximum-prefix-immediate-gain subset} until a pass yields G_max ≤ 0.
+func Partition(b *partition.Bisection, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	e := &engine{
+		b:    b,
+		cfg:  cfg,
+		calc: NewCalculator(b),
+		gain: make([]float64, b.H.NumNodes()),
+	}
+	e.nbrScratch = make([]bool, b.H.NumNodes())
+	passes, moves := 0, 0
+	var passCuts []float64
+	for {
+		gmax, m := e.runPass()
+		passes++
+		moves += m
+		passCuts = append(passCuts, b.CutCost())
+		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
+			break
+		}
+	}
+	return Result{
+		Sides:    b.Sides(),
+		CutCost:  b.CutCost(),
+		CutNets:  b.CutNets(),
+		Passes:   passes,
+		Moves:    moves,
+		PassCuts: passCuts,
+	}, nil
+}
+
+type engine struct {
+	b          *partition.Bisection
+	cfg        Config
+	calc       *Calculator
+	gain       []float64
+	nbrScratch []bool
+	nbrBuf     []int
+	topBuf     []int
+	log        partition.PassLog
+}
+
+// seedProbabilities implements step 3 of Fig. 2.
+func (e *engine) seedProbabilities() {
+	n := e.b.H.NumNodes()
+	switch e.cfg.Init {
+	case InitDeterministic:
+		for u := 0; u < n; u++ {
+			e.calc.P[u] = e.cfg.Probability(e.b.Gain(u))
+		}
+	default: // InitBlind
+		for u := 0; u < n; u++ {
+			e.calc.P[u] = e.cfg.PInit
+		}
+	}
+	e.calc.Rebuild()
+}
+
+// refine implements step 4 of Fig. 2: alternate full gain computation
+// (Eqns. 3–4) and probability recomputation, Refinements times. After the
+// last iteration e.gain holds the selection gains and calc.P the matching
+// probabilities.
+func (e *engine) refine() {
+	n := e.b.H.NumNodes()
+	for it := 0; it < e.cfg.Refinements; it++ {
+		for u := 0; u < n; u++ {
+			e.gain[u] = e.calc.Gain(u)
+		}
+		for u := 0; u < n; u++ {
+			e.calc.P[u] = e.cfg.Probability(e.gain[u])
+		}
+		e.calc.Rebuild()
+	}
+	if e.cfg.Refinements == 0 {
+		// Degenerate configuration: selection still needs gains.
+		for u := 0; u < n; u++ {
+			e.gain[u] = e.calc.Gain(u)
+		}
+	}
+}
+
+func (e *engine) runPass() (float64, int) {
+	h := e.b.H
+	n := h.NumNodes()
+	e.calc.ResetLocks()
+	e.seedProbabilities()
+	e.refine()
+
+	trees := [2]*ds.AVLTree{ds.NewAVLTree(n), ds.NewAVLTree(n)}
+	for u := 0; u < n; u++ {
+		trees[e.b.Side(u)].Insert(u, e.gain[u])
+	}
+	e.log.Reset()
+
+	// Steps 5–8: move and lock until no node can move within balance.
+	for trees[0].Len()+trees[1].Len() > 0 {
+		u, ok := e.selectNext(trees)
+		if !ok {
+			break
+		}
+		s := e.b.Side(u)
+		trees[s].Delete(u)
+		imm := e.calc.MoveLock(u)
+		e.log.Record(u, imm)
+		e.updateAfterMove(u, trees)
+	}
+
+	// Steps 9–10: keep the maximum-prefix-immediate-gain subset.
+	p, gmax := e.log.BestPrefix()
+	e.log.RollbackBeyond(e.b, p)
+	return gmax, e.log.Len()
+}
+
+// updateAfterMove implements §3.4: recompute gains (and hence
+// probabilities) of u's unlocked neighbors, then refresh the TopK
+// contenders on each side, whose gains may be stale because they involve
+// neighbors-of-neighbors probabilities just changed.
+//
+// Neighbor updates are filtered per net by the magnitude of the freeing-
+// probability change the move caused: a hub net whose side products are
+// already ≈ 0 contributes gain changes below epsilon to every pin, so its
+// pins are skipped — the same partial-update economics §3.4 argues for
+// ("the benefit of doing such a complete updating is minimal at best and
+// it is very time consuming"). Structural transitions (net entering the
+// cutset or collapsing onto one side) are always propagated.
+func (e *engine) updateAfterMove(u int, trees [2]*ds.AVLTree) {
+	const eps = 1e-7
+	h := e.b.H
+	t := e.b.Side(u) // u already moved: t is its new side
+	s := 1 - t
+	e.nbrBuf = e.nbrBuf[:0]
+	for _, nt := range h.NetsOf(u) {
+		relevant := e.b.PinCount(t, nt) == 1 || // net just entered the cutset (or u is its lone t pin)
+			e.b.PinCount(s, nt) == 0 || // net just collapsed onto side t
+			e.calc.Prod(s, nt) > eps || // s-side freeing probability moved materially
+			(e.calc.LockedPins(t, nt) == 1 && e.calc.Prod(t, nt) > eps) // first lock killed the t-side term
+		if !relevant {
+			continue
+		}
+		for _, v := range h.Net(nt) {
+			if v != u && !e.calc.Locked[v] && !e.nbrScratch[v] {
+				e.nbrScratch[v] = true
+				e.nbrBuf = append(e.nbrBuf, v)
+			}
+		}
+	}
+	for _, v := range e.nbrBuf {
+		e.nbrScratch[v] = false
+		e.refreshNode(v, trees)
+	}
+	if e.cfg.TopK > 0 {
+		for s := 0; s < 2; s++ {
+			e.topBuf = trees[s].TopK(e.cfg.TopK, e.topBuf[:0])
+			for _, v := range e.topBuf {
+				e.refreshNode(v, trees)
+			}
+		}
+	}
+}
+
+func (e *engine) refreshNode(v int, trees [2]*ds.AVLTree) {
+	g := e.calc.Gain(v)
+	if g == e.gain[v] {
+		return
+	}
+	e.gain[v] = g
+	e.calc.SetP(v, e.cfg.Probability(g))
+	t := trees[e.b.Side(v)]
+	t.Delete(v)
+	t.Insert(v, g)
+}
+
+// selectNext picks the unlocked node with the best probabilistic gain whose
+// move keeps balance; if the global best violates balance the best node of
+// the other subset is taken (step 6 of Fig. 2).
+func (e *engine) selectNext(trees [2]*ds.AVLTree) (int, bool) {
+	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
+	pick := func(t *ds.AVLTree) (int, float64, bool) {
+		best, bg, found := -1, 0.0, false
+		t.TopDown(func(u int, g float64) bool {
+			if feas(u) {
+				best, bg, found = u, g, true
+				return false
+			}
+			return true
+		})
+		return best, bg, found
+	}
+	var u0, u1 int
+	var g0, g1 float64
+	var ok0, ok1 bool
+	if e.b.CanMoveFrom(0, e.cfg.Balance) {
+		u0, g0, ok0 = pick(trees[0])
+	}
+	if e.b.CanMoveFrom(1, e.cfg.Balance) {
+		u1, g1, ok1 = pick(trees[1])
+	}
+	switch {
+	case ok0 && ok1:
+		if g0 >= g1 {
+			return u0, true
+		}
+		return u1, true
+	case ok0:
+		return u0, true
+	case ok1:
+		return u1, true
+	}
+	return -1, false
+}

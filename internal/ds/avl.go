@@ -1,0 +1,354 @@
+package ds
+
+import "fmt"
+
+// AVLTree is a balanced binary search tree of (gain, node) pairs ordered by
+// descending gain with node ID as tie-break, as prescribed for PROP in
+// §3.5 of the paper: Θ(log n) insert/delete/max under arbitrary float
+// gains. Each node ID may be stored at most once; the tree tracks the gain
+// under which each node was inserted so Delete needs only the ID.
+type AVLTree struct {
+	left, right, parent []int
+	height              []int8
+	gain                []float64
+	stamp               []int64
+	present             []bool
+	root                int
+	count               int
+}
+
+// NewAVLTree creates a tree able to hold node IDs in [0, n).
+func NewAVLTree(n int) *AVLTree {
+	t := &AVLTree{
+		left:    make([]int, n),
+		right:   make([]int, n),
+		parent:  make([]int, n),
+		height:  make([]int8, n),
+		gain:    make([]float64, n),
+		stamp:   make([]int64, n),
+		present: make([]bool, n),
+		root:    -1,
+	}
+	return t
+}
+
+// SetStamp sets node u's tie-break stamp for subsequent inserts: among
+// equal gains, higher stamps order first. Engines use a move counter here
+// to get the LIFO (most-recently-updated-first) tie-breaking that the
+// classic FM bucket structure provides and that is known to matter for
+// cut quality. Call before Insert; changing the stamp of a present node
+// corrupts the order.
+func (t *AVLTree) SetStamp(u int, s int64) { t.stamp[u] = s }
+
+// Len returns the number of stored nodes.
+func (t *AVLTree) Len() int { return t.count }
+
+// Contains reports whether node u is stored.
+func (t *AVLTree) Contains(u int) bool { return t.present[u] }
+
+// Gain returns the gain u was inserted with; u must be present.
+func (t *AVLTree) Gain(u int) float64 { return t.gain[u] }
+
+// less orders (gain, stamp, id) triples: higher gain first, then higher
+// stamp (most recent), then lower ID.
+func (t *AVLTree) less(g1 float64, u1 int, g2 float64, u2 int) bool {
+	if g1 != g2 {
+		return g1 > g2
+	}
+	if t.stamp[u1] != t.stamp[u2] {
+		return t.stamp[u1] > t.stamp[u2]
+	}
+	return u1 < u2
+}
+
+func (t *AVLTree) h(x int) int8 {
+	if x < 0 {
+		return 0
+	}
+	return t.height[x]
+}
+
+func (t *AVLTree) fix(x int) {
+	hl, hr := t.h(t.left[x]), t.h(t.right[x])
+	if hl > hr {
+		t.height[x] = hl + 1
+	} else {
+		t.height[x] = hr + 1
+	}
+}
+
+func (t *AVLTree) balanceFactor(x int) int8 { return t.h(t.left[x]) - t.h(t.right[x]) }
+
+// rotate replaces subtree x with child y (y = left or right child of x).
+func (t *AVLTree) replaceChild(parent, x, y int) {
+	if y >= 0 {
+		t.parent[y] = parent
+	}
+	if parent < 0 {
+		t.root = y
+	} else if t.left[parent] == x {
+		t.left[parent] = y
+	} else {
+		t.right[parent] = y
+	}
+}
+
+func (t *AVLTree) rotateLeft(x int) int {
+	y := t.right[x]
+	t.replaceChild(t.parent[x], x, y)
+	t.right[x] = t.left[y]
+	if t.left[y] >= 0 {
+		t.parent[t.left[y]] = x
+	}
+	t.left[y] = x
+	t.parent[x] = y
+	t.fix(x)
+	t.fix(y)
+	return y
+}
+
+func (t *AVLTree) rotateRight(x int) int {
+	y := t.left[x]
+	t.replaceChild(t.parent[x], x, y)
+	t.left[x] = t.right[y]
+	if t.right[y] >= 0 {
+		t.parent[t.right[y]] = x
+	}
+	t.right[y] = x
+	t.parent[x] = y
+	t.fix(x)
+	t.fix(y)
+	return y
+}
+
+// rebalance walks from x up to the root restoring the AVL invariant.
+func (t *AVLTree) rebalance(x int) {
+	for x >= 0 {
+		t.fix(x)
+		switch bf := t.balanceFactor(x); {
+		case bf > 1:
+			if t.balanceFactor(t.left[x]) < 0 {
+				t.rotateLeft(t.left[x])
+			}
+			x = t.rotateRight(x)
+		case bf < -1:
+			if t.balanceFactor(t.right[x]) > 0 {
+				t.rotateRight(t.right[x])
+			}
+			x = t.rotateLeft(x)
+		}
+		x = t.parent[x]
+	}
+}
+
+// Insert adds node u with the given gain; u must not be present.
+func (t *AVLTree) Insert(u int, gain float64) {
+	if t.present[u] {
+		panic(fmt.Sprintf("ds: AVLTree.Insert: node %d already present", u))
+	}
+	t.gain[u] = gain
+	t.present[u] = true
+	t.left[u], t.right[u] = -1, -1
+	t.height[u] = 1
+	t.count++
+	if t.root < 0 {
+		t.root = u
+		t.parent[u] = -1
+		return
+	}
+	x := t.root
+	for {
+		if t.less(gain, u, t.gain[x], x) {
+			if t.left[x] < 0 {
+				t.left[x] = u
+				break
+			}
+			x = t.left[x]
+		} else {
+			if t.right[x] < 0 {
+				t.right[x] = u
+				break
+			}
+			x = t.right[x]
+		}
+	}
+	t.parent[u] = x
+	t.rebalance(x)
+}
+
+// Delete removes node u; it must be present.
+func (t *AVLTree) Delete(u int) {
+	if !t.present[u] {
+		panic(fmt.Sprintf("ds: AVLTree.Delete: node %d not present", u))
+	}
+	t.present[u] = false
+	t.count--
+	if t.left[u] >= 0 && t.right[u] >= 0 {
+		// Swap u with its in-order successor s (leftmost of right subtree),
+		// then delete u from its new, ≤1-child position.
+		s := t.right[u]
+		for t.left[s] >= 0 {
+			s = t.left[s]
+		}
+		t.swapNodes(u, s)
+	}
+	// u now has at most one child.
+	child := t.left[u]
+	if child < 0 {
+		child = t.right[u]
+	}
+	p := t.parent[u]
+	t.replaceChild(p, u, child)
+	t.rebalance(p)
+}
+
+// swapNodes exchanges the tree positions of u and s (s a descendant of u).
+func (t *AVLTree) swapNodes(u, s int) {
+	pu, ps := t.parent[u], t.parent[s]
+	lu, ru := t.left[u], t.right[u]
+	ls, rs := t.left[s], t.right[s]
+	hu, hs := t.height[u], t.height[s]
+
+	t.replaceChild(pu, u, s)
+	if ps == u { // s is a direct child of u
+		if lu == s {
+			t.left[s] = u
+			t.right[s] = ru
+			if ru >= 0 {
+				t.parent[ru] = s
+			}
+		} else {
+			t.right[s] = u
+			t.left[s] = lu
+			if lu >= 0 {
+				t.parent[lu] = s
+			}
+		}
+		t.parent[u] = s
+	} else {
+		t.left[s], t.right[s] = lu, ru
+		if lu >= 0 {
+			t.parent[lu] = s
+		}
+		if ru >= 0 {
+			t.parent[ru] = s
+		}
+		t.replaceChild(ps, s, u)
+		t.parent[u] = ps
+	}
+	t.left[u], t.right[u] = ls, rs
+	if ls >= 0 {
+		t.parent[ls] = u
+	}
+	if rs >= 0 {
+		t.parent[rs] = u
+	}
+	t.height[u], t.height[s] = hs, hu
+}
+
+// Update changes the gain of present node u.
+func (t *AVLTree) Update(u int, gain float64) {
+	t.Delete(u)
+	t.Insert(u, gain)
+}
+
+// Max returns the highest-gain node, or ok=false when empty.
+func (t *AVLTree) Max() (node int, gain float64, ok bool) {
+	if t.root < 0 {
+		return -1, 0, false
+	}
+	x := t.root
+	for t.left[x] >= 0 {
+		x = t.left[x]
+	}
+	return x, t.gain[x], true
+}
+
+// TopDown calls fn for stored nodes in the tree's order (non-increasing
+// gain) until fn returns false.
+func (t *AVLTree) TopDown(fn func(node int, gain float64) bool) {
+	t.inorder(t.root, fn)
+}
+
+func (t *AVLTree) inorder(x int, fn func(int, float64) bool) bool {
+	if x < 0 {
+		return true
+	}
+	if !t.inorder(t.left[x], fn) {
+		return false
+	}
+	if !fn(x, t.gain[x]) {
+		return false
+	}
+	return t.inorder(t.right[x], fn)
+}
+
+// TopK appends up to k highest-gain nodes to dst and returns it; used by
+// PROP's "refresh the top few contenders" update rule (§3.4).
+func (t *AVLTree) TopK(k int, dst []int) []int {
+	t.TopDown(func(u int, _ float64) bool {
+		if len(dst) >= k {
+			return false
+		}
+		dst = append(dst, u)
+		return true
+	})
+	return dst
+}
+
+// CheckInvariants verifies AVL balance, heights, ordering and parent links;
+// for tests.
+func (t *AVLTree) CheckInvariants() error {
+	if t.root >= 0 && t.parent[t.root] != -1 {
+		return fmt.Errorf("ds: root %d has parent %d", t.root, t.parent[t.root])
+	}
+	n, err := t.check(t.root)
+	if err != nil {
+		return err
+	}
+	if n != t.count {
+		return fmt.Errorf("ds: tree holds %d nodes, count says %d", n, t.count)
+	}
+	return nil
+}
+
+func (t *AVLTree) check(x int) (int, error) {
+	if x < 0 {
+		return 0, nil
+	}
+	nl, err := t.check(t.left[x])
+	if err != nil {
+		return 0, err
+	}
+	nr, err := t.check(t.right[x])
+	if err != nil {
+		return 0, err
+	}
+	if l := t.left[x]; l >= 0 {
+		if t.parent[l] != x {
+			return 0, fmt.Errorf("ds: node %d left child %d has parent %d", x, l, t.parent[l])
+		}
+		if !t.less(t.gain[l], l, t.gain[x], x) {
+			return 0, fmt.Errorf("ds: order violated at %d/%d", x, l)
+		}
+	}
+	if r := t.right[x]; r >= 0 {
+		if t.parent[r] != x {
+			return 0, fmt.Errorf("ds: node %d right child %d has parent %d", x, r, t.parent[r])
+		}
+		if t.less(t.gain[r], r, t.gain[x], x) {
+			return 0, fmt.Errorf("ds: order violated at %d/%d", x, r)
+		}
+	}
+	if bf := t.balanceFactor(x); bf < -1 || bf > 1 {
+		return 0, fmt.Errorf("ds: node %d unbalanced (bf=%d)", x, bf)
+	}
+	want := t.h(t.left[x])
+	if hr := t.h(t.right[x]); hr > want {
+		want = hr
+	}
+	if t.height[x] != want+1 {
+		return 0, fmt.Errorf("ds: node %d height %d, want %d", x, t.height[x], want+1)
+	}
+	return nl + nr + 1, nil
+}

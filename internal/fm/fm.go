@@ -1,0 +1,295 @@
+// Package fm implements the Fiduccia–Mattheyses iterative-improvement
+// bipartitioner (FM), the primary baseline of the PROP paper. Node gains
+// are the deterministic Eqn.-1 gains; one pass virtually moves and locks
+// every movable node in best-gain-first order, then keeps the maximum-
+// prefix-gain subset; passes repeat until no pass improves the cut.
+//
+// Two selection structures are provided, matching the paper's Table 4
+// rows: the classic bucket array (FM-bucket, Θ(1) updates, unit net costs
+// only) and a balanced AVL tree (FM-tree, Θ(log n) updates, arbitrary net
+// costs).
+package fm
+
+import (
+	"fmt"
+	"math"
+
+	"prop/internal/ds"
+	"prop/internal/partition"
+)
+
+// Selector names the gain container used to pick the next node.
+type Selector int
+
+const (
+	// Bucket is the classic FM bucket array; requires unit net costs.
+	Bucket Selector = iota
+	// Tree is a balanced AVL tree; works with arbitrary net costs.
+	Tree
+)
+
+// String implements fmt.Stringer.
+func (s Selector) String() string {
+	switch s {
+	case Bucket:
+		return "bucket"
+	case Tree:
+		return "tree"
+	}
+	return fmt.Sprintf("Selector(%d)", int(s))
+}
+
+// Config controls a run of FM.
+type Config struct {
+	Balance  partition.Balance
+	Selector Selector
+	// MaxPasses bounds the number of improvement passes; 0 means run until
+	// a pass yields no positive gain (the paper reports 2–4 in practice).
+	MaxPasses int
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	Sides   []uint8
+	CutCost float64
+	CutNets int
+	Passes  int
+	Moves   int // total virtual moves across passes
+}
+
+// gainKeeper abstracts the two selection structures over float gains.
+type gainKeeper interface {
+	insert(u int, g float64)
+	remove(u int)
+	update(u int, g float64)
+	// firstFeasible returns the best-gain node accepted by ok.
+	firstFeasible(ok func(u int) bool) (int, bool)
+	len() int
+}
+
+// treeKeeper stamps every (re)insertion so equal gains order most-recent
+// first, matching the bucket structure's LIFO tie-break.
+type treeKeeper struct {
+	t     *ds.AVLTree
+	clock int64
+}
+
+func newTreeKeeper(n int) *treeKeeper { return &treeKeeper{t: ds.NewAVLTree(n)} }
+func (k *treeKeeper) insert(u int, g float64) {
+	k.clock++
+	k.t.SetStamp(u, k.clock)
+	k.t.Insert(u, g)
+}
+func (k *treeKeeper) remove(u int) { k.t.Delete(u) }
+func (k *treeKeeper) update(u int, g float64) {
+	k.t.Delete(u)
+	k.insert(u, g)
+}
+func (k *treeKeeper) len() int { return k.t.Len() }
+func (k *treeKeeper) firstFeasible(ok func(int) bool) (int, bool) {
+	best, found := -1, false
+	k.t.TopDown(func(u int, _ float64) bool {
+		if ok(u) {
+			best, found = u, true
+			return false
+		}
+		return true
+	})
+	return best, found
+}
+
+type bucketKeeper struct{ b *ds.Buckets }
+
+func newBucketKeeper(n, maxGain int) *bucketKeeper { return &bucketKeeper{ds.NewBuckets(n, maxGain)} }
+func (k *bucketKeeper) insert(u int, g float64)    { k.b.Insert(u, roundGain(g)) }
+func (k *bucketKeeper) remove(u int)               { k.b.Remove(u) }
+func (k *bucketKeeper) update(u int, g float64)    { k.b.Update(u, roundGain(g)) }
+func (k *bucketKeeper) len() int                   { return k.b.Len() }
+func (k *bucketKeeper) firstFeasible(ok func(int) bool) (int, bool) {
+	best, found := -1, false
+	k.b.TopDown(func(u, _ int) bool {
+		if ok(u) {
+			best, found = u, true
+			return false
+		}
+		return true
+	})
+	return best, found
+}
+
+func roundGain(g float64) int { return int(math.Round(g)) }
+
+// Partition runs FM from the given initial side assignment and returns the
+// locally optimal result. The initial slice is not modified.
+func Partition(b *partition.Bisection, cfg Config) (Result, error) {
+	if err := cfg.Balance.Validate(); err != nil {
+		return Result{}, err
+	}
+	h := b.H
+	if cfg.Selector == Bucket && !h.UnitCost() {
+		return Result{}, fmt.Errorf("fm: bucket selector requires unit net costs (paper §1); use Tree")
+	}
+	n := h.NumNodes()
+	eng := &engine{
+		b:      b,
+		cfg:    cfg,
+		gain:   make([]float64, n),
+		locked: make([]bool, n),
+	}
+	passes := 0
+	totalMoves := 0
+	for {
+		gmax, moves := eng.runPass()
+		passes++
+		totalMoves += moves
+		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
+			break
+		}
+	}
+	return Result{
+		Sides:   b.Sides(),
+		CutCost: b.CutCost(),
+		CutNets: b.CutNets(),
+		Passes:  passes,
+		Moves:   totalMoves,
+	}, nil
+}
+
+type engine struct {
+	b      *partition.Bisection
+	cfg    Config
+	gain   []float64
+	locked []bool
+	log    partition.PassLog
+	// selfCheck (tests only) verifies after every move that the maintained
+	// delta gains equal freshly computed Eqn.-1 gains.
+	selfCheck bool
+	checkErr  error
+}
+
+func (e *engine) newKeeper(n, maxGain int) gainKeeper {
+	if e.cfg.Selector == Bucket {
+		return newBucketKeeper(n, maxGain)
+	}
+	return newTreeKeeper(n)
+}
+
+// runPass performs one full FM pass and returns the realized G_max and the
+// number of virtual moves made.
+func (e *engine) runPass() (float64, int) {
+	h := e.b.H
+	n := h.NumNodes()
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		if d := h.Degree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	keep := [2]gainKeeper{e.newKeeper(n, maxDeg), e.newKeeper(n, maxDeg)}
+	for u := 0; u < n; u++ {
+		e.locked[u] = false
+		e.gain[u] = e.b.Gain(u)
+		keep[e.b.Side(u)].insert(u, e.gain[u])
+	}
+	e.log.Reset()
+
+	for keep[0].len()+keep[1].len() > 0 {
+		u, ok := e.selectNext(keep)
+		if !ok {
+			break
+		}
+		s := e.b.Side(u)
+		keep[s].remove(u)
+		e.locked[u] = true
+		e.updateNeighborGains(u, keep)
+		imm := e.b.Move(u)
+		e.log.Record(u, imm)
+		if e.selfCheck && e.checkErr == nil {
+			for v := 0; v < n; v++ {
+				if !e.locked[v] && e.gain[v] != e.b.Gain(v) {
+					e.checkErr = fmt.Errorf("fm: node %d maintained gain %g, fresh gain %g after moving %d",
+						v, e.gain[v], e.b.Gain(v), u)
+					break
+				}
+			}
+		}
+	}
+	p, gmax := e.log.BestPrefix()
+	e.log.RollbackBeyond(e.b, p)
+	return gmax, e.log.Len()
+}
+
+// selectNext chooses the unlocked node with maximum gain whose move keeps
+// balance; if the overall best violates balance, the best node of the other
+// subset is taken (paper §2).
+func (e *engine) selectNext(keep [2]gainKeeper) (int, bool) {
+	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
+	var u0, u1 int
+	var ok0, ok1 bool
+	if e.b.CanMoveFrom(0, e.cfg.Balance) {
+		u0, ok0 = keep[0].firstFeasible(feas)
+	}
+	if e.b.CanMoveFrom(1, e.cfg.Balance) {
+		u1, ok1 = keep[1].firstFeasible(feas)
+	}
+	switch {
+	case ok0 && ok1:
+		if e.gain[u0] >= e.gain[u1] {
+			return u0, true
+		}
+		return u1, true
+	case ok0:
+		return u0, true
+	case ok1:
+		return u1, true
+	}
+	return -1, false
+}
+
+// updateNeighborGains applies the classic FM delta rules for moving u,
+// BEFORE the move itself is applied to the bisection.
+func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
+	h := e.b.H
+	s := e.b.Side(u)
+	t := 1 - s
+	for _, nt := range h.NetsOf(u) {
+		c := h.NetCost(nt)
+		tc := e.b.PinCount(t, nt)
+		if tc == 0 {
+			// Net was uncut: moving u makes every other pin want to follow.
+			for _, v := range h.Net(nt) {
+				if v != u && !e.locked[v] {
+					e.bump(v, +c, keep)
+				}
+			}
+		} else if tc == 1 {
+			// The lone pin on t loses its incentive to come back.
+			for _, v := range h.Net(nt) {
+				if v != u && e.b.Side(v) == t && !e.locked[v] {
+					e.bump(v, -c, keep)
+				}
+			}
+		}
+		fc := e.b.PinCount(s, nt) - 1 // from-side count after the move
+		if fc == 0 {
+			// Net becomes uncut on t: other pins no longer gain by moving.
+			for _, v := range h.Net(nt) {
+				if v != u && !e.locked[v] {
+					e.bump(v, -c, keep)
+				}
+			}
+		} else if fc == 1 {
+			// The lone remaining pin on s can now free the net.
+			for _, v := range h.Net(nt) {
+				if v != u && e.b.Side(v) == s && !e.locked[v] {
+					e.bump(v, +c, keep)
+				}
+			}
+		}
+	}
+}
+
+func (e *engine) bump(v int, delta float64, keep [2]gainKeeper) {
+	e.gain[v] += delta
+	keep[e.b.Side(v)].update(v, e.gain[v])
+}

@@ -1,0 +1,94 @@
+// Package gen synthesizes benchmark circuits: the Figure-1 worked example
+// of the PROP paper, a hierarchical Rent's-rule netlist generator, and a
+// clone of the ACM/SIGDA benchmark suite matching the paper's Table 1
+// statistics (see DESIGN.md §3 for the substitution rationale).
+package gen
+
+import (
+	"fmt"
+
+	"prop/internal/hypergraph"
+)
+
+// Figure1 reconstructs the netlist of Figure 1 of the paper. Nodes 1–11
+// are the V1 nodes drawn in the figure; nodes 12–17 are the unseen V1
+// partners of the uncut nets n12–n17 (§3.3 assumes each has probability
+// 0.5); each cut net n1–n11 is terminated on the V2 side by one anchor
+// node, which the figure's analysis treats as locked (the V2→V1 freeing
+// probability of every cut net is 0).
+type Figure1Fixture struct {
+	H *hypergraph.Hypergraph
+	// Sides is the V1/V2 assignment of the figure (V1 = side 0).
+	Sides []uint8
+	// Node maps the paper's node numbers 1..17 to node IDs.
+	Node map[int]int
+	// Net maps the paper's net names n1..n17 to net IDs.
+	Net map[string]int
+	// Anchors lists the V2 anchor node IDs (one per cut net), which
+	// Figure 1's analysis treats as locked.
+	Anchors []int
+}
+
+// Figure1 builds the fixture.
+func Figure1() *Figure1Fixture {
+	b := hypergraph.NewBuilder()
+	f := &Figure1Fixture{
+		Node: make(map[int]int),
+		Net:  make(map[string]int),
+	}
+	for i := 1; i <= 17; i++ {
+		f.Node[i] = b.AddNode(fmt.Sprintf("v%d", i), 1)
+	}
+	anchorFor := func(net string) int {
+		id := b.AddNode("anchor_"+net, 1)
+		f.Anchors = append(f.Anchors, id)
+		return id
+	}
+	addNet := func(name string, paperNodes ...int) {
+		pins := make([]int, len(paperNodes))
+		for i, p := range paperNodes {
+			pins[i] = f.Node[p]
+		}
+		if err := b.AddNet(name, 1, pins...); err != nil {
+			panic(err)
+		}
+		f.Net[name] = len(f.Net)
+	}
+	addCutNet := func(name string, paperNodes ...int) {
+		pins := make([]int, len(paperNodes), len(paperNodes)+1)
+		for i, p := range paperNodes {
+			pins[i] = f.Node[p]
+		}
+		pins = append(pins, anchorFor(name))
+		if err := b.AddNet(name, 1, pins...); err != nil {
+			panic(err)
+		}
+		f.Net[name] = len(f.Net)
+	}
+	// Cut nets n1..n11 (figure): the critical-example connectivity of §3.3.
+	addCutNet("n1", 1)
+	addCutNet("n2", 1)
+	addCutNet("n3", 2)
+	addCutNet("n4", 2)
+	addCutNet("n5", 10)
+	addCutNet("n6", 3)
+	addCutNet("n7", 3)
+	addCutNet("n8", 11)
+	addCutNet("n9", 1, 4, 5, 6, 7)
+	addCutNet("n10", 2, 8, 9)
+	addCutNet("n11", 3, 10, 11)
+	// Uncut V1 nets n12..n17: nodes 4–9 each tied to one unseen partner.
+	addNet("n12", 4, 12)
+	addNet("n13", 5, 13)
+	addNet("n14", 6, 14)
+	addNet("n15", 7, 15)
+	addNet("n16", 8, 16)
+	addNet("n17", 9, 17)
+
+	f.H = b.MustBuild()
+	f.Sides = make([]uint8, f.H.NumNodes())
+	for _, a := range f.Anchors {
+		f.Sides[a] = 1
+	}
+	return f
+}

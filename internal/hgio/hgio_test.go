@@ -1,0 +1,200 @@
+package hgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+)
+
+func sameStructure(t *testing.T, a, b *hypergraph.Hypergraph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumNets() != b.NumNets() || a.NumPins() != b.NumPins() {
+		t.Fatalf("shape mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			a.NumNodes(), a.NumNets(), a.NumPins(), b.NumNodes(), b.NumNets(), b.NumPins())
+	}
+	for e := 0; e < a.NumNets(); e++ {
+		pa, pb := a.Net(e), b.Net(e)
+		if len(pa) != len(pb) {
+			t.Fatalf("net %d size %d vs %d", e, len(pa), len(pb))
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("net %d pins %v vs %v", e, pa, pb)
+			}
+		}
+		if a.NetCost(e) != b.NetCost(e) {
+			t.Fatalf("net %d cost %g vs %g", e, a.NetCost(e), b.NetCost(e))
+		}
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		if a.NodeWeight(u) != b.NodeWeight(u) {
+			t.Fatalf("node %d weight %d vs %d", u, a.NodeWeight(u), b.NodeWeight(u))
+		}
+	}
+}
+
+// TestHGRRoundTrip: write-then-read reproduces generated circuits exactly.
+func TestHGRRoundTrip(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 120, Nets: 140, Pins: 470, Seed: 71})
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStructure(t, h, h2)
+}
+
+// TestHGRWeighted: costs and weights survive the fmt-11 round trip.
+func TestHGRWeighted(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNode("", 3)
+	b.AddNode("", 1)
+	b.AddNode("", 2)
+	if err := b.AddNet("", 2.5, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNet("", 1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteHGR(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "2 3 11\n") {
+		t.Fatalf("header = %q, want fmt 11", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	h2, err := ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStructure(t, h, h2)
+}
+
+// TestHGRHandComposed parses a hand-written file with comments.
+func TestHGRHandComposed(t *testing.T) {
+	src := `% tiny example
+4 5
+1 2
+% middle comment
+2 3 4
+4 5
+1 5
+`
+	h, err := ReadHGR(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 5 || h.NumNets() != 4 || h.NumPins() != 9 {
+		t.Fatalf("parsed (%d,%d,%d), want (5,4,9)", h.NumNodes(), h.NumNets(), h.NumPins())
+	}
+}
+
+// TestHGRErrors covers malformed inputs.
+func TestHGRErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "x y\n",
+		"pin range":   "1 2\n1 3\n",
+		"missing net": "2 2\n1 2\n",
+		"bad fmt":     "1 2 7\n1 2\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadHGR(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+// TestNetAreRoundTrip: .net/.are write-then-read preserves structure.
+func TestNetAreRoundTrip(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 90, Nets: 110, Pins: 370, Seed: 72})
+	var netBuf, areBuf bytes.Buffer
+	if err := WriteNetAre(&netBuf, &areBuf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadNetAre(&netBuf, &areBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node IDs may be renumbered by first appearance; compare shapes and
+	// per-net sorted degree profile instead.
+	if h.NumNodes() != h2.NumNodes() || h.NumNets() != h2.NumNets() || h.NumPins() != h2.NumPins() {
+		t.Fatalf("shape mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			h.NumNodes(), h.NumNets(), h.NumPins(), h2.NumNodes(), h2.NumNets(), h2.NumPins())
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		if h.NetSize(e) != h2.NetSize(e) {
+			t.Fatalf("net %d size %d vs %d", e, h.NetSize(e), h2.NetSize(e))
+		}
+	}
+}
+
+// TestNetAreHandComposed parses the documented format with named modules.
+func TestNetAreHandComposed(t *testing.T) {
+	netSrc := `0
+5
+2
+4
+0
+a0 s
+a1 l
+p1 l
+a1 s
+a2 l
+`
+	areSrc := "a0 4\na1 1\na2 2\np1 1\n"
+	h, err := ReadNetAre(strings.NewReader(netSrc), strings.NewReader(areSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 4 || h.NumNets() != 2 {
+		t.Fatalf("parsed (%d nodes, %d nets), want (4, 2)", h.NumNodes(), h.NumNets())
+	}
+	// a0 appeared first -> id 0 with area 4.
+	if h.NodeWeight(0) != 4 || h.NodeName(0) != "a0" {
+		t.Errorf("node 0 = (%s, %d), want (a0, 4)", h.NodeName(0), h.NodeWeight(0))
+	}
+}
+
+// TestNetAreDeclarationMismatch: header counts are validated.
+func TestNetAreDeclarationMismatch(t *testing.T) {
+	netSrc := "0\n9\n2\n3\n0\na0 s\na1 l\n"
+	if _, err := ReadNetAre(strings.NewReader(netSrc), nil); err == nil {
+		t.Error("accepted pin-count mismatch")
+	}
+}
+
+// TestJSONRoundTrip: JSON write-then-read preserves everything including
+// names.
+func TestJSONRoundTrip(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.AddNode("alpha", 2)
+	b.AddNode("beta", 1)
+	b.AddNode("gamma", 5)
+	if err := b.AddNet("clk", 3, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNet("data", 1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	h := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStructure(t, h, h2)
+	if h2.NodeName(0) != "alpha" || h2.NetName(0) != "clk" {
+		t.Errorf("names lost: %q %q", h2.NodeName(0), h2.NetName(0))
+	}
+}

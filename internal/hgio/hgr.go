@@ -1,0 +1,184 @@
+// Package hgio reads and writes circuit netlists in three formats: the
+// hMETIS .hgr hypergraph format, the MCNC/ACM-SIGDA .net/.are pin-list
+// format the paper's benchmark circuits shipped in, and a JSON format for
+// tooling.
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prop/internal/hypergraph"
+)
+
+// hMETIS .hgr format:
+//
+//	<#nets> <#nodes> [fmt]
+//	[per net: [cost] pin pin ...]   (1-based node IDs)
+//	[per node: weight]              (when fmt has the node-weight digit)
+//
+// fmt ∈ {"", "1", "10", "11"}: 1 = net costs present, 10 = node weights
+// present, 11 = both.
+
+// ReadHGR parses an .hgr stream.
+func ReadHGR(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("hgio: missing .hgr header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 3 {
+		return nil, fmt.Errorf("hgio: bad .hgr header %q", line)
+	}
+	nets, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("hgio: bad net count %q", fields[0])
+	}
+	nodes, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("hgio: bad node count %q", fields[1])
+	}
+	hasCosts, hasWeights := false, false
+	if len(fields) == 3 {
+		switch fields[2] {
+		case "0":
+		case "1":
+			hasCosts = true
+		case "10":
+			hasWeights = true
+		case "11":
+			hasCosts, hasWeights = true, true
+		default:
+			return nil, fmt.Errorf("hgio: unknown .hgr fmt %q", fields[2])
+		}
+	}
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(nodes)
+	for i := 0; i < nets; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: net %d: %w", i+1, err)
+		}
+		fs := strings.Fields(line)
+		cost := 1.0
+		if hasCosts {
+			if len(fs) == 0 {
+				return nil, fmt.Errorf("hgio: net %d: empty line", i+1)
+			}
+			cost, err = strconv.ParseFloat(fs[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: net %d cost %q: %w", i+1, fs[0], err)
+			}
+			fs = fs[1:]
+		}
+		pins := make([]int, 0, len(fs))
+		for _, f := range fs {
+			p, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: net %d pin %q: %w", i+1, f, err)
+			}
+			if p < 1 || p > nodes {
+				return nil, fmt.Errorf("hgio: net %d pin %d out of [1,%d]", i+1, p, nodes)
+			}
+			pins = append(pins, p-1)
+		}
+		if err := b.AddNet(fmt.Sprintf("n%d", i), cost, pins...); err != nil {
+			return nil, fmt.Errorf("hgio: net %d: %w", i+1, err)
+		}
+	}
+	if hasWeights {
+		weights := make([]int64, nodes)
+		for u := 0; u < nodes; u++ {
+			line, err := nextLine(sc)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: node weight %d: %w", u+1, err)
+			}
+			w, err := strconv.ParseInt(strings.TrimSpace(line), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: node weight %d %q: %w", u+1, line, err)
+			}
+			weights[u] = w
+		}
+		// Rebuild with weights (Builder has no weight setter by design).
+		b2 := hypergraph.NewBuilder()
+		for u := 0; u < nodes; u++ {
+			b2.AddNode("", weights[u])
+		}
+		h, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		for e := 0; e < h.NumNets(); e++ {
+			if err := b2.AddNet(h.NetName(e), h.NetCost(e), h.Net(e)...); err != nil {
+				return nil, err
+			}
+		}
+		return b2.Build()
+	}
+	return b.Build()
+}
+
+// WriteHGR emits the hypergraph in .hgr form, including cost/weight
+// sections only when non-trivial.
+func WriteHGR(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	hasCosts := !h.UnitCost()
+	hasWeights := false
+	for u := 0; u < h.NumNodes(); u++ {
+		if h.NodeWeight(u) != 1 {
+			hasWeights = true
+			break
+		}
+	}
+	format := ""
+	switch {
+	case hasCosts && hasWeights:
+		format = " 11"
+	case hasWeights:
+		format = " 10"
+	case hasCosts:
+		format = " 1"
+	}
+	fmt.Fprintf(bw, "%d %d%s\n", h.NumNets(), h.NumNodes(), format)
+	for e := 0; e < h.NumNets(); e++ {
+		if hasCosts {
+			fmt.Fprintf(bw, "%g", h.NetCost(e))
+			for _, u := range h.Net(e) {
+				fmt.Fprintf(bw, " %d", u+1)
+			}
+		} else {
+			for i, u := range h.Net(e) {
+				if i > 0 {
+					fmt.Fprint(bw, " ")
+				}
+				fmt.Fprintf(bw, "%d", u+1)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	if hasWeights {
+		for u := 0; u < h.NumNodes(); u++ {
+			fmt.Fprintf(bw, "%d\n", h.NodeWeight(u))
+		}
+	}
+	return bw.Flush()
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue // comment or blank
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,77 @@
+package hgio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prop/internal/hypergraph"
+)
+
+// JSONNetlist is the JSON exchange form of a netlist.
+type JSONNetlist struct {
+	Nodes []JSONNode `json:"nodes"`
+	Nets  []JSONNet  `json:"nets"`
+}
+
+// JSONNode is one node record.
+type JSONNode struct {
+	Name   string `json:"name,omitempty"`
+	Weight int64  `json:"weight,omitempty"` // default 1
+}
+
+// JSONNet is one net record; pins are 0-based node indices.
+type JSONNet struct {
+	Name string  `json:"name,omitempty"`
+	Cost float64 `json:"cost,omitempty"` // default 1
+	Pins []int   `json:"pins"`
+}
+
+// ReadJSON parses a JSONNetlist stream.
+func ReadJSON(r io.Reader) (*hypergraph.Hypergraph, error) {
+	var jn JSONNetlist
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("hgio: json: %w", err)
+	}
+	b := hypergraph.NewBuilder()
+	for _, nd := range jn.Nodes {
+		w := nd.Weight
+		if w == 0 {
+			w = 1
+		}
+		b.AddNode(nd.Name, w)
+	}
+	for i, nt := range jn.Nets {
+		cost := nt.Cost
+		if cost == 0 {
+			cost = 1
+		}
+		if err := b.AddNet(nt.Name, cost, nt.Pins...); err != nil {
+			return nil, fmt.Errorf("hgio: json net %d: %w", i, err)
+		}
+	}
+	return b.Build()
+}
+
+// WriteJSON emits the hypergraph as a JSONNetlist.
+func WriteJSON(w io.Writer, h *hypergraph.Hypergraph) error {
+	jn := JSONNetlist{
+		Nodes: make([]JSONNode, h.NumNodes()),
+		Nets:  make([]JSONNet, h.NumNets()),
+	}
+	for u := 0; u < h.NumNodes(); u++ {
+		jn.Nodes[u] = JSONNode{Name: h.NodeName(u), Weight: h.NodeWeight(u)}
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		jn.Nets[e] = JSONNet{
+			Name: h.NetName(e),
+			Cost: h.NetCost(e),
+			Pins: append([]int(nil), h.Net(e)...),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jn)
+}

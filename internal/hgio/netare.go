@@ -1,0 +1,171 @@
+package hgio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prop/internal/hypergraph"
+)
+
+// MCNC/ACM-SIGDA .net format (as distributed with the paper's benchmark
+// suite):
+//
+//	0
+//	<#pins>
+//	<#nets>
+//	<#modules>
+//	<pad offset>
+//	<module> s [dir]     first pin of a net
+//	<module> l [dir]     subsequent pins
+//
+// The companion .are file lists "<module> <area>" lines with module sizes.
+// Modules are named (a-prefixed cells, p-prefixed pads); this reader keeps
+// the names and assigns dense IDs in first-appearance order.
+
+// ReadNetAre parses a .net stream and an optional .are stream (nil for
+// unit areas).
+func ReadNetAre(netR io.Reader, areR io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(netR)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var header [5]int
+	for i := range header {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: .net header line %d: %w", i, err)
+		}
+		v, err := strconv.Atoi(strings.Fields(line)[0])
+		if err != nil {
+			return nil, fmt.Errorf("hgio: .net header line %d %q: %w", i, line, err)
+		}
+		header[i] = v
+	}
+	wantPins, wantNets, wantModules := header[1], header[2], header[3]
+
+	areas := map[string]int64{}
+	if areR != nil {
+		asc := bufio.NewScanner(areR)
+		asc.Buffer(make([]byte, 1<<20), 1<<24)
+		for asc.Scan() {
+			fs := strings.Fields(asc.Text())
+			if len(fs) < 2 {
+				continue
+			}
+			a, err := strconv.ParseFloat(fs[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: .are area %q: %w", fs[1], err)
+			}
+			if a < 1 {
+				a = 1
+			}
+			areas[fs[0]] = int64(a)
+		}
+		if err := asc.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	b := hypergraph.NewBuilder()
+	ids := map[string]int{}
+	idOf := func(name string) int {
+		if id, ok := ids[name]; ok {
+			return id
+		}
+		w := int64(1)
+		if a, ok := areas[name]; ok {
+			w = a
+		}
+		id := b.AddNode(name, w)
+		ids[name] = id
+		return id
+	}
+
+	var cur []int
+	netIdx := 0
+	pins := 0
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		err := b.AddNet(fmt.Sprintf("net%d", netIdx), 1, cur...)
+		netIdx++
+		cur = cur[:0]
+		return err
+	}
+	for {
+		line, err := nextLine(sc)
+		if err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		fs := strings.Fields(line)
+		if len(fs) < 2 {
+			return nil, fmt.Errorf("hgio: bad .net pin line %q", line)
+		}
+		name, kind := fs[0], fs[1]
+		switch kind {
+		case "s", "S":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case "l", "L":
+		default:
+			return nil, fmt.Errorf("hgio: bad pin kind %q in line %q", kind, line)
+		}
+		cur = append(cur, idOf(name))
+		pins++
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if wantPins > 0 && pins != wantPins {
+		return nil, fmt.Errorf("hgio: .net declares %d pins, found %d", wantPins, pins)
+	}
+	if wantNets > 0 && netIdx != wantNets {
+		return nil, fmt.Errorf("hgio: .net declares %d nets, found %d", wantNets, netIdx)
+	}
+	if wantModules > 0 && len(ids) != wantModules {
+		return nil, fmt.Errorf("hgio: .net declares %d modules, found %d", wantModules, len(ids))
+	}
+	return b.Build()
+}
+
+// WriteNetAre emits the hypergraph in .net/.are form.
+func WriteNetAre(netW, areW io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(netW)
+	fmt.Fprintln(bw, 0)
+	fmt.Fprintln(bw, h.NumPins())
+	fmt.Fprintln(bw, h.NumNets())
+	fmt.Fprintln(bw, h.NumNodes())
+	fmt.Fprintln(bw, 0)
+	name := func(u int) string {
+		if n := h.NodeName(u); n != "" {
+			return n
+		}
+		return fmt.Sprintf("a%d", u)
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		for i, u := range h.Net(e) {
+			kind := "l"
+			if i == 0 {
+				kind = "s"
+			}
+			fmt.Fprintf(bw, "%s %s\n", name(u), kind)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if areW != nil {
+		aw := bufio.NewWriter(areW)
+		for u := 0; u < h.NumNodes(); u++ {
+			fmt.Fprintf(aw, "%s %d\n", name(u), h.NodeWeight(u))
+		}
+		return aw.Flush()
+	}
+	return nil
+}

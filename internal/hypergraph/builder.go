@@ -1,0 +1,129 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Hypergraph incrementally. Nodes are created either
+// explicitly with AddNode or implicitly by referencing an ID ≥ current node
+// count in AddNet (implicit nodes get weight 1 and no name).
+//
+// Single-pin nets (after duplicate-pin removal) are dropped silently: they
+// can never be cut, which matches how partitioning benchmarks are prepared.
+type Builder struct {
+	nodeNames  []string
+	nodeWeight []int64
+	netNames   []string
+	netCost    []float64
+	pins       [][]int
+	dropped    int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddNode appends a node with the given name and weight and returns its ID.
+// weight must be ≥ 1.
+func (b *Builder) AddNode(name string, weight int64) int {
+	if weight < 1 {
+		weight = 1
+	}
+	b.nodeNames = append(b.nodeNames, name)
+	b.nodeWeight = append(b.nodeWeight, weight)
+	return len(b.nodeNames) - 1
+}
+
+// EnsureNodes grows the node set so that IDs [0, n) all exist.
+func (b *Builder) EnsureNodes(n int) {
+	for len(b.nodeNames) < n {
+		b.AddNode("", 1)
+	}
+}
+
+// AddNet appends a net with the given name, cost and pins. Duplicate pins
+// are removed; a net left with fewer than two pins is dropped (counted in
+// DroppedNets). cost must be > 0. Referencing a node ID beyond the current
+// node count implicitly creates the missing nodes.
+func (b *Builder) AddNet(name string, cost float64, pins ...int) error {
+	if cost <= 0 {
+		return fmt.Errorf("hypergraph: net %q cost %g must be > 0", name, cost)
+	}
+	ps := append([]int(nil), pins...)
+	sort.Ints(ps)
+	uniq := ps[:0]
+	for i, u := range ps {
+		if u < 0 {
+			return fmt.Errorf("hypergraph: net %q references negative node %d", name, u)
+		}
+		if i == 0 || u != uniq[len(uniq)-1] {
+			uniq = append(uniq, u)
+		}
+	}
+	if len(uniq) < 2 {
+		b.dropped++
+		return nil
+	}
+	b.EnsureNodes(uniq[len(uniq)-1] + 1)
+	b.netNames = append(b.netNames, name)
+	b.netCost = append(b.netCost, cost)
+	b.pins = append(b.pins, uniq)
+	return nil
+}
+
+// DroppedNets reports how many nets were dropped for having < 2 distinct pins.
+func (b *Builder) DroppedNets() int { return b.dropped }
+
+// Build finalizes the hypergraph, constructing the node→nets dual adjacency,
+// and validates it.
+func (b *Builder) Build() (*Hypergraph, error) {
+	n := len(b.nodeNames)
+	deg := make([]int, n)
+	numPins := 0
+	unit := true
+	for e, ps := range b.pins {
+		for _, u := range ps {
+			deg[u]++
+		}
+		numPins += len(ps)
+		if b.netCost[e] != 1 {
+			unit = false
+		}
+	}
+	nodeNets := make([][]int, n)
+	// Single backing array keeps the dual adjacency cache-friendly.
+	backing := make([]int, numPins)
+	off := 0
+	for u := 0; u < n; u++ {
+		nodeNets[u] = backing[off : off : off+deg[u]]
+		off += deg[u]
+	}
+	for e, ps := range b.pins {
+		for _, u := range ps {
+			nodeNets[u] = append(nodeNets[u], e)
+		}
+	}
+	h := &Hypergraph{
+		nodeNames:  b.nodeNames,
+		netNames:   b.netNames,
+		pins:       b.pins,
+		nodeNets:   nodeNets,
+		netCost:    b.netCost,
+		nodeWeight: b.nodeWeight,
+		numPins:    numPins,
+		unitCost:   unit,
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixtures.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

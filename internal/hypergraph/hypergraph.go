@@ -1,0 +1,215 @@
+// Package hypergraph provides the circuit-netlist substrate used by every
+// partitioner in this repository.
+//
+// A circuit C is modeled as a hypergraph G = (V, E): V is the set of nodes
+// (cells/components) and E the set of hyperedges (nets). Each net connects
+// two or more nodes; each node may carry an integer weight (cell size) and
+// each net a float cost (unit for min-cut, arbitrary for timing-driven
+// partitioning). The representation is the standard dual adjacency list:
+// pins per net and nets per node, exactly the structure whose total size m
+// = pn = qe drives the Θ(m) space and Θ(m log n) time bounds in §3.5 of the
+// PROP paper.
+package hypergraph
+
+import (
+	"fmt"
+)
+
+// Hypergraph is an immutable netlist. Construct one with a Builder or a
+// reader from package hgio. Node and net IDs are dense integers in
+// [0, NumNodes) and [0, NumNets).
+type Hypergraph struct {
+	nodeNames  []string
+	netNames   []string
+	pins       [][]int // net -> node IDs (each list sorted, duplicate-free)
+	nodeNets   [][]int // node -> net IDs (each list sorted, duplicate-free)
+	netCost    []float64
+	nodeWeight []int64
+	numPins    int
+	unitCost   bool
+}
+
+// NumNodes returns |V|.
+func (h *Hypergraph) NumNodes() int { return len(h.nodeNets) }
+
+// NumNets returns |E|.
+func (h *Hypergraph) NumNets() int { return len(h.pins) }
+
+// NumPins returns the total pin count m = Σ|e|.
+func (h *Hypergraph) NumPins() int { return h.numPins }
+
+// Net returns the node IDs connected by net e. The caller must not modify
+// the returned slice.
+func (h *Hypergraph) Net(e int) []int { return h.pins[e] }
+
+// NetsOf returns the net IDs node u is connected to. The caller must not
+// modify the returned slice.
+func (h *Hypergraph) NetsOf(u int) []int { return h.nodeNets[u] }
+
+// Degree returns the number of pins on node u (p in the paper's notation).
+func (h *Hypergraph) Degree(u int) int { return len(h.nodeNets[u]) }
+
+// NetSize returns the number of pins on net e (q in the paper's notation).
+func (h *Hypergraph) NetSize(e int) int { return len(h.pins[e]) }
+
+// NetCost returns the cost c(e) of net e.
+func (h *Hypergraph) NetCost(e int) float64 { return h.netCost[e] }
+
+// UnitCost reports whether every net has cost exactly 1. FM's bucket data
+// structure is only valid in that case (paper §1, §4).
+func (h *Hypergraph) UnitCost() bool { return h.unitCost }
+
+// NodeWeight returns the size/weight of node u.
+func (h *Hypergraph) NodeWeight(u int) int64 { return h.nodeWeight[u] }
+
+// TotalNodeWeight returns Σ NodeWeight(u).
+func (h *Hypergraph) TotalNodeWeight() int64 {
+	var t int64
+	for _, w := range h.nodeWeight {
+		t += w
+	}
+	return t
+}
+
+// NodeName returns the symbolic name of node u ("" if unnamed).
+func (h *Hypergraph) NodeName(u int) string {
+	if u < len(h.nodeNames) {
+		return h.nodeNames[u]
+	}
+	return ""
+}
+
+// NetName returns the symbolic name of net e ("" if unnamed).
+func (h *Hypergraph) NetName(e int) string {
+	if e < len(h.netNames) {
+		return h.netNames[e]
+	}
+	return ""
+}
+
+// Neighbors appends to dst the distinct neighbors of u (nodes sharing a net
+// with u, excluding u itself) and returns the extended slice. scratch must
+// have length ≥ NumNodes and be all-false; it is restored before returning.
+// This is the d = p(q−1) quantity from the paper amortized per node.
+func (h *Hypergraph) Neighbors(u int, dst []int, scratch []bool) []int {
+	for _, e := range h.nodeNets[u] {
+		for _, v := range h.pins[e] {
+			if v != u && !scratch[v] {
+				scratch[v] = true
+				dst = append(dst, v)
+			}
+		}
+	}
+	for _, v := range dst {
+		scratch[v] = false
+	}
+	return dst
+}
+
+// Validate checks structural invariants: dual adjacency consistency, sorted
+// duplicate-free pin lists, positive net costs and node weights, and pin
+// count bookkeeping. It returns the first violation found.
+func (h *Hypergraph) Validate() error {
+	count := 0
+	for e, ps := range h.pins {
+		if len(ps) < 2 {
+			return fmt.Errorf("hypergraph: net %d has %d pins, want ≥ 2", e, len(ps))
+		}
+		if h.netCost[e] <= 0 {
+			return fmt.Errorf("hypergraph: net %d has non-positive cost %g", e, h.netCost[e])
+		}
+		prev := -1
+		for _, u := range ps {
+			if u < 0 || u >= len(h.nodeNets) {
+				return fmt.Errorf("hypergraph: net %d pin %d out of range", e, u)
+			}
+			if u <= prev {
+				return fmt.Errorf("hypergraph: net %d pins not sorted/unique at node %d", e, u)
+			}
+			prev = u
+			if !containsSorted(h.nodeNets[u], e) {
+				return fmt.Errorf("hypergraph: node %d missing net %d in its net list", u, e)
+			}
+			count++
+		}
+	}
+	for u, ns := range h.nodeNets {
+		if h.nodeWeight[u] <= 0 {
+			return fmt.Errorf("hypergraph: node %d has non-positive weight %d", u, h.nodeWeight[u])
+		}
+		prev := -1
+		for _, e := range ns {
+			if e < 0 || e >= len(h.pins) {
+				return fmt.Errorf("hypergraph: node %d net %d out of range", u, e)
+			}
+			if e <= prev {
+				return fmt.Errorf("hypergraph: node %d nets not sorted/unique at net %d", u, e)
+			}
+			prev = e
+			if !containsSorted(h.pins[e], u) {
+				return fmt.Errorf("hypergraph: net %d missing node %d in its pin list", e, u)
+			}
+		}
+	}
+	if count != h.numPins {
+		return fmt.Errorf("hypergraph: pin count mismatch: recount %d, stored %d", count, h.numPins)
+	}
+	return nil
+}
+
+// Clone returns a deep copy; the copy's net costs and names may be mutated
+// through WithNetCosts without affecting the original.
+func (h *Hypergraph) Clone() *Hypergraph {
+	c := &Hypergraph{
+		nodeNames:  append([]string(nil), h.nodeNames...),
+		netNames:   append([]string(nil), h.netNames...),
+		pins:       make([][]int, len(h.pins)),
+		nodeNets:   make([][]int, len(h.nodeNets)),
+		netCost:    append([]float64(nil), h.netCost...),
+		nodeWeight: append([]int64(nil), h.nodeWeight...),
+		numPins:    h.numPins,
+		unitCost:   h.unitCost,
+	}
+	for i, p := range h.pins {
+		c.pins[i] = append([]int(nil), p...)
+	}
+	for i, n := range h.nodeNets {
+		c.nodeNets[i] = append([]int(nil), n...)
+	}
+	return c
+}
+
+// WithNetCosts returns a shallow structural copy of h whose net costs are
+// replaced by costs (len must equal NumNets). Used by the timing-driven
+// example to re-weight critical nets without rebuilding adjacency.
+func (h *Hypergraph) WithNetCosts(costs []float64) (*Hypergraph, error) {
+	if len(costs) != h.NumNets() {
+		return nil, fmt.Errorf("hypergraph: WithNetCosts got %d costs for %d nets", len(costs), h.NumNets())
+	}
+	unit := true
+	for e, c := range costs {
+		if c <= 0 {
+			return nil, fmt.Errorf("hypergraph: WithNetCosts net %d cost %g ≤ 0", e, c)
+		}
+		if c != 1 {
+			unit = false
+		}
+	}
+	c := *h
+	c.netCost = append([]float64(nil), costs...)
+	c.unitCost = unit
+	return &c, nil
+}
+
+func containsSorted(s []int, x int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}

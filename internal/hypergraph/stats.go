@@ -1,0 +1,46 @@
+package hypergraph
+
+import "fmt"
+
+// Stats summarizes the quantities the PROP paper's complexity analysis
+// (§3.5) is phrased in: n nodes, e nets, m pins, p = m/n average pins per
+// node, q = m/e average pins per net, and d = p(q−1) average neighbors.
+type Stats struct {
+	Nodes      int
+	Nets       int
+	Pins       int
+	AvgNodeDeg float64 // p: average nets per node
+	AvgNetSize float64 // q: average nodes per net
+	AvgNbrs    float64 // d = p(q−1)
+	MaxNodeDeg int     // p_max (drives LA's Θ(p_max^k) memory)
+	MaxNetSize int
+}
+
+// ComputeStats derives Stats from h.
+func ComputeStats(h *Hypergraph) Stats {
+	s := Stats{Nodes: h.NumNodes(), Nets: h.NumNets(), Pins: h.NumPins()}
+	for u := 0; u < s.Nodes; u++ {
+		if d := h.Degree(u); d > s.MaxNodeDeg {
+			s.MaxNodeDeg = d
+		}
+	}
+	for e := 0; e < s.Nets; e++ {
+		if q := h.NetSize(e); q > s.MaxNetSize {
+			s.MaxNetSize = q
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgNodeDeg = float64(s.Pins) / float64(s.Nodes)
+	}
+	if s.Nets > 0 {
+		s.AvgNetSize = float64(s.Pins) / float64(s.Nets)
+	}
+	s.AvgNbrs = s.AvgNodeDeg * (s.AvgNetSize - 1)
+	return s
+}
+
+// String renders the stats on one line, Table-1 style.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d nets=%d pins=%d p=%.2f q=%.2f d=%.2f",
+		s.Nodes, s.Nets, s.Pins, s.AvgNodeDeg, s.AvgNetSize, s.AvgNbrs)
+}

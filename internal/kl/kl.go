@@ -1,0 +1,197 @@
+// Package kl implements the Kernighan–Lin pair-swap graph bisection
+// heuristic (Bell System Tech. J., 1970), the ancestor of FM and PROP and
+// the background baseline of the paper's §1. The netlist is clique-expanded
+// to a weighted graph; each pass virtually swaps locked pairs (a, b)
+// maximizing D(a) + D(b) − 2·w(a,b) and keeps the maximum-prefix-gain
+// subset of swaps. Pair swaps preserve side sizes exactly, so KL maintains
+// perfect balance for unit weights.
+//
+// Selecting the best pair exactly costs Θ(n²) per step; this implementation
+// uses the standard candidate-list optimization, scanning only the top
+// Candidates nodes of each side by D value, which is exact whenever the
+// best pair's members rank within the list (w ≥ 0 bounds the correction
+// term) and a high-quality heuristic otherwise.
+package kl
+
+import (
+	"fmt"
+	"sort"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// Config controls a KL run.
+type Config struct {
+	// Candidates bounds the per-side candidate list (0 selects 32).
+	Candidates int
+	// MaxPasses bounds improvement passes; 0 = run until no improvement.
+	MaxPasses int
+}
+
+// Result reports the outcome.
+type Result struct {
+	Sides   []uint8
+	CutCost float64 // hypergraph cut cost of the final partition
+	CutNets int
+	Passes  int
+	Swaps   int
+}
+
+// Partition runs KL from the given initial sides (copied, not modified).
+// Sides must have equal node counts per side within one node.
+func Partition(h *hypergraph.Hypergraph, initial []uint8, cfg Config) (Result, error) {
+	n := h.NumNodes()
+	if len(initial) != n {
+		return Result{}, fmt.Errorf("kl: initial sides has %d entries for %d nodes", len(initial), n)
+	}
+	if cfg.Candidates == 0 {
+		cfg.Candidates = 32
+	}
+	g := hypergraph.CliqueExpand(h)
+	side := append([]uint8(nil), initial...)
+
+	// D values: external minus internal weighted connectivity.
+	d := make([]float64, n)
+	computeD := func() {
+		for u := 0; u < n; u++ {
+			var ext, int_ float64
+			for _, e := range g.Adj[u] {
+				if side[e.To] == side[u] {
+					int_ += e.Weight
+				} else {
+					ext += e.Weight
+				}
+			}
+			d[u] = ext - int_
+		}
+	}
+
+	locked := make([]bool, n)
+	type swap struct {
+		a, b int
+		gain float64
+	}
+	passes, totalSwaps := 0, 0
+	for {
+		computeD()
+		for i := range locked {
+			locked[i] = false
+		}
+		var log []swap
+		for {
+			a, b, gain, ok := bestPair(g, side, d, locked, cfg.Candidates)
+			if !ok {
+				break
+			}
+			log = append(log, swap{a, b, gain})
+			locked[a], locked[b] = true, true
+			// Update D values of unlocked neighbors: u leaving its side
+			// raises D of its old-side neighbors and lowers D of its
+			// new-side ones by 2·w each.
+			for _, u := range [2]int{a, b} {
+				for _, e := range g.Adj[u] {
+					w := e.To
+					if locked[w] {
+						continue
+					}
+					if side[w] == side[u] {
+						d[w] += 2 * e.Weight
+					} else {
+						d[w] -= 2 * e.Weight
+					}
+				}
+			}
+			side[a], side[b] = side[b], side[a]
+		}
+		// Undo all virtual swaps, then redo the best prefix.
+		for i := len(log) - 1; i >= 0; i-- {
+			side[log[i].a], side[log[i].b] = side[log[i].b], side[log[i].a]
+		}
+		bestP, gmax := 0, 0.0
+		sum := 0.0
+		for i, s := range log {
+			sum += s.gain
+			if sum > gmax+1e-12 {
+				gmax = sum
+				bestP = i + 1
+			}
+		}
+		for i := 0; i < bestP; i++ {
+			side[log[i].a], side[log[i].b] = side[log[i].b], side[log[i].a]
+		}
+		passes++
+		totalSwaps += bestP
+		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
+			break
+		}
+	}
+
+	b, err := partition.NewBisection(h, side)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Sides:   side,
+		CutCost: b.CutCost(),
+		CutNets: b.CutNets(),
+		Passes:  passes,
+		Swaps:   totalSwaps,
+	}, nil
+}
+
+// bestPair scans the top-Candidates unlocked nodes of each side by D value
+// and returns the pair maximizing D(a)+D(b)−2·w(a,b).
+func bestPair(g *hypergraph.Graph, side []uint8, d []float64, locked []bool, candidates int) (int, int, float64, bool) {
+	var s0, s1 []int
+	for u := range side {
+		if locked[u] {
+			continue
+		}
+		if side[u] == 0 {
+			s0 = append(s0, u)
+		} else {
+			s1 = append(s1, u)
+		}
+	}
+	if len(s0) == 0 || len(s1) == 0 {
+		return 0, 0, 0, false
+	}
+	top := func(s []int) []int {
+		sort.Slice(s, func(i, j int) bool { return d[s[i]] > d[s[j]] })
+		if len(s) > candidates {
+			s = s[:candidates]
+		}
+		return s
+	}
+	s0, s1 = top(s0), top(s1)
+	bestA, bestB, bestG := -1, -1, 0.0
+	for _, a := range s0 {
+		// Edge weights from a to candidate b's.
+		for _, b := range s1 {
+			w := edgeWeight(g, a, b)
+			if gn := d[a] + d[b] - 2*w; bestA < 0 || gn > bestG {
+				bestA, bestB, bestG = a, b, gn
+			}
+		}
+	}
+	return bestA, bestB, bestG, bestA >= 0
+}
+
+// edgeWeight returns w(a,b) by binary search in a's sorted adjacency.
+func edgeWeight(g *hypergraph.Graph, a, b int) float64 {
+	adj := g.Adj[a]
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid].To < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo].To == b {
+		return adj[lo].Weight
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package kl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+	"prop/internal/kl"
+	"prop/internal/partition"
+)
+
+// TestKLTwoCliques: two 2-pin-net cliques joined by one bridge net; from a
+// scrambled start KL must recover the optimal cut of 1.
+func TestKLTwoCliques(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(12)
+	for c := 0; c < 2; c++ {
+		base := c * 6
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				if err := b.AddNet("", 1, base+i, base+j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddNet("", 1, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	h := b.MustBuild()
+	// Scrambled but balanced start: three of each clique on each side.
+	initial := []uint8{0, 1, 0, 1, 0, 1, 1, 0, 1, 0, 1, 0}
+	res, err := kl.Partition(h, initial, kl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutCost != 1 {
+		t.Errorf("cut = %g, want 1 (the bridge)", res.CutCost)
+	}
+	// The two cliques must be intact.
+	for c := 0; c < 2; c++ {
+		base := c * 6
+		for i := 1; i < 6; i++ {
+			if res.Sides[base+i] != res.Sides[base] {
+				t.Fatalf("clique %d split: %v", c, res.Sides)
+			}
+		}
+	}
+}
+
+// TestKLPreservesSizes: pair swaps keep side sizes exactly.
+func TestKLPreservesSizes(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 200, Nets: 220, Pins: 740, Seed: 3})
+	rng := rand.New(rand.NewSource(8))
+	initial := partition.RandomSides(h, partition.Exact5050(), rng)
+	var want int
+	for _, s := range initial {
+		if s == 0 {
+			want++
+		}
+	}
+	res, err := kl.Partition(h, initial, kl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	for _, s := range res.Sides {
+		if s == 0 {
+			got++
+		}
+	}
+	if got != want {
+		t.Errorf("side-0 count changed: %d -> %d", want, got)
+	}
+}
+
+// TestKLImproves: the cut must not get worse, and usually improves.
+func TestKLImproves(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 300, Nets: 330, Pins: 1100, Seed: 4})
+	rng := rand.New(rand.NewSource(9))
+	initial := partition.RandomSides(h, partition.Exact5050(), rng)
+	b0, err := partition.NewBisection(h, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kl.Partition(h, initial, kl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutCost > b0.CutCost() {
+		t.Errorf("cut worsened: %g -> %g", b0.CutCost(), res.CutCost)
+	}
+	if res.Swaps == 0 {
+		t.Error("no swaps made from a random start")
+	}
+}

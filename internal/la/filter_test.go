@@ -1,0 +1,32 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// TestRelevantNetFilterLeavesNoStaleVectors: with the relevant-net update
+// filter active, after every single move every unlocked node's stored gain
+// vector must equal a fresh recomputation — i.e., the filter only skips
+// updates that are no-ops. Run on circuits with hub nets, the case the
+// filter exists for.
+func TestRelevantNetFilterLeavesNoStaleVectors(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 700, Nets: 750, Pins: 2600, Seed: 55})
+	bal := partition.Exact5050()
+	for _, k := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		b, err := partition.NewBisection(h, partition.RandomSides(h, bal, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := newEngine(b, Config{K: k, Balance: bal})
+		e.selfCheck = true
+		e.runPass()
+		if e.checkErr != nil {
+			t.Fatalf("K=%d: %v", k, e.checkErr)
+		}
+	}
+}

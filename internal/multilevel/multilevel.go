@@ -1,0 +1,178 @@
+// Package multilevel implements the V-cycle partitioner the PROP paper's
+// conclusion proposes ("we believe that in conjunction with a clustering
+// initial phase it will yield a high-quality partitioning tool"): coarsen
+// the netlist by heavy-edge matching, partition the coarsest level from
+// multiple starts, then uncoarsen level by level, refining the projected
+// partition at each level with an iterative engine (PROP or FM).
+package multilevel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prop/internal/cluster"
+	"prop/internal/core"
+	"prop/internal/fm"
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// Refiner improves a side assignment on one hierarchy level in place and
+// returns the refined sides and cut cost.
+type Refiner func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error)
+
+// PROPRefiner refines with the paper's PROP engine.
+func PROPRefiner() Refiner {
+	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
+		b, err := partition.NewBisection(h, sides)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := core.Partition(b, core.DefaultConfig(bal))
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Sides, res.CutCost, nil
+	}
+}
+
+// FMRefiner refines with FM (tree selector, so weighted coarse nets work).
+func FMRefiner() Refiner {
+	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
+		b, err := partition.NewBisection(h, sides)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := fm.Partition(b, fm.Config{Balance: bal, Selector: fm.Tree})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Sides, res.CutCost, nil
+	}
+}
+
+// Config controls the V-cycle.
+type Config struct {
+	Balance partition.Balance
+	// CoarsestNodes stops coarsening at roughly this size (0 → 120).
+	CoarsestNodes int
+	// InitialRuns is the multi-start count at the coarsest level (0 → 10).
+	InitialRuns int
+	// Refine is the per-level engine (nil → PROPRefiner).
+	Refine Refiner
+	Seed   int64
+}
+
+// Result reports the outcome.
+type Result struct {
+	Sides   []uint8
+	CutCost float64
+	CutNets int
+	// Levels is the coarsening depth used.
+	Levels int
+	// CoarsestCut is the cut before uncoarsening began (coarse costs are
+	// comparable because coarsening preserves net costs).
+	CoarsestCut float64
+}
+
+// Partition runs the multilevel V-cycle.
+func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
+	if err := cfg.Balance.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.CoarsestNodes == 0 {
+		cfg.CoarsestNodes = 120
+	}
+	if cfg.InitialRuns == 0 {
+		cfg.InitialRuns = 10
+	}
+	if cfg.Refine == nil {
+		cfg.Refine = PROPRefiner()
+	}
+	levels, err := cluster.CoarsenSteps(h, cfg.CoarsestNodes, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	coarsest := h
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].Coarse
+	}
+
+	// Initial partition at the coarsest level: best of InitialRuns
+	// random-start refinements.
+	var bestSides []uint8
+	bestCut := -1.0
+	for r := 0; r < cfg.InitialRuns; r++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
+		sides := partition.RandomSides(coarsest, cfg.Balance, rng)
+		refined, cut, err := cfg.Refine(coarsest, sides, cfg.Balance)
+		if err != nil {
+			return Result{}, err
+		}
+		if bestCut < 0 || cut < bestCut {
+			bestSides, bestCut = refined, cut
+		}
+	}
+	coarsestCut := bestCut
+
+	// Uncoarsen: project through each level's map, repair the (stricter)
+	// finer-level balance, and refine. A partition feasible at a coarse
+	// level — where the tolerance is one whole cluster — can violate the
+	// bounds at the next level, and the move-based engines cannot recover
+	// from an infeasible state on their own.
+	sides := bestSides
+	cut := bestCut
+	for i := len(levels) - 1; i >= 0; i-- {
+		var fine *hypergraph.Hypergraph
+		if i == 0 {
+			fine = h
+		} else {
+			fine = levels[i-1].Coarse
+		}
+		projected := make([]uint8, fine.NumNodes())
+		for u := range projected {
+			projected[u] = sides[levels[i].Map[u]]
+		}
+		fb, err := partition.NewBisection(fine, projected)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := partition.RepairBalance(fb, cfg.Balance); err != nil {
+			return Result{}, err
+		}
+		sides, cut, err = cfg.Refine(fine, fb.Sides(), cfg.Balance)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	b, err := partition.NewBisection(h, sides)
+	if err != nil {
+		return Result{}, err
+	}
+	_ = cut
+	return Result{
+		Sides:       sides,
+		CutCost:     b.CutCost(),
+		CutNets:     b.CutNets(),
+		Levels:      len(levels),
+		CoarsestCut: coarsestCut,
+	}, nil
+}
+
+// Describe returns a short human-readable summary of the hierarchy a
+// config would build, for logging.
+func Describe(h *hypergraph.Hypergraph, cfg Config) (string, error) {
+	if cfg.CoarsestNodes == 0 {
+		cfg.CoarsestNodes = 120
+	}
+	levels, err := cluster.CoarsenSteps(h, cfg.CoarsestNodes, cfg.Seed)
+	if err != nil {
+		return "", err
+	}
+	s := fmt.Sprintf("%d", h.NumNodes())
+	for _, l := range levels {
+		s += fmt.Sprintf(" -> %d", l.Coarse.NumNodes())
+	}
+	return s, nil
+}

@@ -1,0 +1,165 @@
+// Package multiway implements recursive k-way partitioning on top of any
+// 2-way partitioner — the standard construction the paper's introduction
+// describes ("each subset is further partitioned into two smaller subsets
+// with a minimum cut, and so forth") and one of the §5 extensions.
+package multiway
+
+import (
+	"fmt"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// Bipartitioner produces a side assignment for a (sub)hypergraph. seed
+// varies per recursion node so multi-start partitioners diversify.
+type Bipartitioner func(h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error)
+
+// Config controls the recursive driver.
+type Config struct {
+	// K is the number of parts; must be a power of two ≥ 2 (recursive
+	// halving; the paper's recursive 2-way scheme).
+	K int
+	// Balance applies to every bisection level.
+	Balance partition.Balance
+	// Cut is the 2-way engine.
+	Cut  Bipartitioner
+	Seed int64
+}
+
+// Result is a k-way partition.
+type Result struct {
+	// Parts[u] is the part index (0..K−1) of node u.
+	Parts []int
+	// CutNets counts nets spanning ≥ 2 parts; CutCost sums their costs.
+	CutNets int
+	CutCost float64
+}
+
+// Partition recursively bisects h into cfg.K parts.
+func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
+	if cfg.K < 2 || cfg.K&(cfg.K-1) != 0 {
+		return Result{}, fmt.Errorf("multiway: K=%d, want a power of two ≥ 2", cfg.K)
+	}
+	if cfg.Cut == nil {
+		return Result{}, fmt.Errorf("multiway: nil bipartitioner")
+	}
+	if err := cfg.Balance.Validate(); err != nil {
+		return Result{}, err
+	}
+	parts := make([]int, h.NumNodes())
+	nodes := make([]int, h.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	if err := recurse(h, nodes, 0, cfg.K, cfg, parts); err != nil {
+		return Result{}, err
+	}
+	cutNets, cutCost := EvaluateKWay(h, parts)
+	return Result{Parts: parts, CutNets: cutNets, CutCost: cutCost}, nil
+}
+
+func recurse(h *hypergraph.Hypergraph, nodes []int, base, k int, cfg Config, parts []int) error {
+	if k == 1 {
+		for _, u := range nodes {
+			parts[u] = base
+		}
+		return nil
+	}
+	sub, back, err := Induce(h, nodes)
+	if err != nil {
+		return err
+	}
+	seed := cfg.Seed*1000003 + int64(base)*8191 + int64(k)
+	sides, err := cfg.Cut(sub, cfg.Balance, seed)
+	if err != nil {
+		return err
+	}
+	if len(sides) != sub.NumNodes() {
+		return fmt.Errorf("multiway: bipartitioner returned %d sides for %d nodes", len(sides), sub.NumNodes())
+	}
+	var left, right []int
+	for i, s := range sides {
+		if s == 0 {
+			left = append(left, back[i])
+		} else {
+			right = append(right, back[i])
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return fmt.Errorf("multiway: degenerate bisection at part base %d", base)
+	}
+	if err := recurse(h, left, base, k/2, cfg, parts); err != nil {
+		return err
+	}
+	return recurse(h, right, base+k/2, k/2, cfg, parts)
+}
+
+// Induce builds the subhypergraph on the given node subset: nets keep only
+// their in-subset pins, nets left with fewer than two pins disappear. It
+// returns the sub-hypergraph and the mapping from sub node IDs back to the
+// original IDs.
+func Induce(h *hypergraph.Hypergraph, nodes []int) (*hypergraph.Hypergraph, []int, error) {
+	fwd := make(map[int]int, len(nodes))
+	back := make([]int, len(nodes))
+	b := hypergraph.NewBuilder()
+	for i, u := range nodes {
+		if _, dup := fwd[u]; dup {
+			return nil, nil, fmt.Errorf("multiway: duplicate node %d in subset", u)
+		}
+		fwd[u] = i
+		back[i] = u
+		b.AddNode(h.NodeName(u), h.NodeWeight(u))
+	}
+	seen := make(map[int]bool, 64)
+	pins := make([]int, 0, 16)
+	for _, u := range nodes {
+		for _, e := range h.NetsOf(u) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			pins = pins[:0]
+			for _, v := range h.Net(e) {
+				if j, ok := fwd[v]; ok {
+					pins = append(pins, j)
+				}
+			}
+			if len(pins) >= 2 {
+				if err := b.AddNet(h.NetName(e), h.NetCost(e), pins...); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, back, nil
+}
+
+// EvaluateKWay counts and prices the nets spanning at least two parts.
+func EvaluateKWay(h *hypergraph.Hypergraph, parts []int) (cutNets int, cutCost float64) {
+	for e := 0; e < h.NumNets(); e++ {
+		ps := h.Net(e)
+		first := parts[ps[0]]
+		for _, u := range ps[1:] {
+			if parts[u] != first {
+				cutNets++
+				cutCost += h.NetCost(e)
+				break
+			}
+		}
+	}
+	return cutNets, cutCost
+}
+
+// PartSizes returns the node-weight of each part.
+func PartSizes(h *hypergraph.Hypergraph, parts []int, k int) []int64 {
+	sizes := make([]int64, k)
+	for u, p := range parts {
+		sizes[p] += h.NodeWeight(u)
+	}
+	return sizes
+}

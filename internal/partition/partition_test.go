@@ -1,0 +1,240 @@
+package partition_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+func tinyH(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(6)
+	for _, net := range [][]int{{0, 1}, {1, 2, 3}, {3, 4}, {4, 5}, {0, 5}, {2, 5}} {
+		if err := b.AddNet("", 1, net...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestMoveGainMatchesImmediateDelta: the deterministic gain (Eqn. 1) must
+// equal the realized cut decrease of the move, for random states and moves.
+func TestMoveGainMatchesImmediateDelta(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 80, Nets: 100, Pins: 330, Seed: 12})
+	f := func(seed int64, moves []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sides := partition.RandomSides(h, partition.Exact5050(), rng)
+		b, err := partition.NewBisection(h, sides)
+		if err != nil {
+			return false
+		}
+		for _, mv := range moves {
+			u := int(mv) % h.NumNodes()
+			want := b.Gain(u)
+			got := b.Move(u)
+			if got != want {
+				t.Logf("gain %g, realized %g", want, got)
+				return false
+			}
+		}
+		return b.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBisectionIncrementalVsRecount drives long random move sequences and
+// verifies the incremental cut bookkeeping stays exact.
+func TestBisectionIncrementalVsRecount(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 200, Nets: 240, Pins: 800, Seed: 99})
+	rng := rand.New(rand.NewSource(1))
+	sides := partition.RandomSides(h, partition.Exact5050(), rng)
+	b, err := partition.NewBisection(h, sides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		b.Move(rng.Intn(h.NumNodes()))
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	cost, nets := b.RecountCut()
+	if cost != b.CutCost() || nets != b.CutNets() {
+		t.Fatalf("recount (%g,%d) != tracked (%g,%d)", cost, nets, b.CutCost(), b.CutNets())
+	}
+}
+
+// TestDoubleMoveIsIdentity: moving a node twice restores the exact state.
+func TestDoubleMoveIsIdentity(t *testing.T) {
+	h := tinyH(t)
+	b, err := partition.NewBisection(h, []uint8{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, nets := b.CutCost(), b.CutNets()
+	g1 := b.Move(2)
+	g2 := b.Move(2)
+	if g1 != -g2 {
+		t.Errorf("move gains %g and %g, want negations", g1, g2)
+	}
+	if b.CutCost() != cost || b.CutNets() != nets {
+		t.Errorf("state not restored: (%g,%d) vs (%g,%d)", b.CutCost(), b.CutNets(), cost, nets)
+	}
+	if b.Side(2) != 0 {
+		t.Errorf("node 2 ended on side %d", b.Side(2))
+	}
+}
+
+// TestBalanceBounds exercises Bounds on the criteria used in the paper.
+func TestBalanceBounds(t *testing.T) {
+	cases := []struct {
+		bal    partition.Balance
+		w      int64
+		lo, hi int64
+	}{
+		{partition.Exact5050(), 100, 50, 50},
+		{partition.Exact5050(), 101, 50, 51},
+		{partition.B4555(), 100, 45, 55},
+		{partition.B4555(), 10, 5, 5}, // 4.5..5.5 -> 5..5
+	}
+	for _, c := range cases {
+		lo, hi := c.bal.Bounds(c.w)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%v.Bounds(%d) = (%d,%d), want (%d,%d)", c.bal, c.w, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestBalanceValidate rejects non-bisection criteria.
+func TestBalanceValidate(t *testing.T) {
+	if err := (partition.Balance{0.3, 0.6}).Validate(); err == nil {
+		t.Error("accepted r1+r2 != 1")
+	}
+	if err := (partition.Balance{0, 1}).Validate(); err == nil {
+		t.Error("accepted degenerate bounds")
+	}
+	if err := partition.B4555().Validate(); err != nil {
+		t.Errorf("rejected 45-55%%: %v", err)
+	}
+}
+
+// TestRandomSidesBalanced: generated initial partitions satisfy the
+// criterion for many seeds.
+func TestRandomSidesBalanced(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 101, Nets: 120, Pins: 400, Seed: 77})
+	bal := partition.Exact5050()
+	for seed := int64(0); seed < 40; seed++ {
+		sides := partition.RandomSides(h, bal, rand.New(rand.NewSource(seed)))
+		b, err := partition.NewBisection(h, sides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bal.Feasible(b.SideWeight(0), h.TotalNodeWeight()) {
+			t.Fatalf("seed %d: side-0 weight %d of %d infeasible", seed, b.SideWeight(0), h.TotalNodeWeight())
+		}
+	}
+}
+
+// TestPassLogPrefixAndRollback: BestPrefix picks the max-prefix point and
+// RollbackBeyond restores the matching state.
+func TestPassLogPrefixAndRollback(t *testing.T) {
+	h := tinyH(t)
+	b, err := partition.NewBisection(h, []uint8{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log partition.PassLog
+	costs := []float64{b.CutCost()}
+	order := []int{0, 3, 1, 4, 2, 5}
+	for _, u := range order {
+		g := b.Move(u)
+		log.Record(u, g)
+		costs = append(costs, b.CutCost())
+	}
+	p, gmax := log.BestPrefix()
+	if want := costs[0] - costs[p]; gmax != want {
+		t.Errorf("gmax = %g, cut delta at prefix %d = %g", gmax, p, want)
+	}
+	for i, c := range costs {
+		if c < costs[p] && i <= len(order) {
+			t.Errorf("prefix %d (cut %g) not minimal: prefix %d has cut %g", p, costs[p], i, c)
+		}
+	}
+	log.RollbackBeyond(b, p)
+	if b.CutCost() != costs[p] {
+		t.Errorf("after rollback cut = %g, want %g", b.CutCost(), costs[p])
+	}
+	if err := b.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPassLogEmpty: no moves -> prefix 0, gain 0.
+func TestPassLogEmpty(t *testing.T) {
+	var log partition.PassLog
+	if p, g := log.BestPrefix(); p != 0 || g != 0 {
+		t.Errorf("BestPrefix of empty log = (%d,%g)", p, g)
+	}
+}
+
+// TestNewBisectionRejectsBadInput covers the error paths.
+func TestNewBisectionRejectsBadInput(t *testing.T) {
+	h := tinyH(t)
+	if _, err := partition.NewBisection(h, []uint8{0, 1}); err == nil {
+		t.Error("accepted short side slice")
+	}
+	if _, err := partition.NewBisection(h, []uint8{0, 0, 0, 1, 1, 2}); err == nil {
+		t.Error("accepted side value 2")
+	}
+}
+
+// TestSweepCutRatioObjective: on a path, the ratio-cut sweep picks the
+// middle (maximizing w0·w1 for the same cut of 1).
+func TestSweepCutRatioObjective(t *testing.T) {
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(12)
+	for i := 0; i+1 < 12; i++ {
+		if err := b.AddNet("", 1, i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := b.MustBuild()
+	order := make([]int, 12)
+	for i := range order {
+		order[i] = i
+	}
+	sides, cut, err := partition.SweepCut(h, order, partition.Exact5050(), partition.RatioCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("cut = %g, want 1", cut)
+	}
+	var w0 int
+	for _, s := range sides {
+		if s == 0 {
+			w0++
+		}
+	}
+	if w0 != 6 {
+		t.Errorf("ratio-cut split %d/12, want 6/12", w0)
+	}
+}
+
+// TestSweepCutErrors: wrong order length and infeasible orders error out.
+func TestSweepCutErrors(t *testing.T) {
+	h := tinyH(t)
+	if _, _, err := partition.SweepCut(h, []int{0, 1}, partition.Exact5050(), partition.MinCut); err == nil {
+		t.Error("accepted short order")
+	}
+	if _, _, err := partition.SweepCut(h, []int{0, 1, 2, 3, 4, 5}, partition.Balance{R1: 0.3, R2: 0.6}, partition.MinCut); err == nil {
+		t.Error("accepted invalid balance")
+	}
+}

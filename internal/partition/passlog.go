@@ -1,0 +1,54 @@
+package partition
+
+// PassLog records the virtual moves of one pass. At pass end, BestPrefix
+// finds the maximum prefix sum G_max of the immediate gains; moves beyond
+// that prefix are undone with RollbackBeyond. This is the shared KL/FM/LA/
+// PROP pass protocol (steps 7, 9–10 of Fig. 2 in the paper).
+type PassLog struct {
+	nodes []int
+	gains []float64
+}
+
+// Reset clears the log, retaining capacity.
+func (l *PassLog) Reset() {
+	l.nodes = l.nodes[:0]
+	l.gains = l.gains[:0]
+}
+
+// Record appends one virtual move and its immediate gain.
+func (l *PassLog) Record(node int, immediateGain float64) {
+	l.nodes = append(l.nodes, node)
+	l.gains = append(l.gains, immediateGain)
+}
+
+// Len returns the number of recorded moves.
+func (l *PassLog) Len() int { return len(l.nodes) }
+
+// BestPrefix returns the smallest p maximizing the prefix sum S_p = Σ_{t≤p}
+// gain_t, along with G_max = S_p. p = 0 (and G_max = 0) means no move should
+// be kept.
+func (l *PassLog) BestPrefix() (p int, gmax float64) {
+	var sum float64
+	for i, g := range l.gains {
+		sum += g
+		if sum > gmax+1e-12 {
+			gmax = sum
+			p = i + 1
+		}
+	}
+	return p, gmax
+}
+
+// RollbackBeyond undoes all moves after the first p, restoring b to the
+// state corresponding to prefix p. Moves are undone in reverse order.
+func (l *PassLog) RollbackBeyond(b *Bisection, p int) {
+	for i := len(l.nodes) - 1; i >= p; i-- {
+		b.Move(l.nodes[i])
+	}
+}
+
+// Node returns the node of the i-th recorded move.
+func (l *PassLog) Node(i int) int { return l.nodes[i] }
+
+// Gain returns the immediate gain of the i-th recorded move.
+func (l *PassLog) Gain(i int) float64 { return l.gains[i] }

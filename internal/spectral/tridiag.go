@@ -1,0 +1,95 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+)
+
+// tql2 solves the symmetric tridiagonal eigenproblem with the implicit-
+// shift QL algorithm (EISPACK tql2 lineage). d holds the diagonal, e the
+// subdiagonal in e[0..n-2] (e[n-1] unused); on return d holds the
+// eigenvalues in ascending order and z (n×n, row-major, initialized to the
+// identity by the caller or to a basis to accumulate against) holds the
+// eigenvectors in its columns: z[i*n+j] is component i of eigenvector j.
+func tql2(d, e []float64, z []float64, n int) error {
+	if n == 0 {
+		return nil
+	}
+	e[n-1] = 0 // the subdiagonal occupies e[0..n-2]
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find a small subdiagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return fmt.Errorf("spectral: tql2 failed to converge at eigenvalue %d", l)
+			}
+			// Form implicit shift.
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				// Accumulate the rotation into the eigenvector matrix.
+				for k := 0; k < n; k++ {
+					f := z[k*n+i+1]
+					z[k*n+i+1] = s*z[k*n+i] + c*f
+					z[k*n+i] = c*z[k*n+i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// Sort eigenvalues (and columns) ascending by selection sort.
+	for i := 0; i < n-1; i++ {
+		k := i
+		for j := i + 1; j < n; j++ {
+			if d[j] < d[k] {
+				k = j
+			}
+		}
+		if k != i {
+			d[i], d[k] = d[k], d[i]
+			for r := 0; r < n; r++ {
+				z[r*n+i], z[r*n+k] = z[r*n+k], z[r*n+i]
+			}
+		}
+	}
+	return nil
+}

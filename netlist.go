@@ -1,0 +1,157 @@
+// Package prop is a library for VLSI netlist min-cut bipartitioning,
+// reproducing Dutt & Deng, "A Probability-Based Approach to VLSI Circuit
+// Partitioning" (DAC 1996). It provides the paper's probabilistic
+// partitioner PROP together with every baseline the paper compares against
+// (FM with bucket and tree selectors, Krishnamurthy LA-k, Kernighan–Lin,
+// EIG1, MELO, PARABOLI-style analytical placement, WINDOW), netlist I/O,
+// a benchmark-circuit synthesizer, and recursive k-way partitioning.
+//
+// Quick start:
+//
+//	n, _ := prop.Benchmark("struct")
+//	res, _ := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 20})
+//	fmt.Println(res.CutNets)
+package prop
+
+import (
+	"fmt"
+	"io"
+
+	"prop/internal/gen"
+	"prop/internal/hgio"
+	"prop/internal/hypergraph"
+)
+
+// Netlist is an immutable circuit hypergraph: nodes (cells) connected by
+// nets (hyperedges), each net with a positive cost and each node with a
+// positive integer weight.
+type Netlist struct {
+	h *hypergraph.Hypergraph
+}
+
+// Stats summarizes a netlist (node/net/pin counts and the paper's p, q, d
+// averages).
+type Stats = hypergraph.Stats
+
+// NumNodes returns the node count.
+func (n *Netlist) NumNodes() int { return n.h.NumNodes() }
+
+// NumNets returns the net count.
+func (n *Netlist) NumNets() int { return n.h.NumNets() }
+
+// NumPins returns the total pin count.
+func (n *Netlist) NumPins() int { return n.h.NumPins() }
+
+// Stats computes summary statistics.
+func (n *Netlist) Stats() Stats { return hypergraph.ComputeStats(n.h) }
+
+// Net returns the node IDs of net e (do not modify).
+func (n *Netlist) Net(e int) []int { return n.h.Net(e) }
+
+// NetsOf returns the net IDs of node u (do not modify).
+func (n *Netlist) NetsOf(u int) []int { return n.h.NetsOf(u) }
+
+// NodeName returns the symbolic name of node u ("" if unnamed).
+func (n *Netlist) NodeName(u int) string { return n.h.NodeName(u) }
+
+// WithNetCosts returns a copy of the netlist with per-net costs replaced —
+// the timing-driven weighting of the paper's introduction (critical nets
+// get higher cost so the partitioners keep them uncut).
+func (n *Netlist) WithNetCosts(costs []float64) (*Netlist, error) {
+	h, err := n.h.WithNetCosts(costs)
+	if err != nil {
+		return nil, err
+	}
+	return &Netlist{h}, nil
+}
+
+// Builder assembles a Netlist node by node and net by net.
+type Builder struct {
+	b *hypergraph.Builder
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{hypergraph.NewBuilder()} }
+
+// AddNode appends a node (weight < 1 is clamped to 1) and returns its ID.
+func (b *Builder) AddNode(name string, weight int64) int { return b.b.AddNode(name, weight) }
+
+// EnsureNodes grows the node set so IDs [0, n) exist.
+func (b *Builder) EnsureNodes(n int) { b.b.EnsureNodes(n) }
+
+// AddNet appends a net over the given node IDs with the given cost.
+// Duplicate pins are merged; nets with fewer than two distinct pins are
+// dropped.
+func (b *Builder) AddNet(name string, cost float64, pins ...int) error {
+	return b.b.AddNet(name, cost, pins...)
+}
+
+// Build finalizes and validates the netlist.
+func (b *Builder) Build() (*Netlist, error) {
+	h, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Netlist{h}, nil
+}
+
+// ReadHGR parses an hMETIS .hgr stream.
+func ReadHGR(r io.Reader) (*Netlist, error) { return wrap(hgio.ReadHGR(r)) }
+
+// WriteHGR emits the netlist in .hgr form.
+func (n *Netlist) WriteHGR(w io.Writer) error { return hgio.WriteHGR(w, n.h) }
+
+// ReadNetAre parses MCNC/ACM-SIGDA .net (+ optional .are) streams, the
+// format of the paper's benchmark suite.
+func ReadNetAre(netR, areR io.Reader) (*Netlist, error) { return wrap(hgio.ReadNetAre(netR, areR)) }
+
+// WriteNetAre emits the netlist in .net/.are form (areW may be nil).
+func (n *Netlist) WriteNetAre(netW, areW io.Writer) error {
+	return hgio.WriteNetAre(netW, areW, n.h)
+}
+
+// ReadJSON parses the JSON netlist format.
+func ReadJSON(r io.Reader) (*Netlist, error) { return wrap(hgio.ReadJSON(r)) }
+
+// WriteJSON emits the netlist as JSON.
+func (n *Netlist) WriteJSON(w io.Writer) error { return hgio.WriteJSON(w, n.h) }
+
+func wrap(h *hypergraph.Hypergraph, err error) (*Netlist, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Netlist{h}, nil
+}
+
+// GenParams configures the synthetic circuit generator (window locality
+// model; see DESIGN.md §3).
+type GenParams = gen.Params
+
+// Generate synthesizes a circuit.
+func Generate(p GenParams) (*Netlist, error) { return wrap(gen.Generate(p)) }
+
+// BenchmarkNames lists the sixteen ACM/SIGDA circuits of the paper's
+// Table 1, in table order.
+func BenchmarkNames() []string {
+	specs := gen.Table1()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Benchmark synthesizes the named suite circuit (deterministic clone with
+// the Table-1 node/net/pin counts).
+func Benchmark(name string) (*Netlist, error) {
+	for _, s := range gen.Table1() {
+		if s.Name == name {
+			c, err := gen.SuiteCircuit(s)
+			if err != nil {
+				return nil, err
+			}
+			return &Netlist{c.H}, nil
+		}
+	}
+	return nil, fmt.Errorf("prop: unknown benchmark %q (see BenchmarkNames)", name)
+}

@@ -1,0 +1,389 @@
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"prop/internal/anneal"
+	"prop/internal/cluster"
+	"prop/internal/core"
+	"prop/internal/fm"
+	"prop/internal/hypergraph"
+	"prop/internal/kl"
+	"prop/internal/kwaydirect"
+	"prop/internal/la"
+	"prop/internal/multilevel"
+	"prop/internal/multiway"
+	"prop/internal/partition"
+	"prop/internal/placement"
+	"prop/internal/sk"
+	"prop/internal/spectral"
+	"prop/internal/window"
+)
+
+// Algorithm names a bipartitioning method.
+type Algorithm string
+
+// The implemented algorithms. AlgoPROP is the paper's contribution; the
+// rest are the baselines of Tables 2 and 3 plus Kernighan–Lin.
+const (
+	AlgoPROP     Algorithm = "prop"
+	AlgoFM       Algorithm = "fm"       // FM, bucket selector (unit net costs)
+	AlgoFMTree   Algorithm = "fm-tree"  // FM, AVL selector (any net costs)
+	AlgoLA       Algorithm = "la"       // Krishnamurthy lookahead (Options.LADepth)
+	AlgoKL       Algorithm = "kl"       // Kernighan–Lin pair swaps
+	AlgoEIG1     Algorithm = "eig1"     // spectral Fiedler bisection
+	AlgoMELO     Algorithm = "melo"     // multiple-eigenvector linear ordering
+	AlgoParaboli Algorithm = "paraboli" // analytical placement
+	AlgoWindow   Algorithm = "window"   // vertex-ordering clustering + FM
+	AlgoSK       Algorithm = "sk"       // Schweikert–Kernighan netlist pair swaps
+	AlgoSA       Algorithm = "sa"       // simulated annealing (Sechen-style)
+	AlgoMLPROP   Algorithm = "ml-prop"  // multilevel V-cycle with PROP refinement (§5)
+)
+
+// Algorithms lists every implemented algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK,
+		AlgoSA, AlgoMLPROP, AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow}
+}
+
+// Options controls Partition.
+type Options struct {
+	Algorithm Algorithm
+
+	// R1, R2 is the balance criterion (both zero selects 50-50%; the paper
+	// also uses 0.45/0.55).
+	R1, R2 float64
+
+	// Runs is the multi-start count for the iterative algorithms (0
+	// selects 1); deterministic algorithms ignore it.
+	Runs int
+	Seed int64
+
+	// LADepth is the lookahead depth for AlgoLA (0 selects 2).
+	LADepth int
+
+	// ClusteredStart seeds run 0 of an iterative algorithm from a
+	// heavy-edge-matching clustered partition instead of a random one —
+	// the paper's §5 "clustering initial phase".
+	ClusteredStart bool
+
+	// PROP overrides the paper's default PROP parameters when non-nil.
+	PROP *PROPParams
+}
+
+// PROPParams exposes PROP's tunables (see the paper §3.2–3.4; zero values
+// select the paper's experimental settings).
+type PROPParams struct {
+	PInit, PMin, PMax float64
+	GLo, GUp          float64
+	Refinements       int
+	TopK              int
+	DeterministicInit bool
+}
+
+// Result is a 2-way partition.
+type Result struct {
+	// Sides assigns each node 0 or 1.
+	Sides []uint8
+	// CutCost is Σ cost over cut nets; CutNets counts them.
+	CutCost float64
+	CutNets int
+	// Runs performed and the index of the winning run.
+	Runs    int
+	BestRun int
+	Elapsed time.Duration
+}
+
+func (o Options) balance() (partition.Balance, error) {
+	if o.R1 == 0 && o.R2 == 0 {
+		return partition.Exact5050(), nil
+	}
+	b := partition.Balance{R1: o.R1, R2: o.R2}
+	return b, b.Validate()
+}
+
+// Partition bipartitions the netlist.
+func Partition(n *Netlist, o Options) (Result, error) {
+	start := time.Now()
+	bal, err := o.balance()
+	if err != nil {
+		return Result{}, err
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = AlgoPROP
+	}
+	runs := o.Runs
+	if runs < 1 {
+		runs = 1
+	}
+
+	var res Result
+	switch o.Algorithm {
+	case AlgoEIG1:
+		r, err := spectral.EIG1(n.h, spectral.EIG1Config{Balance: bal, Seed: o.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
+	case AlgoMELO:
+		r, err := spectral.MELO(n.h, spectral.MELOConfig{Balance: bal, Seed: o.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
+	case AlgoParaboli:
+		r, err := placement.Paraboli(n.h, placement.Config{Balance: bal})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
+	case AlgoWindow:
+		r, err := window.Partition(n.h, window.Config{Balance: bal, Runs: runs, Seed: o.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
+	case AlgoMLPROP:
+		r, err := multilevel.Partition(n.h, multilevel.Config{Balance: bal, Seed: o.Seed})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
+	case AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK, AlgoSA:
+		res, err = multiStart(n.h, bal, o, runs)
+		if err != nil {
+			return Result{}, err
+		}
+	default:
+		return Result{}, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func multiStart(h *hypergraph.Hypergraph, bal partition.Balance, o Options, runs int) (Result, error) {
+	best := Result{CutCost: -1}
+	for r := 0; r < runs; r++ {
+		seed := o.Seed + int64(r)
+		var initial []uint8
+		if o.ClusteredStart && r == 0 {
+			s, err := cluster.ClusteredSides(h, bal, h.NumNodes()/16+2, seed)
+			if err != nil {
+				return Result{}, err
+			}
+			initial = s
+		} else {
+			initial = partition.RandomSides(h, bal, rand.New(rand.NewSource(seed)))
+		}
+		sides, cost, nets, err := oneRun(h, bal, o, initial, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		if best.CutCost < 0 || cost < best.CutCost {
+			best.Sides, best.CutCost, best.CutNets, best.BestRun = sides, cost, nets, r
+		}
+	}
+	best.Runs = runs
+	return best, nil
+}
+
+func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial []uint8, seed int64) ([]uint8, float64, int, error) {
+	switch o.Algorithm {
+	case AlgoKL:
+		r, err := kl.Partition(h, initial, kl.Config{})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	case AlgoSK:
+		r, err := sk.Partition(h, initial, sk.Config{})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	case AlgoSA:
+		r, err := anneal.Partition(h, initial, anneal.Config{Balance: bal, Seed: seed})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	}
+	b, err := partition.NewBisection(h, initial)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	switch o.Algorithm {
+	case AlgoFM, AlgoFMTree:
+		sel := fm.Bucket
+		if o.Algorithm == AlgoFMTree {
+			sel = fm.Tree
+		}
+		r, err := fm.Partition(b, fm.Config{Balance: bal, Selector: sel})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	case AlgoLA:
+		k := o.LADepth
+		if k == 0 {
+			k = 2
+		}
+		r, err := la.Partition(b, la.Config{K: k, Balance: bal})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	case AlgoPROP:
+		cfg := core.DefaultConfig(bal)
+		if p := o.PROP; p != nil {
+			if p.PInit != 0 {
+				cfg.PInit = p.PInit
+			}
+			if p.PMin != 0 {
+				cfg.PMin = p.PMin
+			}
+			if p.PMax != 0 {
+				cfg.PMax = p.PMax
+			}
+			if p.GLo != 0 {
+				cfg.GLo = p.GLo
+			}
+			if p.GUp != 0 {
+				cfg.GUp = p.GUp
+			}
+			if p.Refinements != 0 {
+				cfg.Refinements = p.Refinements
+			}
+			if p.TopK != 0 {
+				cfg.TopK = p.TopK
+			}
+			if p.DeterministicInit {
+				cfg.Init = core.InitDeterministic
+			}
+		}
+		r, err := core.Partition(b, cfg)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return r.Sides, r.CutCost, r.CutNets, nil
+	}
+	return nil, 0, 0, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
+}
+
+// KWayResult is a recursive k-way partition.
+type KWayResult struct {
+	// Parts[u] is the part (0..K−1) of node u.
+	Parts []int
+	// CutNets counts nets spanning ≥ 2 parts; CutCost sums their costs.
+	CutNets int
+	CutCost float64
+	// PartWeights is the node weight of each part.
+	PartWeights []int64
+	Elapsed     time.Duration
+}
+
+// KWay recursively bisects the netlist into k parts (k a power of two ≥ 2)
+// using the configured 2-way algorithm at every level — the paper's
+// recursive min-cut scheme (§1) and §5 k-way extension.
+func KWay(n *Netlist, k int, o Options) (KWayResult, error) {
+	start := time.Now()
+	bal, err := o.balance()
+	if err != nil {
+		return KWayResult{}, err
+	}
+	cutter := func(h *hypergraph.Hypergraph, b partition.Balance, seed int64) ([]uint8, error) {
+		oo := o
+		oo.Seed = seed
+		oo.R1, oo.R2 = b.R1, b.R2
+		runs := oo.Runs
+		if runs < 1 {
+			runs = 1
+		}
+		switch oo.Algorithm {
+		case AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow:
+			res, err := Partition(&Netlist{h}, oo)
+			if err != nil {
+				return nil, err
+			}
+			return res.Sides, nil
+		default:
+			res, err := multiStart(h, b, oo, runs)
+			if err != nil {
+				return nil, err
+			}
+			return res.Sides, nil
+		}
+	}
+	r, err := multiway.Partition(n.h, multiway.Config{K: k, Balance: bal, Cut: cutter, Seed: o.Seed})
+	if err != nil {
+		return KWayResult{}, err
+	}
+	return KWayResult{
+		Parts:       r.Parts,
+		CutNets:     r.CutNets,
+		CutCost:     r.CutCost,
+		PartWeights: multiway.PartSizes(n.h, r.Parts, k),
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// KWayDirect partitions the netlist into k parts with the direct
+// (non-recursive) generalized-FM engine — the paper's §5 k-way future-work
+// item implemented as single-engine moves over all (node, target) pairs.
+// k may be any integer ≥ 2 (no power-of-two restriction). Runs multi-start
+// like the 2-way engines.
+func KWayDirect(n *Netlist, k int, o Options) (KWayResult, error) {
+	start := time.Now()
+	runs := o.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	// For direct k-way, Options.R1/R2 (when set) are per-part weight
+	// fractions straddling 1/k; zero selects ±15% around 1/k.
+	var kbal kwaydirect.Balance
+	if o.R1 != 0 || o.R2 != 0 {
+		kbal = kwaydirect.Balance{R1: o.R1, R2: o.R2}
+	}
+	var best kwaydirect.Result
+	found := false
+	for r := 0; r < runs; r++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(r)))
+		res, err := kwaydirect.Partition(n.h, kwaydirect.RandomParts(n.h, k, rng), kwaydirect.Config{K: k, Balance: kbal})
+		if err != nil {
+			return KWayResult{}, err
+		}
+		if !found || res.CutCost < best.CutCost {
+			best = res
+			found = true
+		}
+	}
+	return KWayResult{
+		Parts:       best.Parts,
+		CutNets:     best.CutNets,
+		CutCost:     best.CutCost,
+		PartWeights: multiway.PartSizes(n.h, best.Parts, k),
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// Verify recomputes the cut of a side assignment from scratch and checks
+// the balance criterion, returning the exact cut cost and net count. Use
+// it to validate results independently of the incremental engines.
+func Verify(n *Netlist, sides []uint8, o Options) (cutCost float64, cutNets int, err error) {
+	bal, err := o.balance()
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := partition.NewBisection(n.h, sides)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !bal.FeasibleWithSlack(b.SideWeight(0), n.h.TotalNodeWeight(), b.MaxNodeWeight()) {
+		return 0, 0, fmt.Errorf("prop: partition violates balance %v: side-0 weight %d of %d",
+			bal, b.SideWeight(0), n.h.TotalNodeWeight())
+	}
+	cost, nets := b.RecountCut()
+	return cost, nets, nil
+}

