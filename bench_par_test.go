@@ -1,0 +1,60 @@
+package prop_test
+
+import (
+	"runtime"
+	"testing"
+
+	"prop"
+)
+
+// The parallel-engine benchmark of EXPERIMENTS.md §"Parallel multi-start":
+// the same 20-run PROP portfolio on a ~10k-node instance, executed
+// sequentially and on the worker pool. Run with:
+//
+//	go test -bench 'MultiStart20' -benchtime 1x
+var benchParNetlist *prop.Netlist
+
+func parBenchNetlist(b *testing.B) *prop.Netlist {
+	b.Helper()
+	if benchParNetlist == nil {
+		n, err := prop.Generate(prop.GenParams{Nodes: 10000, Nets: 11000, Pins: 38000, Seed: 97})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchParNetlist = n
+	}
+	return benchParNetlist
+}
+
+func benchMultiStart(b *testing.B, par int) {
+	n := parBenchNetlist(b)
+	b.ResetTimer()
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		res, err := prop.Partition(n, prop.Options{
+			Algorithm: prop.AlgoPROP, Runs: 20, Seed: 1, Parallel: par,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cut == 0 {
+			cut = res.CutCost
+		} else if res.CutCost != cut {
+			b.Fatalf("nondeterministic cut: %g then %g", cut, res.CutCost)
+		}
+	}
+	b.ReportMetric(cut, "cut-cost")
+}
+
+func BenchmarkMultiStart20Sequential(b *testing.B) { benchMultiStart(b, 1) }
+
+// The parallel variant always engages the worker pool (≥ 4 workers) so
+// that on a single-core box it measures pool overhead rather than
+// silently degrading to the sequential fast path.
+func BenchmarkMultiStart20Parallel(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 4 {
+		par = 4
+	}
+	benchMultiStart(b, par)
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	propart -in circuit.hgr [-format hgr|netare|json] [-algo prop] \
-//	        [-r1 0.5 -r2 0.5] [-runs 20] [-k 2] [-seed 1] [-out sides.txt]
+//	        [-r1 0.5 -r2 0.5] [-runs 20] [-par 8] [-k 2] [-seed 1] [-out sides.txt]
 //
 // With -format netare, -in names the .net file and -are the .are file.
 // The output lists one "node side" pair per line; -k > 2 performs
@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"prop"
@@ -31,6 +32,7 @@ func main() {
 		r1     = flag.Float64("r1", 0.5, "lower balance bound")
 		r2     = flag.Float64("r2", 0.5, "upper balance bound")
 		runs   = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
+		par    = flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines for multi-start runs (1 = sequential)")
 		k      = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
 		seed   = flag.Int64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output assignment file (default stdout)")
@@ -51,6 +53,7 @@ func main() {
 		Algorithm: prop.Algorithm(*algo),
 		R1:        *r1, R2: *r2,
 		Runs: *runs, Seed: *seed, LADepth: *laK,
+		Parallel: *par,
 	}
 
 	if *check != "" {

@@ -1,0 +1,76 @@
+// Command propserve serves the partitioning engine over HTTP.
+//
+// Usage:
+//
+//	propserve [-addr :8080] [-par 8] [-timeout 60s]
+//
+// Endpoints:
+//
+//	POST /v1/partition    partition a netlist synchronously; the request
+//	                      body is the netlist (.hgr text, or the JSON
+//	                      netlist format with Content-Type:
+//	                      application/json) and query parameters select
+//	                      algo, runs, seed, k, r1, r2, par, timeout_ms
+//	POST /v1/jobs         same request, asynchronously; returns a job id
+//	GET  /v1/jobs/{id}    job state and, when done, the result
+//	DELETE /v1/jobs/{id}  cancel a pending or running job
+//	GET  /healthz         liveness probe
+//	GET  /metrics         JSON metrics: jobs in flight, runs completed,
+//	                      cut-size histogram, p50/p99 latency
+//
+// Example:
+//
+//	curl -s -X POST --data-binary @circuit.hgr \
+//	    'localhost:8080/v1/partition?algo=prop&runs=20&seed=1'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		par     = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+	)
+	flag.Parse()
+
+	s := newServer(*par, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "propserve: listening on %s (par %d, timeout %s)\n", *addr, *par, *timeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "propserve:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "propserve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "propserve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

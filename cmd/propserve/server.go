@@ -1,0 +1,389 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prop"
+	"prop/internal/metrics"
+)
+
+// server carries the HTTP handlers, the async job store, and the metric
+// instruments. One server fronts one shared concurrent engine
+// configuration (maxPar worker goroutines per request portfolio).
+type server struct {
+	maxPar     int           // cap on per-request Parallel
+	maxBody    int64         // request body limit, bytes
+	defTimeout time.Duration // per-request compute budget
+	jobs       *jobStore
+	start      time.Time
+
+	reg      *metrics.Registry
+	mJobsUp  *metrics.Gauge   // async jobs currently queued or running
+	mReqUp   *metrics.Gauge   // synchronous partitions in flight
+	mJobs    *metrics.Counter // async jobs accepted
+	mParts   *metrics.Counter // partitions completed (sync + async)
+	mRuns    *metrics.Counter // multi-start runs completed
+	mErrors  *metrics.Counter // requests rejected or failed
+	mCutHist *metrics.Histogram
+	mLatency *metrics.Latency
+}
+
+func newServer(maxPar int, defTimeout time.Duration) *server {
+	reg := metrics.NewRegistry()
+	s := &server{
+		maxPar:     maxPar,
+		maxBody:    64 << 20,
+		defTimeout: defTimeout,
+		jobs:       newJobStore(),
+		start:      time.Now(),
+		reg:        reg,
+		mJobsUp:    reg.Gauge("jobs_in_flight"),
+		mReqUp:     reg.Gauge("partitions_in_flight"),
+		mJobs:      reg.Counter("jobs_total"),
+		mParts:     reg.Counter("partitions_total"),
+		mRuns:      reg.Counter("runs_completed_total"),
+		mErrors:    reg.Counter("errors_total"),
+		mCutHist:   reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+		mLatency:   reg.Latency("partition_latency", 1024),
+	}
+	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
+	return s
+}
+
+// mux routes the API.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/partition", s.handlePartition)
+	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	m.HandleFunc("GET /healthz", s.handleHealthz)
+	m.Handle("GET /metrics", s.reg)
+	return m
+}
+
+// partitionRequest is the decoded form of one partition query: the
+// netlist plus the knobs from the URL query string.
+type partitionRequest struct {
+	netlist *prop.Netlist
+	opts    prop.Options
+	k       int
+	timeout time.Duration
+}
+
+// partitionResponse is the JSON reply for both sync and async paths.
+// Sides is []int rather than the library's []uint8: encoding/json
+// serializes []uint8 ([]byte) as base64, and the API wants a plain 0/1
+// array.
+type partitionResponse struct {
+	Algorithm   string  `json:"algorithm"`
+	K           int     `json:"k"`
+	CutCost     float64 `json:"cut_cost"`
+	CutNets     int     `json:"cut_nets"`
+	Runs        int     `json:"runs,omitempty"`
+	BestRun     int     `json:"best_run,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Sides       []int   `json:"sides,omitempty"`
+	Parts       []int   `json:"parts,omitempty"`
+	PartWeights []int64 `json:"part_weights,omitempty"`
+}
+
+// decodeRequest parses query knobs and the netlist body. The body is the
+// netlist itself: application/json selects the JSON netlist format,
+// anything else is parsed as hMETIS .hgr text.
+func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
+	q := r.URL.Query()
+	req := &partitionRequest{k: 2, timeout: s.defTimeout}
+	req.opts = prop.Options{Algorithm: prop.AlgoPROP, Runs: 20, Seed: 1, Parallel: s.maxPar}
+
+	var err error
+	if v := q.Get("algo"); v != "" {
+		req.opts.Algorithm = prop.Algorithm(v)
+	}
+	geti := func(name string, dst *int) {
+		if err != nil {
+			return
+		}
+		if v := q.Get(name); v != "" {
+			n, e := strconv.Atoi(v)
+			if e != nil {
+				err = fmt.Errorf("bad %s %q", name, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	getf := func(name string, dst *float64) {
+		if err != nil {
+			return
+		}
+		if v := q.Get(name); v != "" {
+			f, e := strconv.ParseFloat(v, 64)
+			if e != nil {
+				err = fmt.Errorf("bad %s %q", name, v)
+				return
+			}
+			*dst = f
+		}
+	}
+	geti("runs", &req.opts.Runs)
+	geti("k", &req.k)
+	geti("la", &req.opts.LADepth)
+	getf("r1", &req.opts.R1)
+	getf("r2", &req.opts.R2)
+	if v := q.Get("seed"); v != "" && err == nil {
+		n, e := strconv.ParseInt(v, 10, 64)
+		if e != nil {
+			err = fmt.Errorf("bad seed %q", v)
+		}
+		req.opts.Seed = n
+	}
+	par := 0
+	geti("par", &par)
+	if par > 0 && par < req.opts.Parallel {
+		req.opts.Parallel = par
+	}
+	timeoutMS := 0
+	geti("timeout_ms", &timeoutMS)
+	if timeoutMS > 0 {
+		req.timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.k < 2 {
+		return nil, fmt.Errorf("bad k %d: want ≥ 2", req.k)
+	}
+	if req.opts.Runs < 1 || req.opts.Runs > 10000 {
+		return nil, fmt.Errorf("bad runs %d: want 1..10000", req.opts.Runs)
+	}
+
+	body := http.MaxBytesReader(nil, r.Body, s.maxBody)
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		req.netlist, err = prop.ReadJSON(body)
+	} else {
+		req.netlist, err = prop.ReadHGR(body)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	return req, nil
+}
+
+// run executes one partition request under its timeout, recording engine
+// metrics as runs complete.
+func (s *server) run(ctx context.Context, req *partitionRequest) (*partitionResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, req.timeout)
+	defer cancel()
+	req.opts.OnRun = func(u prop.RunUpdate) { s.mRuns.Inc() }
+
+	start := time.Now()
+	resp := &partitionResponse{Algorithm: string(req.opts.Algorithm), K: req.k}
+	if req.k == 2 {
+		res, err := prop.PartitionCtx(ctx, req.netlist, req.opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.CutCost, resp.CutNets = res.CutCost, res.CutNets
+		resp.Runs, resp.BestRun = res.Runs, res.BestRun
+		resp.Sides = make([]int, len(res.Sides))
+		for u, s := range res.Sides {
+			resp.Sides[u] = int(s)
+		}
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	} else {
+		res, err := prop.KWayCtx(ctx, req.netlist, req.k, req.opts)
+		if err != nil {
+			return nil, err
+		}
+		resp.CutCost, resp.CutNets = res.CutCost, res.CutNets
+		resp.Parts, resp.PartWeights = res.Parts, res.PartWeights
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	s.mParts.Inc()
+	s.mCutHist.Observe(float64(resp.CutNets))
+	s.mLatency.Observe(time.Since(start))
+	return resp, nil
+}
+
+func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mReqUp.Add(1)
+	defer s.mReqUp.Add(-1)
+	resp, err := s.run(r.Context(), req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.fail(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobState is an async job's lifecycle phase.
+type jobState string
+
+const (
+	jobPending   jobState = "pending"
+	jobRunning   jobState = "running"
+	jobDone      jobState = "done"
+	jobFailed    jobState = "failed"
+	jobCancelled jobState = "cancelled"
+)
+
+// job is one async partition request.
+type job struct {
+	ID     string             `json:"id"`
+	State  jobState           `json:"state"`
+	Error  string             `json:"error,omitempty"`
+	Result *partitionResponse `json:"result,omitempty"`
+
+	req    *partitionRequest
+	cancel context.CancelFunc
+}
+
+// jobStore is the in-memory async job registry.
+type jobStore struct {
+	mu   sync.Mutex
+	next int
+	jobs map[string]*job
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: map[string]*job{}}
+}
+
+func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	js.next++
+	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending, req: req, cancel: cancel}
+	js.jobs[j.ID] = j
+	return j
+}
+
+func (js *jobStore) get(id string) *job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.jobs[id]
+}
+
+// snapshot returns a copy of the job's public fields for serialization.
+func (js *jobStore) snapshot(id string) (job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j := js.jobs[id]
+	if j == nil {
+		return job{}, false
+	}
+	return job{ID: j.ID, State: j.State, Error: j.Error, Result: j.Result}, true
+}
+
+// transition updates a job's state under the store lock; from restricts
+// the transition (empty matches any state). It reports success.
+func (js *jobStore) transition(id string, from, to jobState, fn func(*job)) bool {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j := js.jobs[id]
+	if j == nil || (from != "" && j.State != from) {
+		return false
+	}
+	j.State = to
+	if fn != nil {
+		fn(j)
+	}
+	return true
+}
+
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	// The job outlives the submit request: detach from r.Context().
+	ctx, cancel := context.WithCancel(context.Background())
+	j := s.jobs.add(req, cancel)
+	s.mJobs.Inc()
+	s.mJobsUp.Add(1)
+	go s.runJob(ctx, j.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "state": string(jobPending)})
+}
+
+// runJob drives one async job to completion.
+func (s *server) runJob(ctx context.Context, id string) {
+	defer s.mJobsUp.Add(-1)
+	if !s.jobs.transition(id, jobPending, jobRunning, nil) {
+		return // cancelled before starting
+	}
+	j := s.jobs.get(id)
+	resp, err := s.run(ctx, j.req)
+	if err != nil {
+		to := jobFailed
+		if ctx.Err() == context.Canceled {
+			to = jobCancelled
+		}
+		s.mErrors.Inc()
+		s.jobs.transition(id, jobRunning, to, func(j *job) { j.Error = err.Error() })
+		return
+	}
+	s.jobs.transition(id, jobRunning, jobDone, func(j *job) { j.Result = resp })
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.jobs.snapshot(r.PathValue("id"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	// Pending jobs flip straight to cancelled; running jobs get their
+	// context cancelled and the runner records the final state.
+	s.jobs.transition(id, jobPending, jobCancelled, nil)
+	j.cancel()
+	snap, _ := s.jobs.snapshot(id)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	s.mErrors.Inc()
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

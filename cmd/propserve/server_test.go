@@ -1,0 +1,303 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"prop"
+)
+
+// testNetlistHGR renders a small deterministic netlist in .hgr form.
+func testNetlistHGR(t *testing.T) string {
+	t.Helper()
+	n, err := prop.Generate(prop.GenParams{Nodes: 120, Nets: 140, Pins: 480, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteHGR(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(2, 30*time.Second).mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postHGR(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPartitionEndpointHGR(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=4&seed=1", hgr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	pr := decodeBody[partitionResponse](t, resp)
+	if pr.Algorithm != "prop" || pr.K != 2 || pr.Runs != 4 {
+		t.Errorf("response meta = %+v", pr)
+	}
+	if len(pr.Sides) != 120 {
+		t.Fatalf("sides len %d, want 120", len(pr.Sides))
+	}
+	if pr.CutNets <= 0 || pr.CutCost <= 0 {
+		t.Errorf("degenerate cut: %+v", pr)
+	}
+
+	// The service must agree with the library for the same seed.
+	n, err := prop.Generate(prop.GenParams{Nodes: 120, Nets: 140, Pins: 480, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prop.Partition(n, prop.Options{Algorithm: prop.AlgoPROP, Runs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CutCost != want.CutCost || pr.CutNets != want.CutNets {
+		t.Errorf("service cut (%g, %d) != library cut (%g, %d)",
+			pr.CutCost, pr.CutNets, want.CutCost, want.CutNets)
+	}
+}
+
+func TestPartitionEndpointJSON(t *testing.T) {
+	ts := newTestServer(t)
+	n, err := prop.Generate(prop.GenParams{Nodes: 80, Nets: 100, Pins: 330, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/partition?algo=fm&runs=2", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	pr := decodeBody[partitionResponse](t, resp)
+	if pr.Algorithm != "fm" || len(pr.Sides) != 80 {
+		t.Errorf("response = %+v", pr)
+	}
+}
+
+func TestPartitionEndpointKWay(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=fm&runs=2&k=4", hgr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	pr := decodeBody[partitionResponse](t, resp)
+	if pr.K != 4 || len(pr.Parts) != 120 || len(pr.PartWeights) != 4 {
+		t.Errorf("k-way response = %+v", pr)
+	}
+	if len(pr.Sides) != 0 {
+		t.Errorf("k-way response carries 2-way sides")
+	}
+}
+
+func TestPartitionEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"malformed netlist", "/v1/partition", "not a netlist", http.StatusBadRequest},
+		{"bad runs", "/v1/partition?runs=0", hgr, http.StatusBadRequest},
+		{"bad runs syntax", "/v1/partition?runs=abc", hgr, http.StatusBadRequest},
+		{"bad k", "/v1/partition?k=1", hgr, http.StatusBadRequest},
+		{"unknown algo", "/v1/partition?algo=nosuch", hgr, http.StatusUnprocessableEntity},
+		{"odd k rejected by engine", "/v1/partition?k=6", hgr, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp := postHGR(t, ts.URL+c.url, c.body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3", hgr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	sub := decodeBody[map[string]string](t, resp)
+	id := sub["id"]
+	if id == "" {
+		t.Fatal("no job id")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var final job
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish; last state %q", id, final.State)
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = decodeBody[job](t, r)
+		if final.State == jobDone || final.State == jobFailed {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != jobDone {
+		t.Fatalf("job state %q, error %q", final.State, final.Error)
+	}
+	if final.Result == nil || len(final.Result.Sides) != 120 {
+		t.Fatalf("job result = %+v", final.Result)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	ts := newTestServer(t)
+	// A large many-run job so cancellation lands while it is running.
+	n, err := prop.Generate(prop.GenParams{Nodes: 3000, Nets: 3300, Pins: 11000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteHGR(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=500", sb.String())
+	sub := decodeBody[map[string]string](t, resp)
+	id := sub["id"]
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not settle after cancel")
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State == jobCancelled {
+			break
+		}
+		if j.State == jobDone || j.State == jobFailed {
+			// The job may have won the race; that's acceptable only if it
+			// truly completed before the cancel arrived.
+			t.Logf("job finished before cancel: %q", j.State)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	h := decodeBody[map[string]any](t, r)
+	if h["status"] != "ok" {
+		t.Errorf("healthz = %v", h)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	for i := 0; i < 3; i++ {
+		resp := postHGR(t, fmt.Sprintf("%s/v1/partition?algo=fm&runs=2&seed=%d", ts.URL, i), hgr)
+		resp.Body.Close()
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeBody[map[string]any](t, r)
+	if m["partitions_total"] != float64(3) {
+		t.Errorf("partitions_total = %v, want 3", m["partitions_total"])
+	}
+	if m["runs_completed_total"] != float64(6) {
+		t.Errorf("runs_completed_total = %v, want 6", m["runs_completed_total"])
+	}
+	hist, ok := m["cut_nets"].(map[string]any)
+	if !ok || hist["count"] != float64(3) {
+		t.Errorf("cut_nets histogram = %v", m["cut_nets"])
+	}
+	lat, ok := m["partition_latency"].(map[string]any)
+	if !ok || lat["count"] != float64(3) {
+		t.Errorf("partition_latency = %v", m["partition_latency"])
+	}
+}
+
+func TestTimeoutReturns504(t *testing.T) {
+	ts := newTestServer(t)
+	n, err := prop.Generate(prop.GenParams{Nodes: 4000, Nets: 4400, Pins: 15000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteHGR(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=1000&timeout_ms=50", sb.String())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504", resp.StatusCode)
+	}
+}

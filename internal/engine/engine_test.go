@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runCost is the deterministic per-run "result" used throughout: distinct
+// enough to detect reduction mistakes, with deliberate ties.
+func runCost(r int) float64 {
+	return float64((r*7919)%13) + 1 // values 1..13, many ties
+}
+
+func lessFloat(a, b float64) bool { return a < b }
+
+// sequentialBest mirrors the legacy loop: replace on strict improvement.
+func sequentialBest(runs int) (float64, int) {
+	best, bestRun := 0.0, -1
+	for r := 0; r < runs; r++ {
+		v := runCost(r)
+		if bestRun < 0 || v < best {
+			best, bestRun = v, r
+		}
+	}
+	return best, bestRun
+}
+
+func TestPortfolioMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, runs := range []int{1, 2, 7, 40} {
+			wantV, wantRun := sequentialBest(runs)
+			got, gotRun, err := Portfolio(context.Background(), runs,
+				Config[float64]{Workers: workers, Less: lessFloat},
+				func(ctx context.Context, r int) (float64, error) { return runCost(r), nil })
+			if err != nil {
+				t.Fatalf("workers=%d runs=%d: %v", workers, runs, err)
+			}
+			if got != wantV || gotRun != wantRun {
+				t.Errorf("workers=%d runs=%d: got (%g, run %d), want (%g, run %d)",
+					workers, runs, got, gotRun, wantV, wantRun)
+			}
+		}
+	}
+}
+
+func TestPortfolioTieBreaksToLowestRun(t *testing.T) {
+	// All runs produce the same cost; the winner must be run 0 regardless
+	// of completion order. Stagger completions so higher runs finish first.
+	_, bestRun, err := Portfolio(context.Background(), 8,
+		Config[float64]{Workers: 8, Less: lessFloat},
+		func(ctx context.Context, r int) (float64, error) {
+			time.Sleep(time.Duration(8-r) * time.Millisecond)
+			return 5, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestRun != 0 {
+		t.Errorf("tie broke to run %d, want 0", bestRun)
+	}
+}
+
+func TestPortfolioUsesWorkers(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	_, _, err := Portfolio(context.Background(), 16,
+		Config[float64]{Workers: 4, Less: lessFloat},
+		func(ctx context.Context, r int) (float64, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return runCost(r), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p < 2 || p > 4 {
+		t.Errorf("peak concurrency %d, want in [2,4]", p)
+	}
+}
+
+func TestPortfolioLowestErrorWins(t *testing.T) {
+	errs := map[int]error{3: errors.New("run 3"), 1: errors.New("run 1"), 6: errors.New("run 6")}
+	for _, workers := range []int{1, 4} {
+		_, _, err := Portfolio(context.Background(), 8,
+			Config[float64]{Workers: workers, Less: lessFloat},
+			func(ctx context.Context, r int) (float64, error) {
+				if e := errs[r]; e != nil {
+					return 0, e
+				}
+				return runCost(r), nil
+			})
+		if err == nil || err.Error() != "run 1" {
+			t.Errorf("workers=%d: err = %v, want run 1's error", workers, err)
+		}
+	}
+}
+
+func TestPortfolioCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := Portfolio(ctx, 64,
+		Config[float64]{Workers: 4, Less: lessFloat},
+		func(ctx context.Context, r int) (float64, error) {
+			started <- struct{}{}
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return runCost(r), nil
+			}
+		})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPortfolioTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, _, err := Portfolio(ctx, 8,
+		Config[float64]{Workers: 2, Less: lessFloat},
+		func(ctx context.Context, r int) (float64, error) {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Second):
+				return runCost(r), nil
+			}
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPortfolioOnRunHookSerializedAndComplete(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]float64{}
+	inHook := false
+	_, _, err := Portfolio(context.Background(), 20,
+		Config[float64]{
+			Workers: 8,
+			Less:    lessFloat,
+			OnRun: func(u Update[float64]) {
+				mu.Lock()
+				defer mu.Unlock()
+				if inHook {
+					t.Error("OnRun re-entered concurrently")
+				}
+				inHook = true
+				seen[u.Run] = u.Result
+				inHook = false
+			},
+		},
+		func(ctx context.Context, r int) (float64, error) { return runCost(r), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Fatalf("hook saw %d runs, want 20", len(seen))
+	}
+	for r, v := range seen {
+		if v != runCost(r) {
+			t.Errorf("hook run %d = %g, want %g", r, v, runCost(r))
+		}
+	}
+}
+
+func TestPortfolioZeroRunsClampedToOne(t *testing.T) {
+	var calls atomic.Int32
+	_, bestRun, err := Portfolio(context.Background(), 0,
+		Config[float64]{Workers: 4, Less: lessFloat},
+		func(ctx context.Context, r int) (float64, error) {
+			calls.Add(1)
+			return 1, nil
+		})
+	if err != nil || bestRun != 0 || calls.Load() != 1 {
+		t.Fatalf("got bestRun=%d calls=%d err=%v, want one run", bestRun, calls.Load(), err)
+	}
+}
+
+func TestPairSequentialAndParallel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var a, b bool
+		err := Pair(context.Background(), workers,
+			func(ctx context.Context) error { a = true; return nil },
+			func(ctx context.Context) error { b = true; return nil })
+		if err != nil || !a || !b {
+			t.Fatalf("workers=%d: a=%v b=%v err=%v", workers, a, b, err)
+		}
+	}
+}
+
+func TestPairErrorPriority(t *testing.T) {
+	fErr := fmt.Errorf("f failed")
+	gErr := fmt.Errorf("g failed")
+	for _, workers := range []int{1, 4} {
+		err := Pair(context.Background(), workers,
+			func(ctx context.Context) error { return fErr },
+			func(ctx context.Context) error { return gErr })
+		if err != fErr {
+			t.Errorf("workers=%d: err = %v, want f's error", workers, err)
+		}
+	}
+	err := Pair(context.Background(), 4,
+		func(ctx context.Context) error { return nil },
+		func(ctx context.Context) error { return gErr })
+	if err != gErr {
+		t.Errorf("err = %v, want g's error", err)
+	}
+}
+
+func TestPairSequentialSkipsGOnFError(t *testing.T) {
+	fErr := fmt.Errorf("f failed")
+	gRan := false
+	err := Pair(context.Background(), 1,
+		func(ctx context.Context) error { return fErr },
+		func(ctx context.Context) error { gRan = true; return nil })
+	if err != fErr || gRan {
+		t.Errorf("err=%v gRan=%v, want f's error and g skipped", err, gRan)
+	}
+}

@@ -48,6 +48,14 @@ func ReadJSON(r io.Reader) (*hypergraph.Hypergraph, error) {
 		if cost == 0 {
 			cost = 1
 		}
+		// The node list is explicit in this format, so a pin outside it is
+		// a malformed document, not a request to grow the node set (which
+		// is what the builder would otherwise do).
+		for _, p := range nt.Pins {
+			if p < 0 || p >= len(jn.Nodes) {
+				return nil, fmt.Errorf("hgio: json net %d pin %d out of [0,%d)", i, p, len(jn.Nodes))
+			}
+		}
 		if err := b.AddNet(nt.Name, cost, nt.Pins...); err != nil {
 			return nil, fmt.Errorf("hgio: json net %d: %w", i, err)
 		}

@@ -1,0 +1,284 @@
+// Package metrics is a small, dependency-free instrumentation layer for
+// the partitioning engine and the propserve service: expvar-style counters
+// and gauges, a fixed-bucket histogram (cut-size distribution), and a
+// sliding-window latency tracker with p50/p99 quantiles. Everything is
+// safe for concurrent use and exports as one flat JSON document.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d < 0 is ignored — counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value (jobs in flight, queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add shifts the value by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v ≤ Bounds[i]; one extra overflow bucket counts the
+// rest (rendered with bound +Inf).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// HistogramSnapshot is the exported form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// HistogramBucket is one bucket of a HistogramSnapshot.
+type HistogramBucket struct {
+	LE    string `json:"le"` // upper bound ("+Inf" for the overflow bucket)
+	Count int64  `json:"count"`
+}
+
+// Snapshot returns a consistent copy.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.n, Sum: h.sum}
+	if h.n > 0 {
+		s.Mean = h.sum / float64(h.n)
+	}
+	s.Buckets = make([]HistogramBucket, len(h.counts))
+	for i, c := range h.counts {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = trimFloat(h.bounds[i])
+		}
+		s.Buckets[i] = HistogramBucket{LE: le, Count: c}
+	}
+	return s
+}
+
+func trimFloat(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// Latency tracks durations over a sliding window of the most recent
+// observations and reports count/mean/p50/p99.
+type Latency struct {
+	mu    sync.Mutex
+	ring  []float64 // milliseconds
+	next  int
+	full  bool
+	count int64
+	sum   float64
+}
+
+// NewLatency builds a tracker remembering the last window observations
+// (window < 16 selects 16).
+func NewLatency(window int) *Latency {
+	if window < 16 {
+		window = 16
+	}
+	return &Latency{ring: make([]float64, window)}
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.next] = ms
+	l.next++
+	if l.next == len(l.ring) {
+		l.next, l.full = 0, true
+	}
+	l.count++
+	l.sum += ms
+}
+
+// LatencySnapshot is the exported form of a Latency tracker. All times are
+// milliseconds; quantiles cover the sliding window, count and mean cover
+// the full lifetime.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Snapshot returns a consistent copy.
+func (l *Latency) Snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LatencySnapshot{Count: l.count}
+	if l.count > 0 {
+		s.MeanMS = l.sum / float64(l.count)
+	}
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	if n == 0 {
+		return s
+	}
+	window := append([]float64(nil), l.ring[:n]...)
+	sort.Float64s(window)
+	s.P50MS = quantile(window, 0.50)
+	s.P99MS = quantile(window, 0.99)
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(math.Floor(pos))
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Registry is a named collection of metrics exporting as one JSON object.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	items map[string]func() any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: map[string]func() any{}}
+}
+
+// publish registers a lazily evaluated metric; re-registering a name
+// replaces it.
+func (r *Registry) publish(name string, fn func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.items[name]; !dup {
+		r.order = append(r.order, name)
+	}
+	r.items[name] = fn
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.publish(name, func() any { return c.Value() })
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.publish(name, func() any { return g.Value() })
+	return g
+}
+
+// Histogram registers and returns a new histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	h := NewHistogram(bounds...)
+	r.publish(name, func() any { return h.Snapshot() })
+	return h
+}
+
+// Latency registers and returns a new latency tracker.
+func (r *Registry) Latency(name string, window int) *Latency {
+	l := NewLatency(window)
+	r.publish(name, func() any { return l.Snapshot() })
+	return l
+}
+
+// Func registers a computed metric (e.g. uptime).
+func (r *Registry) Func(name string, fn func() any) { r.publish(name, fn) }
+
+// WriteJSON emits every metric as one indented JSON object with stable key
+// order (registration order).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fns := make([]func() any, len(names))
+	for i, n := range names {
+		fns[i] = r.items[n]
+	}
+	r.mu.Unlock()
+
+	// Hand-assemble the object so key order is stable for humans and tests.
+	if _, err := io.WriteString(w, "{\n"); err != nil {
+		return err
+	}
+	for i, n := range names {
+		key, _ := json.Marshal(n)
+		val, err := json.MarshalIndent(fns[i](), " ", " ")
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(names)-1 {
+			sep = "\n"
+		}
+		if _, err := io.WriteString(w, " "+string(key)+": "+string(val)+sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// ServeHTTP implements http.Handler, serving the JSON export.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.WriteJSON(w)
+}

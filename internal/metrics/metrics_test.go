@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{1, 10, 11, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	want := []int64{2, 3, 0, 1} // ≤10: {1,10}; ≤100: {11,99,100}; ≤1000: {}; +Inf: {5000}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d (le %s) = %d, want %d", i, b.LE, b.Count, want[i])
+		}
+	}
+	if s.Buckets[3].LE != "+Inf" {
+		t.Errorf("overflow bucket le = %q", s.Buckets[3].LE)
+	}
+	if s.Mean != (1+10+11+99+100+5000)/6.0 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency(128)
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50MS < 49 || s.P50MS > 52 {
+		t.Errorf("p50 = %g, want ≈50.5", s.P50MS)
+	}
+	if s.P99MS < 98 || s.P99MS > 100 {
+		t.Errorf("p99 = %g, want ≈99", s.P99MS)
+	}
+	if s.MeanMS != 50.5 {
+		t.Errorf("mean = %g, want 50.5", s.MeanMS)
+	}
+}
+
+func TestLatencyWindowSlides(t *testing.T) {
+	l := NewLatency(16)
+	// 100 old slow observations, then 16 fast ones fill the window.
+	for i := 0; i < 100; i++ {
+		l.Observe(time.Second)
+	}
+	for i := 0; i < 16; i++ {
+		l.Observe(time.Millisecond)
+	}
+	s := l.Snapshot()
+	if s.P99MS > 2 {
+		t.Errorf("p99 = %g ms, want ~1 (window should have slid)", s.P99MS)
+	}
+	if s.Count != 116 {
+		t.Errorf("lifetime count = %d, want 116", s.Count)
+	}
+}
+
+func TestRegistryJSONStableOrder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	r.Gauge("jobs_in_flight")
+	r.Histogram("cut_cost", 10, 100)
+	r.Latency("latency", 64)
+	r.Func("uptime_seconds", func() any { return 42 })
+	c.Add(3)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded["jobs_total"] != float64(3) {
+		t.Errorf("jobs_total = %v", decoded["jobs_total"])
+	}
+	// Registration order is preserved in the serialized text.
+	order := []string{"jobs_total", "jobs_in_flight", "cut_cost", "latency", "uptime_seconds"}
+	last := -1
+	for _, name := range order {
+		i := strings.Index(out, `"`+name+`"`)
+		if i < 0 || i < last {
+			t.Errorf("metric %q out of order in output", name)
+		}
+		last = i
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["hits"] != float64(1) {
+		t.Errorf("hits = %v", decoded["hits"])
+	}
+}

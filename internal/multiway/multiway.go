@@ -5,15 +5,18 @@
 package multiway
 
 import (
+	"context"
 	"fmt"
 
+	"prop/internal/engine"
 	"prop/internal/hypergraph"
 	"prop/internal/partition"
 )
 
 // Bipartitioner produces a side assignment for a (sub)hypergraph. seed
-// varies per recursion node so multi-start partitioners diversify.
-type Bipartitioner func(h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error)
+// varies per recursion node so multi-start partitioners diversify. ctx
+// carries cancellation from the recursive driver.
+type Bipartitioner func(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error)
 
 // Config controls the recursive driver.
 type Config struct {
@@ -25,6 +28,13 @@ type Config struct {
 	// Cut is the 2-way engine.
 	Cut  Bipartitioner
 	Seed int64
+	// Workers bounds concurrent recursive subproblems: after each
+	// bisection the two halves are independent, so with Workers > 1 they
+	// recurse in parallel (deterministically — each subproblem derives its
+	// seed from its position in the recursion tree and writes a disjoint
+	// slice of the part vector). 0 selects GOMAXPROCS, 1 recurses
+	// sequentially.
+	Workers int
 }
 
 // Result is a k-way partition.
@@ -38,6 +48,12 @@ type Result struct {
 
 // Partition recursively bisects h into cfg.K parts.
 func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
+	return PartitionCtx(context.Background(), h, cfg)
+}
+
+// PartitionCtx recursively bisects h into cfg.K parts, honoring ctx
+// cancellation between (and, through cfg.Cut, within) bisections.
+func PartitionCtx(ctx context.Context, h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 	if cfg.K < 2 || cfg.K&(cfg.K-1) != 0 {
 		return Result{}, fmt.Errorf("multiway: K=%d, want a power of two ≥ 2", cfg.K)
 	}
@@ -52,14 +68,17 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 	for i := range nodes {
 		nodes[i] = i
 	}
-	if err := recurse(h, nodes, 0, cfg.K, cfg, parts); err != nil {
+	if err := recurse(ctx, h, nodes, 0, cfg.K, cfg, parts); err != nil {
 		return Result{}, err
 	}
 	cutNets, cutCost := EvaluateKWay(h, parts)
 	return Result{Parts: parts, CutNets: cutNets, CutCost: cutCost}, nil
 }
 
-func recurse(h *hypergraph.Hypergraph, nodes []int, base, k int, cfg Config, parts []int) error {
+func recurse(ctx context.Context, h *hypergraph.Hypergraph, nodes []int, base, k int, cfg Config, parts []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if k == 1 {
 		for _, u := range nodes {
 			parts[u] = base
@@ -71,7 +90,7 @@ func recurse(h *hypergraph.Hypergraph, nodes []int, base, k int, cfg Config, par
 		return err
 	}
 	seed := cfg.Seed*1000003 + int64(base)*8191 + int64(k)
-	sides, err := cfg.Cut(sub, cfg.Balance, seed)
+	sides, err := cfg.Cut(ctx, sub, cfg.Balance, seed)
 	if err != nil {
 		return err
 	}
@@ -89,10 +108,11 @@ func recurse(h *hypergraph.Hypergraph, nodes []int, base, k int, cfg Config, par
 	if len(left) == 0 || len(right) == 0 {
 		return fmt.Errorf("multiway: degenerate bisection at part base %d", base)
 	}
-	if err := recurse(h, left, base, k/2, cfg, parts); err != nil {
-		return err
-	}
-	return recurse(h, right, base+k/2, k/2, cfg, parts)
+	// The two halves are independent subproblems over disjoint node sets
+	// writing disjoint entries of parts — recurse concurrently.
+	return engine.Pair(ctx, cfg.Workers,
+		func(ctx context.Context) error { return recurse(ctx, h, left, base, k/2, cfg, parts) },
+		func(ctx context.Context) error { return recurse(ctx, h, right, base+k/2, k/2, cfg, parts) })
 }
 
 // Induce builds the subhypergraph on the given node subset: nets keep only

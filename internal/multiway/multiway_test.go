@@ -1,6 +1,7 @@
 package multiway_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 	"prop/internal/partition"
 )
 
-func fmCutter(h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error) {
+func fmCutter(_ context.Context, h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error) {
 	b, err := partition.NewBisection(h, partition.RandomSides(h, bal, randFor(seed)))
 	if err != nil {
 		return nil, err
@@ -24,7 +25,7 @@ func fmCutter(h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]ui
 	return res.Sides, nil
 }
 
-func propCutter(h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error) {
+func propCutter(_ context.Context, h *hypergraph.Hypergraph, bal partition.Balance, seed int64) ([]uint8, error) {
 	b, err := partition.NewBisection(h, partition.RandomSides(h, bal, randFor(seed)))
 	if err != nil {
 		return nil, err

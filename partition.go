@@ -1,6 +1,7 @@
 package prop
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"prop/internal/anneal"
 	"prop/internal/cluster"
 	"prop/internal/core"
+	"prop/internal/engine"
 	"prop/internal/fm"
 	"prop/internal/hypergraph"
 	"prop/internal/kl"
@@ -69,8 +71,29 @@ type Options struct {
 	// the paper's §5 "clustering initial phase".
 	ClusteredStart bool
 
+	// Parallel bounds the worker goroutines executing multi-start runs and
+	// recursive k-way subproblems: 0 selects GOMAXPROCS, 1 runs
+	// sequentially. Every run derives its own seed, so the result is
+	// identical for every Parallel value (the reduction reproduces the
+	// sequential best-of tie-break).
+	Parallel int
+
+	// OnRun, when non-nil, observes every completed multi-start run.
+	// Calls are serialized but arrive in completion order, which under
+	// Parallel > 1 need not be run order.
+	OnRun func(RunUpdate)
+
 	// PROP overrides the paper's default PROP parameters when non-nil.
 	PROP *PROPParams
+}
+
+// RunUpdate reports one completed multi-start run to Options.OnRun.
+type RunUpdate struct {
+	// Run is the 0-based run index.
+	Run int
+	// CutCost and CutNets are the run's final cut.
+	CutCost float64
+	CutNets int
 }
 
 // PROPParams exposes PROP's tunables (see the paper §3.2–3.4; zero values
@@ -106,9 +129,19 @@ func (o Options) balance() (partition.Balance, error) {
 
 // Partition bipartitions the netlist.
 func Partition(n *Netlist, o Options) (Result, error) {
+	return PartitionCtx(context.Background(), n, o)
+}
+
+// PartitionCtx bipartitions the netlist under a context: cancelling ctx
+// (or passing a deadline) aborts the multi-start portfolio between runs
+// and returns ctx's error. Runs execute concurrently per Options.Parallel.
+func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 	start := time.Now()
 	bal, err := o.balance()
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	if o.Algorithm == "" {
@@ -152,7 +185,7 @@ func Partition(n *Netlist, o Options) (Result, error) {
 		}
 		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
 	case AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK, AlgoSA:
-		res, err = multiStart(n.h, bal, o, runs)
+		res, err = multiStart(ctx, n.h, bal, o, runs)
 		if err != nil {
 			return Result{}, err
 		}
@@ -163,30 +196,56 @@ func Partition(n *Netlist, o Options) (Result, error) {
 	return res, nil
 }
 
-func multiStart(h *hypergraph.Hypergraph, bal partition.Balance, o Options, runs int) (Result, error) {
-	best := Result{CutCost: -1}
-	for r := 0; r < runs; r++ {
-		seed := o.Seed + int64(r)
-		var initial []uint8
-		if o.ClusteredStart && r == 0 {
-			s, err := cluster.ClusteredSides(h, bal, h.NumNodes()/16+2, seed)
-			if err != nil {
-				return Result{}, err
-			}
-			initial = s
-		} else {
-			initial = partition.RandomSides(h, bal, rand.New(rand.NewSource(seed)))
-		}
-		sides, cost, nets, err := oneRun(h, bal, o, initial, seed)
-		if err != nil {
-			return Result{}, err
-		}
-		if best.CutCost < 0 || cost < best.CutCost {
-			best.Sides, best.CutCost, best.CutNets, best.BestRun = sides, cost, nets, r
+// runResult is one multi-start run's outcome flowing through the engine.
+type runResult struct {
+	sides []uint8
+	cost  float64
+	nets  int
+}
+
+// multiStart executes the multi-start portfolio on the engine's worker
+// pool. Each run is a pure function of its index (seed = o.Seed + r), so
+// the concurrent execution returns bit-identical results to the legacy
+// sequential loop for every Options.Parallel value.
+func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Balance, o Options, runs int) (Result, error) {
+	cfg := engine.Config[runResult]{
+		Workers: o.Parallel,
+		Less:    func(a, b runResult) bool { return a.cost < b.cost },
+	}
+	if o.OnRun != nil {
+		cfg.OnRun = func(u engine.Update[runResult]) {
+			o.OnRun(RunUpdate{Run: u.Run, CutCost: u.Result.cost, CutNets: u.Result.nets})
 		}
 	}
-	best.Runs = runs
-	return best, nil
+	best, bestRun, err := engine.Portfolio(ctx, runs, cfg,
+		func(ctx context.Context, r int) (runResult, error) {
+			seed := o.Seed + int64(r)
+			var initial []uint8
+			if o.ClusteredStart && r == 0 {
+				s, err := cluster.ClusteredSides(h, bal, h.NumNodes()/16+2, seed)
+				if err != nil {
+					return runResult{}, err
+				}
+				initial = s
+			} else {
+				initial = partition.RandomSides(h, bal, rand.New(rand.NewSource(seed)))
+			}
+			sides, cost, nets, err := oneRun(h, bal, o, initial, seed)
+			if err != nil {
+				return runResult{}, err
+			}
+			return runResult{sides: sides, cost: cost, nets: nets}, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Sides:   best.sides,
+		CutCost: best.cost,
+		CutNets: best.nets,
+		Runs:    runs,
+		BestRun: bestRun,
+	}, nil
 }
 
 func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial []uint8, seed int64) ([]uint8, float64, int, error) {
@@ -288,12 +347,20 @@ type KWayResult struct {
 // using the configured 2-way algorithm at every level — the paper's
 // recursive min-cut scheme (§1) and §5 k-way extension.
 func KWay(n *Netlist, k int, o Options) (KWayResult, error) {
+	return KWayCtx(context.Background(), n, k, o)
+}
+
+// KWayCtx is KWay under a context: with Options.Parallel ≠ 1 the two
+// halves of every bisection recurse concurrently and each bisection runs
+// its multi-start portfolio on the worker pool; cancelling ctx aborts the
+// recursion.
+func KWayCtx(ctx context.Context, n *Netlist, k int, o Options) (KWayResult, error) {
 	start := time.Now()
 	bal, err := o.balance()
 	if err != nil {
 		return KWayResult{}, err
 	}
-	cutter := func(h *hypergraph.Hypergraph, b partition.Balance, seed int64) ([]uint8, error) {
+	cutter := func(ctx context.Context, h *hypergraph.Hypergraph, b partition.Balance, seed int64) ([]uint8, error) {
 		oo := o
 		oo.Seed = seed
 		oo.R1, oo.R2 = b.R1, b.R2
@@ -303,20 +370,22 @@ func KWay(n *Netlist, k int, o Options) (KWayResult, error) {
 		}
 		switch oo.Algorithm {
 		case AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow:
-			res, err := Partition(&Netlist{h}, oo)
+			res, err := PartitionCtx(ctx, &Netlist{h}, oo)
 			if err != nil {
 				return nil, err
 			}
 			return res.Sides, nil
 		default:
-			res, err := multiStart(h, b, oo, runs)
+			res, err := multiStart(ctx, h, b, oo, runs)
 			if err != nil {
 				return nil, err
 			}
 			return res.Sides, nil
 		}
 	}
-	r, err := multiway.Partition(n.h, multiway.Config{K: k, Balance: bal, Cut: cutter, Seed: o.Seed})
+	r, err := multiway.PartitionCtx(ctx, n.h, multiway.Config{
+		K: k, Balance: bal, Cut: cutter, Seed: o.Seed, Workers: o.Parallel,
+	})
 	if err != nil {
 		return KWayResult{}, err
 	}
@@ -335,6 +404,12 @@ func KWay(n *Netlist, k int, o Options) (KWayResult, error) {
 // k may be any integer ≥ 2 (no power-of-two restriction). Runs multi-start
 // like the 2-way engines.
 func KWayDirect(n *Netlist, k int, o Options) (KWayResult, error) {
+	return KWayDirectCtx(context.Background(), n, k, o)
+}
+
+// KWayDirectCtx is KWayDirect under a context, running its multi-start
+// portfolio on the engine's worker pool per Options.Parallel.
+func KWayDirectCtx(ctx context.Context, n *Netlist, k int, o Options) (KWayResult, error) {
 	start := time.Now()
 	runs := o.Runs
 	if runs < 1 {
@@ -346,18 +421,22 @@ func KWayDirect(n *Netlist, k int, o Options) (KWayResult, error) {
 	if o.R1 != 0 || o.R2 != 0 {
 		kbal = kwaydirect.Balance{R1: o.R1, R2: o.R2}
 	}
-	var best kwaydirect.Result
-	found := false
-	for r := 0; r < runs; r++ {
-		rng := rand.New(rand.NewSource(o.Seed + int64(r)))
-		res, err := kwaydirect.Partition(n.h, kwaydirect.RandomParts(n.h, k, rng), kwaydirect.Config{K: k, Balance: kbal})
-		if err != nil {
-			return KWayResult{}, err
+	cfg := engine.Config[kwaydirect.Result]{
+		Workers: o.Parallel,
+		Less:    func(a, b kwaydirect.Result) bool { return a.CutCost < b.CutCost },
+	}
+	if o.OnRun != nil {
+		cfg.OnRun = func(u engine.Update[kwaydirect.Result]) {
+			o.OnRun(RunUpdate{Run: u.Run, CutCost: u.Result.CutCost, CutNets: u.Result.CutNets})
 		}
-		if !found || res.CutCost < best.CutCost {
-			best = res
-			found = true
-		}
+	}
+	best, _, err := engine.Portfolio(ctx, runs, cfg,
+		func(ctx context.Context, r int) (kwaydirect.Result, error) {
+			rng := rand.New(rand.NewSource(o.Seed + int64(r)))
+			return kwaydirect.Partition(n.h, kwaydirect.RandomParts(n.h, k, rng), kwaydirect.Config{K: k, Balance: kbal})
+		})
+	if err != nil {
+		return KWayResult{}, err
 	}
 	return KWayResult{
 		Parts:       best.Parts,
