@@ -16,25 +16,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"prop/internal/bench"
 )
 
 func main() {
 	var (
-		full     = flag.Bool("full", false, "paper protocol: all 16 circuits, 20 base runs")
-		table    = flag.Int("table", 0, "print only this table (1-4); 0 = all requested content")
-		figure1  = flag.Bool("figure1", false, "print only the Figure-1 worked example")
-		scaling  = flag.Bool("scaling", false, "print only the scaling study")
-		ablation = flag.Bool("ablation", false, "print only the PROP ablation study")
-		exts     = flag.Bool("extensions", false, "print only the extensions study (multilevel, KL/SK, SA)")
-		balSweep = flag.Bool("balance", false, "print only the balance-window sweep")
-		maxNodes = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
-		runs     = flag.Int("runs", 0, "override base multi-start count")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		verbose  = flag.Bool("v", false, "log per-method progress")
+		full       = flag.Bool("full", false, "paper protocol: all 16 circuits, 20 base runs")
+		table      = flag.Int("table", 0, "print only this table (1-4); 0 = all requested content")
+		figure1    = flag.Bool("figure1", false, "print only the Figure-1 worked example")
+		scaling    = flag.Bool("scaling", false, "print only the scaling study")
+		ablation   = flag.Bool("ablation", false, "print only the PROP ablation study")
+		exts       = flag.Bool("extensions", false, "print only the extensions study (multilevel, KL/SK, SA)")
+		balSweep   = flag.Bool("balance", false, "print only the balance-window sweep")
+		hotpath    = flag.String("hotpath", "", "run the hot-path timing study and write the JSON report to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the requested work to this file")
+		maxNodes   = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
+		runs       = flag.Int("runs", 0, "override base multi-start count")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		verbose    = flag.Bool("v", false, "log per-method progress")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if *hotpath != "" {
+		r := *runs
+		if r == 0 {
+			r = 3
+		}
+		var progress *os.File
+		if *verbose {
+			progress = os.Stderr
+		}
+		rep, err := bench.RunHotpath(bench.DefaultHotpathCircuits(), r, *seed, progress)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*hotpath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteHotpath(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hotpath report written to %s\n", *hotpath)
+		return
+	}
 
 	switch {
 	case *figure1:

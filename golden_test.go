@@ -1,0 +1,90 @@
+package prop_test
+
+import (
+	"testing"
+
+	"prop"
+)
+
+// sideHash is FNV-1a over the side-assignment bytes — a compact fingerprint
+// of the exact partition, not just its cut value.
+func sideHash(sides []uint8) uint64 {
+	const (
+		basis = 1469598103934665603
+		prime = 1099511628211
+	)
+	h := uint64(basis)
+	for _, s := range sides {
+		h ^= uint64(s)
+		h *= prime
+	}
+	return h
+}
+
+// golden records the full pre-CSR-migration outcome of a deterministic
+// multi-start run: winning cut cost, winning run index and the FNV-1a hash
+// of the winning side assignment.
+type golden struct {
+	cost    float64
+	bestRun int
+	hash    uint64
+}
+
+// TestGoldenCutsAcrossMigration pins PROP and FM multi-start results to the
+// values produced by the slice-of-slices hypergraph representation before
+// the flat-CSR migration. Any float reordering, iteration-order change or
+// adjacency bug in the CSR/incremental-refinement path shows up here as a
+// changed cut, winner or side hash.
+func TestGoldenCutsAcrossMigration(t *testing.T) {
+	cases := []struct {
+		circuit string
+		prop    golden
+		fm      golden
+	}{
+		{"balu", golden{51, 0, 0x951374aafaf280e4}, golden{56, 2, 0xe1aa91b0c00779e4}},
+		{"struct", golden{44, 1, 0x1c610d4b7893512c}, golden{55, 1, 0x111308ef60ac7128}},
+		{"p2", golden{123, 2, 0xb9b315385cfb9569}, golden{155, 2, 0x6058fc113e79d67f}},
+		{"industry2", golden{553, 1, 0x5ad230a75a0b9a7f}, golden{710, 2, 0x1ff487b9b8cec5ee}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.circuit, func(t *testing.T) {
+			if testing.Short() && tc.circuit == "industry2" {
+				t.Skip("short mode")
+			}
+			n, err := prop.Benchmark(tc.circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, n, prop.AlgoPROP, 3, 7, tc.prop)
+			check(t, n, prop.AlgoFM, 3, 7, tc.fm)
+		})
+	}
+}
+
+// TestGoldenCutsGenerated covers the window-model generator path with more
+// runs, exercising the best-run tie-break across a longer portfolio.
+func TestGoldenCutsGenerated(t *testing.T) {
+	n, err := prop.Generate(prop.GenParams{Nodes: 600, Nets: 660, Pins: 2300, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, n, prop.AlgoPROP, 5, 11, golden{48, 4, 0xf732c54e9365b36e})
+	check(t, n, prop.AlgoFM, 5, 11, golden{55, 0, 0x48db48f4509eda0a})
+}
+
+func check(t *testing.T, n *prop.Netlist, algo prop.Algorithm, runs int, seed int64, want golden) {
+	t.Helper()
+	res, err := prop.Partition(n, prop.Options{Algorithm: algo, Runs: runs, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := golden{res.CutCost, res.BestRun, sideHash(res.Sides)}
+	if got != want {
+		t.Errorf("%s: got {cost:%g best:%d hash:%#x}, want {cost:%g best:%d hash:%#x}",
+			algo, got.cost, got.bestRun, got.hash, want.cost, want.bestRun, want.hash)
+	}
+	if cost, _, err := prop.Verify(n, res.Sides, prop.Options{}); err != nil || cost != res.CutCost {
+		t.Errorf("%s: independent recount %g (err %v) vs reported %g", algo, cost, err, res.CutCost)
+	}
+}

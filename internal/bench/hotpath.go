@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"prop/internal/core"
+	"prop/internal/fm"
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// The hot-path study times single-threaded PROP and FM runs per circuit —
+// the quantity the CSR + incremental-refinement work optimizes — and emits
+// a machine-readable report (scripts/bench.sh writes it to
+// BENCH_hotpath.json) so perf regressions are diffable across commits.
+
+// HotpathSeries is the timing of one method on one circuit.
+type HotpathSeries struct {
+	// BestCut is the best cut over the runs (same multi-start protocol and
+	// seeds as the golden tests, so it must not drift across perf work).
+	BestCut float64 `json:"best_cut"`
+	// RunMillis is the wall-clock time of each independent run, run order.
+	RunMillis []float64 `json:"run_millis"`
+	// MeanMillis and MinMillis summarize RunMillis.
+	MeanMillis float64 `json:"mean_millis"`
+	MinMillis  float64 `json:"min_millis"`
+}
+
+// HotpathCircuit is the per-circuit record.
+type HotpathCircuit struct {
+	Name  string         `json:"name"`
+	Nodes int            `json:"nodes"`
+	Nets  int            `json:"nets"`
+	Pins  int            `json:"pins"`
+	Runs  int            `json:"runs"`
+	PROP  HotpathSeries  `json:"prop"`
+	FM    *HotpathSeries `json:"fm,omitempty"`
+}
+
+// HotpathReport is the full study.
+type HotpathReport struct {
+	GoMaxProcs int              `json:"gomaxprocs"`
+	GoVersion  string           `json:"go_version"`
+	Seed       int64            `json:"seed"`
+	Circuits   []HotpathCircuit `json:"circuits"`
+}
+
+// DefaultHotpathCircuits is the study's circuit set: the three largest
+// suite circuits, where the hot loops dominate setup.
+func DefaultHotpathCircuits() []string { return []string{"biomed", "s15850", "industry2"} }
+
+// RunHotpath times runs multi-start runs of PROP (and FM for reference) on
+// each named suite circuit. Every run is timed individually so the report
+// captures per-run wall clock, the acceptance metric of the hot-path
+// optimization work.
+func RunHotpath(names []string, runs int, seed int64, progress io.Writer) (HotpathReport, error) {
+	rep := HotpathReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+	}
+	specs := map[string]gen.SuiteSpec{}
+	for _, s := range gen.Table1() {
+		specs[s.Name] = s
+	}
+	bal := partition.Exact5050()
+	for _, name := range names {
+		spec, ok := specs[name]
+		if !ok {
+			return rep, fmt.Errorf("bench: unknown hotpath circuit %q", name)
+		}
+		c, err := gen.SuiteCircuit(spec)
+		if err != nil {
+			return rep, err
+		}
+		h := c.H
+		rec := HotpathCircuit{
+			Name:  name,
+			Nodes: h.NumNodes(),
+			Nets:  h.NumNets(),
+			Pins:  h.NumPins(),
+			Runs:  runs,
+		}
+		propRun := func(seed int64) (float64, error) {
+			b, err := randomStart(h, bal, seed)
+			if err != nil {
+				return 0, err
+			}
+			res, err := core.Partition(b, core.DefaultConfig(bal))
+			if err != nil {
+				return 0, err
+			}
+			return res.CutCost, nil
+		}
+		fmRun := func(seed int64) (float64, error) {
+			b, err := randomStart(h, bal, seed)
+			if err != nil {
+				return 0, err
+			}
+			res, err := fm.Partition(b, fm.Config{Balance: bal, Selector: fm.Bucket})
+			if err != nil {
+				return 0, err
+			}
+			return res.CutCost, nil
+		}
+		if rec.PROP, err = timeSeries(propRun, runs, seed); err != nil {
+			return rep, fmt.Errorf("bench: hotpath %s PROP: %w", name, err)
+		}
+		fmSeries, err := timeSeries(fmRun, runs, seed)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hotpath %s FM: %w", name, err)
+		}
+		rec.FM = &fmSeries
+		if progress != nil {
+			fmt.Fprintf(progress, "hotpath %-10s PROP cut %g mean %.1fms | FM cut %g mean %.1fms\n",
+				name, rec.PROP.BestCut, rec.PROP.MeanMillis, rec.FM.BestCut, rec.FM.MeanMillis)
+		}
+		rep.Circuits = append(rep.Circuits, rec)
+	}
+	return rep, nil
+}
+
+func timeSeries(run func(seed int64) (float64, error), runs int, seed int64) (HotpathSeries, error) {
+	s := HotpathSeries{RunMillis: make([]float64, 0, runs)}
+	best := 0.0
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		cut, err := run(seed + int64(r))
+		if err != nil {
+			return s, err
+		}
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+		s.RunMillis = append(s.RunMillis, ms)
+		if r == 0 || cut < best {
+			best = cut
+		}
+	}
+	s.BestCut = best
+	var sum float64
+	s.MinMillis = s.RunMillis[0]
+	for _, ms := range s.RunMillis {
+		sum += ms
+		if ms < s.MinMillis {
+			s.MinMillis = ms
+		}
+	}
+	s.MeanMillis = sum / float64(len(s.RunMillis))
+	return s, nil
+}
+
+// WriteHotpath emits the report as indented JSON.
+func WriteHotpath(w io.Writer, rep HotpathReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -107,11 +107,12 @@ func matchOnce(h *hypergraph.Hypergraph, rng *rand.Rand) ([]int, *hypergraph.Hyp
 		for k := range weight {
 			delete(weight, k)
 		}
+		u32 := int32(u)
 		for _, e := range h.NetsOf(u) {
-			w := h.NetCost(e) / float64(h.NetSize(e)-1)
-			for _, v := range h.Net(e) {
-				if v != u && match[v] < 0 {
-					weight[v] += w
+			w := h.NetCost(int(e)) / float64(h.NetSize(int(e))-1)
+			for _, v := range h.Net(int(e)) {
+				if v != u32 && match[v] < 0 {
+					weight[int(v)] += w
 				}
 			}
 		}

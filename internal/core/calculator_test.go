@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prop/internal/core"
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+func randomCalc(t *testing.T, nodes, nets, pins int, seed int64) *core.Calculator {
+	t.Helper()
+	h := gen.MustGenerate(gen.Params{Nodes: nodes, Nets: nets, Pins: pins, Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+	b, err := partition.NewBisection(h, partition.RandomSides(h, partition.Exact5050(), rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.NewCalculator(b)
+	for u := range c.P {
+		c.P[u] = 0.4 + 0.55*rng.Float64()
+	}
+	c.Rebuild()
+	return c
+}
+
+// TestSetPLockedNoop: SetP on a locked node must not touch P or the side
+// products — a locked node's probability is pinned to 0 (Eqns. 5–6), and a
+// write here would corrupt every product the node participates in for the
+// rest of the pass.
+func TestSetPLockedNoop(t *testing.T) {
+	c := randomCalc(t, 150, 170, 560, 21)
+	h := c.B.H
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		u := rng.Intn(h.NumNodes())
+		if !c.Locked[u] {
+			c.MoveLock(u)
+		}
+		before := [2][]float64{}
+		for s := 0; s < 2; s++ {
+			before[s] = make([]float64, h.NumNets())
+			for e := 0; e < h.NumNets(); e++ {
+				before[s][e] = c.Prod(uint8(s), e)
+			}
+		}
+		c.SetP(u, 0.7)
+		if c.P[u] != 0 {
+			t.Fatalf("SetP on locked node %d wrote P = %g, want 0", u, c.P[u])
+		}
+		for s := 0; s < 2; s++ {
+			for e := 0; e < h.NumNets(); e++ {
+				if c.Prod(uint8(s), e) != before[s][e] {
+					t.Fatalf("SetP on locked node %d changed prod[%d][%d]: %g -> %g",
+						u, s, e, before[s][e], c.Prod(uint8(s), e))
+				}
+			}
+		}
+	}
+}
+
+// exactProds recomputes every net's side products from scratch.
+func exactProds(c *core.Calculator) [2][]float64 {
+	h := c.B.H
+	var out [2][]float64
+	out[0] = make([]float64, h.NumNets())
+	out[1] = make([]float64, h.NumNets())
+	for e := 0; e < h.NumNets(); e++ {
+		p0, p1 := 1.0, 1.0
+		for _, v := range h.Net(e) {
+			if c.Locked[v] {
+				continue
+			}
+			if c.B.Side(int(v)) == 0 {
+				p0 *= c.P[v]
+			} else {
+				p1 *= c.P[v]
+			}
+		}
+		out[0][e], out[1][e] = p0, p1
+	}
+	return out
+}
+
+// TestCalculatorDriftGuard: after thousands of random SetP/MoveLock/Reset
+// operations the incrementally maintained products stay within 1e-9 of an
+// exact recompute, and with RebuildEvery = 1 they are bitwise exact after
+// every operation.
+func TestCalculatorDriftGuard(t *testing.T) {
+	c := randomCalc(t, 300, 330, 1100, 31)
+	h := c.B.H
+	rng := rand.New(rand.NewSource(7))
+	locked := 0
+	for op := 0; op < 20000; op++ {
+		u := rng.Intn(h.NumNodes())
+		switch {
+		case locked > h.NumNodes()/2:
+			c.ResetLocks()
+			for v := range c.P {
+				c.P[v] = 0.4 + 0.55*rng.Float64()
+			}
+			c.Rebuild()
+			locked = 0
+		case c.Locked[u]:
+			// skip
+		case rng.Intn(20) == 0:
+			c.MoveLock(u)
+			locked++
+		default:
+			c.SetP(u, 0.4+0.55*rng.Float64())
+		}
+	}
+	exact := exactProds(c)
+	for s := 0; s < 2; s++ {
+		for e := 0; e < h.NumNets(); e++ {
+			got, want := c.Prod(uint8(s), e), exact[s][e]
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("prod[%d][%d] drifted: incremental %g, exact %g", s, e, got, want)
+			}
+		}
+	}
+
+	// With RebuildEvery = 1 every ratio update triggers a full exact
+	// rebuild, so the products must match the exact recompute bitwise.
+	c2 := randomCalc(t, 300, 330, 1100, 31)
+	c2.RebuildEvery = 1
+	rng = rand.New(rand.NewSource(8))
+	for op := 0; op < 500; op++ {
+		u := rng.Intn(h.NumNodes())
+		if c2.Locked[u] {
+			continue
+		}
+		c2.SetP(u, 0.4+0.55*rng.Float64())
+	}
+	exact = exactProds(c2)
+	for s := 0; s < 2; s++ {
+		for e := 0; e < c2.B.H.NumNets(); e++ {
+			if got, want := c2.Prod(uint8(s), e), exact[s][e]; got != want {
+				t.Fatalf("RebuildEvery=1: prod[%d][%d] = %g, exact %g (not bitwise equal)", s, e, got, want)
+			}
+		}
+	}
+}
+
+// TestGainMatchesNetGainSum: the fused flat Gain loop must be bit-identical
+// to the composed Σ_e NetGain(u, e) it replaces — same float operations in
+// the same order, across unlocked and locked nodes and every lock state a
+// pass produces.
+func TestGainMatchesNetGainSum(t *testing.T) {
+	c := randomCalc(t, 250, 280, 930, 41)
+	h := c.B.H
+	rng := rand.New(rand.NewSource(9))
+	check := func(stage string) {
+		for u := 0; u < h.NumNodes(); u++ {
+			var want float64
+			for _, e := range h.NetsOf(u) {
+				want += c.NetGain(u, int(e))
+			}
+			if got := c.Gain(u); got != want {
+				t.Fatalf("%s: Gain(%d) = %g, Σ NetGain = %g (not bitwise equal)", stage, u, got, want)
+			}
+		}
+	}
+	check("fresh")
+	for i := 0; i < 60; i++ {
+		u := rng.Intn(h.NumNodes())
+		if c.Locked[u] {
+			continue
+		}
+		if rng.Intn(4) == 0 {
+			c.MoveLock(u)
+		} else {
+			c.SetP(u, 0.4+0.55*rng.Float64())
+		}
+	}
+	check("after moves")
+	// Zero-probability pins exercise the exact-recompute fallback path.
+	for i := 0; i < 10; i++ {
+		u := rng.Intn(h.NumNodes())
+		if !c.Locked[u] {
+			c.P[u] = 0
+		}
+	}
+	c.Rebuild()
+	check("with zero pins")
+}

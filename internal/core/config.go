@@ -70,6 +70,13 @@ type Config struct {
 
 	// MaxPasses bounds improvement passes; 0 = run until G_max ≤ 0.
 	MaxPasses int
+
+	// Workers is the worker count for the refinement gain sweeps, resolved
+	// with engine semantics (≤ 0 selects GOMAXPROCS). Any value yields
+	// bit-identical results: shards are fixed node ranges and each gain is
+	// a pure read of shared state. DefaultConfig sets 1 (serial) because
+	// multi-start engines already saturate cores with whole runs.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental parameter set with the
@@ -85,6 +92,7 @@ func DefaultConfig(bal partition.Balance) Config {
 		Init:        InitBlind,
 		Refinements: 2,
 		TopK:        5,
+		Workers:     1,
 	}
 }
 

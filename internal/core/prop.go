@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"prop/internal/ds"
+	"prop/internal/engine"
 	"prop/internal/partition"
 )
 
@@ -25,13 +29,7 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	e := &engine{
-		b:    b,
-		cfg:  cfg,
-		calc: NewCalculator(b),
-		gain: make([]float64, b.H.NumNodes()),
-	}
-	e.nbrScratch = make([]bool, b.H.NumNodes())
+	e := newPassEngine(b, cfg)
 	passes, moves := 0, 0
 	var passCuts []float64
 	for {
@@ -53,19 +51,48 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 	}, nil
 }
 
-type engine struct {
+type passEngine struct {
 	b          *partition.Bisection
 	cfg        Config
 	calc       *Calculator
 	gain       []float64
 	nbrScratch []bool
-	nbrBuf     []int
+	nbrBuf     []int32
 	topBuf     []int
 	log        partition.PassLog
+
+	// workers is the resolved refinement-sweep worker count (engine
+	// semantics: Config.Workers ≤ 0 selects GOMAXPROCS).
+	workers int
+
+	// Dirty-net refinement state (§3.4 economics applied to the refine
+	// fixpoint): after the first full sweep of an iteration, only nets with
+	// a changed pin probability get their side products rebuilt, and only
+	// pins of those nets get their gains re-swept next iteration. Both the
+	// rebuilds and the skipped work are exact, so the refinement result is
+	// bit-identical to full per-iteration Rebuild sweeps.
+	dirtyNet   []bool
+	dirtyNode  []bool
+	dirtyNets  []int32
+	dirtyCount int
+}
+
+func newPassEngine(b *partition.Bisection, cfg Config) *passEngine {
+	n := b.H.NumNodes()
+	return &passEngine{
+		b:          b,
+		cfg:        cfg,
+		calc:       NewCalculator(b),
+		gain:       make([]float64, n),
+		nbrScratch: make([]bool, n),
+		workers:    engine.WorkerCount(cfg.Workers),
+		dirtyNet:   make([]bool, b.H.NumNets()),
+		dirtyNode:  make([]bool, n),
+	}
 }
 
 // seedProbabilities implements step 3 of Fig. 2.
-func (e *engine) seedProbabilities() {
+func (e *passEngine) seedProbabilities() {
 	n := e.b.H.NumNodes()
 	switch e.cfg.Init {
 	case InitDeterministic:
@@ -80,37 +107,153 @@ func (e *engine) seedProbabilities() {
 	e.calc.Rebuild()
 }
 
-// refine implements step 4 of Fig. 2: alternate full gain computation
-// (Eqns. 3–4) and probability recomputation, Refinements times. After the
-// last iteration e.gain holds the selection gains and calc.P the matching
-// probabilities.
-func (e *engine) refine() {
+// sweepShard is the fixed node-range shard size of the parallel gain
+// sweep. Shards are fixed node ranges and every gain[u] = calc.Gain(u) is
+// a pure read of the shared calculator state, so the sweep result is
+// bit-identical for every worker count and every shard→worker assignment.
+const sweepShard = 256
+
+// parallelSweepMin is the minimum node count for which spawning sweep
+// goroutines can pay for itself.
+const parallelSweepMin = 2 * sweepShard
+
+// sweepGains recomputes e.gain[u] = calc.Gain(u) for every node (only ==
+// nil) or for the marked subset, sharded across the worker pool.
+func (e *passEngine) sweepGains(only []bool) {
 	n := e.b.H.NumNodes()
-	for it := 0; it < e.cfg.Refinements; it++ {
-		for u := 0; u < n; u++ {
-			e.gain[u] = e.calc.Gain(u)
+	if e.workers > 1 && n >= parallelSweepMin {
+		shards := (n + sweepShard - 1) / sweepShard
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := e.workers
+		if workers > shards {
+			workers = shards
 		}
-		for u := 0; u < n; u++ {
-			e.calc.P[u] = e.cfg.Probability(e.gain[u])
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						return
+					}
+					hi := (s + 1) * sweepShard
+					if hi > n {
+						hi = n
+					}
+					e.sweepRange(s*sweepShard, hi, only)
+				}
+			}()
 		}
-		e.calc.Rebuild()
+		wg.Wait()
+		return
 	}
-	if e.cfg.Refinements == 0 {
-		// Degenerate configuration: selection still needs gains.
-		for u := 0; u < n; u++ {
-			e.gain[u] = e.calc.Gain(u)
+	e.sweepRange(0, n, only)
+}
+
+func (e *passEngine) sweepRange(lo, hi int, only []bool) {
+	calc := e.calc
+	if only == nil {
+		for u := lo; u < hi; u++ {
+			e.gain[u] = calc.Gain(u)
+		}
+		return
+	}
+	for u := lo; u < hi; u++ {
+		if only[u] {
+			e.gain[u] = calc.Gain(u)
 		}
 	}
 }
 
-func (e *engine) runPass() (float64, int) {
+// refine implements step 4 of Fig. 2: alternate full gain computation
+// (Eqns. 3–4) and probability recomputation, Refinements times. After the
+// last iteration e.gain holds the selection gains and calc.P the matching
+// probabilities.
+//
+// The first iteration sweeps every node; subsequent iterations sweep only
+// nodes on nets whose probabilities actually changed (their gains are the
+// only ones that can differ), and each iteration rebuilds only the dirty
+// nets' side products instead of a full O(m) Rebuild. Both reductions are
+// exact, so refine produces bit-identical gains and probabilities to the
+// full-resweep/full-rebuild formulation (TestRefineMatchesReference).
+func (e *passEngine) refine() {
+	if e.cfg.Refinements == 0 {
+		// Degenerate configuration: selection still needs gains.
+		e.sweepGains(nil)
+		return
+	}
+	for it := 0; it < e.cfg.Refinements; it++ {
+		if it == 0 {
+			e.sweepGains(nil)
+		} else {
+			if e.dirtyCount == 0 {
+				break // fixpoint: no net product changed, gains are final
+			}
+			e.sweepGains(e.dirtyNode)
+		}
+		e.applyProbabilities(it == e.cfg.Refinements-1)
+	}
+}
+
+// applyProbabilities maps the freshly swept gains through the probability
+// function, writes the changed probabilities, rebuilds the side products
+// of the affected (dirty) nets exactly, and — unless this is the last
+// refinement iteration — marks the nodes whose gains must be re-swept.
+func (e *passEngine) applyProbabilities(last bool) {
+	h := e.b.H
+	calc := e.calc
+	// Clear the previous iteration's dirty-net marks.
+	for _, en := range e.dirtyNets {
+		e.dirtyNet[en] = false
+	}
+	e.dirtyNets = e.dirtyNets[:0]
+	n := h.NumNodes()
+	for u := 0; u < n; u++ {
+		p := e.cfg.Probability(e.gain[u])
+		if calc.Locked[u] || calc.P[u] == p {
+			continue
+		}
+		calc.P[u] = p
+		for _, en := range h.NetsOf(u) {
+			if !e.dirtyNet[en] {
+				e.dirtyNet[en] = true
+				e.dirtyNets = append(e.dirtyNets, en)
+			}
+		}
+	}
+	// Exact per-net rebuild of the touched products: identical values to a
+	// full Rebuild because clean nets' stored products were computed by the
+	// same per-net recurrence over unchanged probabilities.
+	for _, en := range e.dirtyNets {
+		calc.RebuildNet(int(en))
+	}
+	// Next sweep set: pins of dirty nets (a node's gain depends only on its
+	// own probability and its nets' products; its own P change dirties its
+	// nets, so the pin set covers both).
+	for u := range e.dirtyNode {
+		e.dirtyNode[u] = false
+	}
+	e.dirtyCount = len(e.dirtyNets)
+	if last {
+		return
+	}
+	for _, en := range e.dirtyNets {
+		for _, v := range h.Net(int(en)) {
+			e.dirtyNode[v] = true
+		}
+	}
+}
+
+func (e *passEngine) runPass() (float64, int) {
 	h := e.b.H
 	n := h.NumNodes()
 	e.calc.ResetLocks()
 	e.seedProbabilities()
 	e.refine()
 
-	trees := [2]*ds.AVLTree{ds.NewAVLTree(n), ds.NewAVLTree(n)}
+	trees := [2]*ds.GainHeap{ds.NewGainHeap(n), ds.NewGainHeap(n)}
 	for u := 0; u < n; u++ {
 		trees[e.b.Side(u)].Insert(u, e.gain[u])
 	}
@@ -147,13 +290,15 @@ func (e *engine) runPass() (float64, int) {
 // ("the benefit of doing such a complete updating is minimal at best and
 // it is very time consuming"). Structural transitions (net entering the
 // cutset or collapsing onto one side) are always propagated.
-func (e *engine) updateAfterMove(u int, trees [2]*ds.AVLTree) {
+func (e *passEngine) updateAfterMove(u int, trees [2]*ds.GainHeap) {
 	const eps = 1e-7
 	h := e.b.H
 	t := e.b.Side(u) // u already moved: t is its new side
 	s := 1 - t
 	e.nbrBuf = e.nbrBuf[:0]
-	for _, nt := range h.NetsOf(u) {
+	u32 := int32(u)
+	for _, nt32 := range h.NetsOf(u) {
+		nt := int(nt32)
 		relevant := e.b.PinCount(t, nt) == 1 || // net just entered the cutset (or u is its lone t pin)
 			e.b.PinCount(s, nt) == 0 || // net just collapsed onto side t
 			e.calc.Prod(s, nt) > eps || // s-side freeing probability moved materially
@@ -162,7 +307,7 @@ func (e *engine) updateAfterMove(u int, trees [2]*ds.AVLTree) {
 			continue
 		}
 		for _, v := range h.Net(nt) {
-			if v != u && !e.calc.Locked[v] && !e.nbrScratch[v] {
+			if v != u32 && !e.calc.Locked[v] && !e.nbrScratch[v] {
 				e.nbrScratch[v] = true
 				e.nbrBuf = append(e.nbrBuf, v)
 			}
@@ -170,7 +315,7 @@ func (e *engine) updateAfterMove(u int, trees [2]*ds.AVLTree) {
 	}
 	for _, v := range e.nbrBuf {
 		e.nbrScratch[v] = false
-		e.refreshNode(v, trees)
+		e.refreshNode(int(v), trees)
 	}
 	if e.cfg.TopK > 0 {
 		for s := 0; s < 2; s++ {
@@ -182,24 +327,22 @@ func (e *engine) updateAfterMove(u int, trees [2]*ds.AVLTree) {
 	}
 }
 
-func (e *engine) refreshNode(v int, trees [2]*ds.AVLTree) {
+func (e *passEngine) refreshNode(v int, trees [2]*ds.GainHeap) {
 	g := e.calc.Gain(v)
 	if g == e.gain[v] {
 		return
 	}
 	e.gain[v] = g
 	e.calc.SetP(v, e.cfg.Probability(g))
-	t := trees[e.b.Side(v)]
-	t.Delete(v)
-	t.Insert(v, g)
+	trees[e.b.Side(v)].Insert(v, g) // reinsert: in-place keyed update
 }
 
 // selectNext picks the unlocked node with the best probabilistic gain whose
 // move keeps balance; if the global best violates balance the best node of
 // the other subset is taken (step 6 of Fig. 2).
-func (e *engine) selectNext(trees [2]*ds.AVLTree) (int, bool) {
+func (e *passEngine) selectNext(trees [2]*ds.GainHeap) (int, bool) {
 	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
-	pick := func(t *ds.AVLTree) (int, float64, bool) {
+	pick := func(t *ds.GainHeap) (int, float64, bool) {
 		best, bg, found := -1, 0.0, false
 		t.TopDown(func(u int, g float64) bool {
 			if feas(u) {

@@ -23,7 +23,7 @@ func naiveGain(c *core.Calculator, u int) float64 {
 		}
 		p := 1.0
 		for _, v := range h.Net(e) {
-			if v == excl || c.Locked[v] || c.B.Side(v) != side {
+			if int(v) == excl || c.Locked[v] || c.B.Side(int(v)) != side {
 				continue
 			}
 			p *= c.P[v]
@@ -31,7 +31,8 @@ func naiveGain(c *core.Calculator, u int) float64 {
 		return p
 	}
 	var g float64
-	for _, e := range h.NetsOf(u) {
+	for _, e32 := range h.NetsOf(u) {
+		e := int(e32)
 		cost := h.NetCost(e)
 		if c.B.PinCount(t, e) > 0 {
 			g += cost * (free(s, e, u) - free(t, e, -1))

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"prop/internal/gen"
+	"prop/internal/partition"
+)
+
+// newRefineEngine builds a pass engine over a fresh random bisection and
+// runs seeding, leaving it one refine() away from comparable state.
+func newRefineEngine(t *testing.T, cfg Config, seed int64) *passEngine {
+	t.Helper()
+	h := gen.MustGenerate(gen.Params{Nodes: 700, Nets: 770, Pins: 2700, Seed: 91})
+	rng := rand.New(rand.NewSource(seed))
+	b, err := partition.NewBisection(h, partition.RandomSides(h, cfg.Balance, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newPassEngine(b, cfg)
+	e.calc.ResetLocks()
+	e.seedProbabilities()
+	return e
+}
+
+// TestRefineMatchesReference: the dirty-net incremental refine (exact
+// per-net rebuilds, gains re-swept only for pins of dirty nets) must be
+// bit-identical to the textbook formulation — every node swept and a full
+// Rebuild after every iteration — in gains, probabilities and products.
+func TestRefineMatchesReference(t *testing.T) {
+	for _, refinements := range []int{1, 2, 4, 8} {
+		for seed := int64(1); seed <= 4; seed++ {
+			cfg := DefaultConfig(partition.Exact5050())
+			cfg.Refinements = refinements
+
+			e := newRefineEngine(t, cfg, seed)
+			e.refine()
+
+			r := newRefineEngine(t, cfg, seed)
+			gain := make([]float64, r.b.H.NumNodes())
+			for it := 0; it < cfg.Refinements; it++ {
+				for u := range gain {
+					gain[u] = r.calc.Gain(u)
+				}
+				for u := range gain {
+					r.calc.P[u] = cfg.Probability(gain[u])
+				}
+				r.calc.Rebuild()
+			}
+
+			for u := range gain {
+				if e.gain[u] != gain[u] {
+					t.Fatalf("refinements=%d seed=%d: gain[%d] = %g, reference %g",
+						refinements, seed, u, e.gain[u], gain[u])
+				}
+				if e.calc.P[u] != r.calc.P[u] {
+					t.Fatalf("refinements=%d seed=%d: P[%d] = %g, reference %g",
+						refinements, seed, u, e.calc.P[u], r.calc.P[u])
+				}
+			}
+			for s := uint8(0); s < 2; s++ {
+				for en := 0; en < e.b.H.NumNets(); en++ {
+					if e.calc.Prod(s, en) != r.calc.Prod(s, en) {
+						t.Fatalf("refinements=%d seed=%d: prod[%d][%d] = %g, reference %g",
+							refinements, seed, s, en, e.calc.Prod(s, en), r.calc.Prod(s, en))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepGainsWorkerInvariance: the sharded parallel gain sweep writes
+// bit-identical gain vectors for every worker count, full sweeps and
+// dirty-subset sweeps alike.
+func TestSweepGainsWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig(partition.Exact5050())
+	ref := newRefineEngine(t, cfg, 3)
+	ref.workers = 1
+	ref.sweepGains(nil)
+
+	only := make([]bool, ref.b.H.NumNodes())
+	for u := range only {
+		only[u] = u%3 == 0
+	}
+
+	for _, w := range []int{2, 4, runtime.NumCPU() + 3} {
+		e := newRefineEngine(t, cfg, 3)
+		e.workers = w
+		e.sweepGains(nil)
+		for u := range e.gain {
+			if e.gain[u] != ref.gain[u] {
+				t.Fatalf("workers=%d: gain[%d] = %g, serial %g", w, u, e.gain[u], ref.gain[u])
+			}
+		}
+		// Subset sweep over stale state: only marked entries may change.
+		for u := range e.gain {
+			e.gain[u] = -123
+		}
+		e.sweepGains(only)
+		for u := range e.gain {
+			switch {
+			case only[u] && e.gain[u] != ref.gain[u]:
+				t.Fatalf("workers=%d subset: gain[%d] = %g, want %g", w, u, e.gain[u], ref.gain[u])
+			case !only[u] && e.gain[u] != -123:
+				t.Fatalf("workers=%d subset: unmarked gain[%d] overwritten", w, u)
+			}
+		}
+	}
+}
+
+// TestPartitionWorkersBitIdentical: full PROP runs agree across worker
+// counts — the end-to-end determinism contract of Config.Workers.
+func TestPartitionWorkersBitIdentical(t *testing.T) {
+	h := gen.MustGenerate(gen.Params{Nodes: 700, Nets: 770, Pins: 2700, Seed: 92})
+	bal := partition.Exact5050()
+	run := func(workers int) ([]uint8, float64) {
+		rng := rand.New(rand.NewSource(17))
+		b, err := partition.NewBisection(h, partition.RandomSides(h, bal, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(bal)
+		cfg.Workers = workers
+		res, err := Partition(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sides, res.CutCost
+	}
+	refSides, refCut := run(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		sides, cut := run(w)
+		if cut != refCut {
+			t.Fatalf("workers=%d: cut %g, serial %g", w, cut, refCut)
+		}
+		for u := range sides {
+			if sides[u] != refSides[u] {
+				t.Fatalf("workers=%d: side[%d] differs from serial run", w, u)
+			}
+		}
+	}
+}

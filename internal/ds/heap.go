@@ -1,0 +1,204 @@
+package ds
+
+// GainHeap is an indexed binary max-heap gain container over the strict
+// total order (gain descending, node ID ascending) — the same order an
+// AVLTree with all-zero stamps produces. PROP's selection uses exactly
+// that order, and because the order is strict and duplicate-free, every
+// ordered traversal is deterministic no matter how the backing array is
+// arranged: the heap is a drop-in, bit-identical replacement for the tree
+// in core's hot loop at a fraction of the update cost (an int32 sift
+// versus an AVL rebalance per update).
+//
+// Ordered reads (TopDown, TopK) do not mutate the heap: they expand a
+// small candidate frontier — start at the root; whenever an element is
+// yielded, its two children become candidates — which visits the top k
+// elements in order in O(k log k).
+type GainHeap struct {
+	gain []float64
+	pos  []int32 // position of node u in heap, -1 if absent
+	heap []int32 // node IDs in heap order
+	cand []int32 // TopDown scratch: candidate frontier of heap indices
+}
+
+// NewGainHeap returns an empty heap for node IDs in [0, n).
+func NewGainHeap(n int) *GainHeap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &GainHeap{
+		gain: make([]float64, n),
+		pos:  pos,
+		heap: make([]int32, 0, n),
+	}
+}
+
+// Len returns the number of stored nodes.
+func (h *GainHeap) Len() int { return len(h.heap) }
+
+// Contains reports whether node u is stored.
+func (h *GainHeap) Contains(u int) bool { return h.pos[u] >= 0 }
+
+// Gain returns the gain u was inserted with; u must be present.
+func (h *GainHeap) Gain(u int) float64 { return h.gain[u] }
+
+func (h *GainHeap) less(u, v int32) bool {
+	gu, gv := h.gain[u], h.gain[v]
+	if gu != gv {
+		return gu > gv
+	}
+	return u < v
+}
+
+// Insert adds node u with the given gain; if u is present it is reinserted
+// with the new gain.
+func (h *GainHeap) Insert(u int, g float64) {
+	if h.pos[u] >= 0 {
+		h.gain[u] = g
+		h.siftDown(h.siftUp(int(h.pos[u])))
+		return
+	}
+	h.gain[u] = g
+	h.heap = append(h.heap, int32(u))
+	i := len(h.heap) - 1
+	h.pos[u] = int32(i)
+	h.siftUp(i)
+}
+
+// Delete removes node u; no-op if absent.
+func (h *GainHeap) Delete(u int) {
+	i := int(h.pos[u])
+	if i < 0 {
+		return
+	}
+	h.pos[u] = -1
+	last := len(h.heap) - 1
+	if i != last {
+		moved := h.heap[last]
+		h.heap[i] = moved
+		h.pos[moved] = int32(i)
+		h.heap = h.heap[:last]
+		h.siftDown(h.siftUp(i))
+		return
+	}
+	h.heap = h.heap[:last]
+}
+
+// siftUp restores the heap property upward from i and returns the final
+// position.
+func (h *GainHeap) siftUp(i int) int {
+	heap, pos := h.heap, h.pos
+	u := heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		v := heap[p]
+		if !h.less(u, v) {
+			break
+		}
+		heap[i] = v
+		pos[v] = int32(i)
+		i = p
+	}
+	heap[i] = u
+	pos[u] = int32(i)
+	return i
+}
+
+func (h *GainHeap) siftDown(i int) {
+	heap, pos := h.heap, h.pos
+	n := len(heap)
+	u := heap[i]
+	for {
+		best := i
+		w := u
+		if l := 2*i + 1; l < n && h.less(heap[l], w) {
+			best, w = l, heap[l]
+		}
+		if r := 2*i + 2; r < n && h.less(heap[r], w) {
+			best, w = r, heap[r]
+		}
+		if best == i {
+			break
+		}
+		heap[i] = w
+		pos[w] = int32(i)
+		i = best
+	}
+	heap[i] = u
+	pos[u] = int32(i)
+}
+
+// TopDown visits stored nodes in decreasing (gain, then smallest-ID) order
+// until visit returns false or the heap is exhausted, without mutating the
+// heap. visit must not mutate it either.
+func (h *GainHeap) TopDown(visit func(u int, g float64) bool) {
+	if len(h.heap) == 0 {
+		return
+	}
+	// cand is itself a tiny binary heap of heap indices, ordered by the
+	// elements they refer to; it grows by at most one per visited element.
+	cand := h.cand[:0]
+	push := func(i int32) {
+		cand = append(cand, i)
+		c := len(cand) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if !h.less(h.heap[cand[c]], h.heap[cand[p]]) {
+				break
+			}
+			cand[c], cand[p] = cand[p], cand[c]
+			c = p
+		}
+	}
+	pop := func() int32 {
+		top := cand[0]
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		c := 0
+		for {
+			l, r := 2*c+1, 2*c+2
+			best := c
+			if l < len(cand) && h.less(h.heap[cand[l]], h.heap[cand[best]]) {
+				best = l
+			}
+			if r < len(cand) && h.less(h.heap[cand[r]], h.heap[cand[best]]) {
+				best = r
+			}
+			if best == c {
+				break
+			}
+			cand[c], cand[best] = cand[best], cand[c]
+			c = best
+		}
+		return top
+	}
+	push(0)
+	for len(cand) > 0 {
+		i := pop()
+		u := h.heap[i]
+		if !visit(int(u), h.gain[u]) {
+			break
+		}
+		if l := 2*i + 1; int(l) < len(h.heap) {
+			push(l)
+		}
+		if r := 2*i + 2; int(r) < len(h.heap) {
+			push(r)
+		}
+	}
+	h.cand = cand[:0]
+}
+
+// TopK appends up to k highest-gain nodes to dst and returns it; used by
+// PROP's "refresh the top few contenders" update rule (§3.4).
+func (h *GainHeap) TopK(k int, dst []int) []int {
+	h.TopDown(func(u int, _ float64) bool {
+		if len(dst) >= k {
+			return false
+		}
+		dst = append(dst, u)
+		return true
+	})
+	return dst
+}

@@ -1,0 +1,118 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGainHeapMatchesAVL drives a GainHeap and an AVLTree (zero stamps —
+// the configuration PROP's engine uses) through identical random
+// insert/update/delete sequences and checks that every ordered read agrees.
+// This is the bit-identity contract that lets core swap the tree for the
+// heap without changing any partitioning result.
+func TestGainHeapMatchesAVL(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		h := NewGainHeap(n)
+		a := NewAVLTree(n)
+		present := make([]bool, n)
+		// Gains drawn from a tiny set to force heavy tie-breaking on IDs.
+		gains := []float64{-2, -1, -0.5, 0, 0.5, 1, 2}
+		for op := 0; op < 2000; op++ {
+			u := rng.Intn(n)
+			switch {
+			case !present[u] || rng.Intn(3) == 0:
+				g := gains[rng.Intn(len(gains))]
+				if present[u] {
+					a.Delete(u)
+				}
+				h.Insert(u, g)
+				a.Insert(u, g)
+				present[u] = true
+			default:
+				h.Delete(u)
+				a.Delete(u)
+				present[u] = false
+			}
+			if h.Len() != a.Len() {
+				t.Fatalf("op %d: Len %d vs %d", op, h.Len(), a.Len())
+			}
+		}
+		// Full ordered traversal must agree element by element.
+		var hv, av []int
+		h.TopDown(func(u int, g float64) bool {
+			if g != h.Gain(u) {
+				t.Fatalf("TopDown gain mismatch at %d", u)
+			}
+			hv = append(hv, u)
+			return true
+		})
+		a.TopDown(func(u int, _ float64) bool { av = append(av, u); return true })
+		if len(hv) != len(av) {
+			t.Fatalf("traversal lengths %d vs %d", len(hv), len(av))
+		}
+		for i := range hv {
+			if hv[i] != av[i] {
+				t.Fatalf("trial %d: traversal diverges at %d: heap %d, tree %d", trial, i, hv[i], av[i])
+			}
+		}
+		for k := 0; k <= 8; k++ {
+			hk := h.TopK(k, nil)
+			ak := a.TopK(k, nil)
+			if len(hk) != len(ak) {
+				t.Fatalf("TopK(%d) lengths %d vs %d", k, len(hk), len(ak))
+			}
+			for i := range hk {
+				if hk[i] != ak[i] {
+					t.Fatalf("TopK(%d)[%d]: heap %d, tree %d", k, i, hk[i], ak[i])
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			if h.Contains(u) != present[u] {
+				t.Fatalf("Contains(%d) = %v, want %v", u, h.Contains(u), present[u])
+			}
+		}
+	}
+}
+
+// TestGainHeapEarlyStopIsPure: a TopDown that stops early leaves the heap
+// unchanged (subsequent traversals see the identical order).
+func TestGainHeapEarlyStopIsPure(t *testing.T) {
+	h := NewGainHeap(64)
+	rng := rand.New(rand.NewSource(3))
+	for u := 0; u < 64; u++ {
+		h.Insert(u, float64(rng.Intn(8)))
+	}
+	var full []int
+	h.TopDown(func(u int, _ float64) bool { full = append(full, u); return true })
+	for stop := 0; stop < 10; stop++ {
+		seen := 0
+		h.TopDown(func(u int, _ float64) bool {
+			if u != full[seen] {
+				t.Fatalf("after early stops, order diverges at %d", seen)
+			}
+			seen++
+			return seen <= stop
+		})
+	}
+}
+
+// TestGainHeapReinsertUpdatesInPlace: Insert on a present node rekeys it.
+func TestGainHeapReinsertUpdatesInPlace(t *testing.T) {
+	h := NewGainHeap(8)
+	h.Insert(1, 1)
+	h.Insert(2, 2)
+	h.Insert(3, 3)
+	h.Insert(3, -5) // demote the max
+	h.Insert(1, 9)  // promote the min
+	want := []int{1, 2, 3}
+	got := h.TopK(3, nil)
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d after reinserts, want 3", h.Len())
+	}
+}

@@ -43,8 +43,10 @@ type Config[T any] struct {
 	OnRun func(Update[T])
 }
 
-// workerCount resolves the Workers setting.
-func workerCount(w int) int {
+// WorkerCount resolves a Workers setting: values < 1 select GOMAXPROCS.
+// Exported so other packages (e.g. core's refinement sweep) share the same
+// resolution rule as Portfolio.
+func WorkerCount(w int) int {
 	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
 	}
@@ -53,6 +55,8 @@ func workerCount(w int) int {
 	}
 	return w
 }
+
+func workerCount(w int) int { return WorkerCount(w) }
 
 // Portfolio executes fn for run indices [0, runs) across the worker pool
 // and returns the best result per cfg.Less with sequential tie-breaking.

@@ -252,21 +252,23 @@ func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
 	h := e.b.H
 	s := e.b.Side(u)
 	t := 1 - s
-	for _, nt := range h.NetsOf(u) {
+	u32 := int32(u)
+	for _, nt32 := range h.NetsOf(u) {
+		nt := int(nt32)
 		c := h.NetCost(nt)
 		tc := e.b.PinCount(t, nt)
 		if tc == 0 {
 			// Net was uncut: moving u makes every other pin want to follow.
 			for _, v := range h.Net(nt) {
-				if v != u && !e.locked[v] {
-					e.bump(v, +c, keep)
+				if v != u32 && !e.locked[v] {
+					e.bump(int(v), +c, keep)
 				}
 			}
 		} else if tc == 1 {
 			// The lone pin on t loses its incentive to come back.
 			for _, v := range h.Net(nt) {
-				if v != u && e.b.Side(v) == t && !e.locked[v] {
-					e.bump(v, -c, keep)
+				if v != u32 && e.b.Side(int(v)) == t && !e.locked[v] {
+					e.bump(int(v), -c, keep)
 				}
 			}
 		}
@@ -274,15 +276,15 @@ func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
 		if fc == 0 {
 			// Net becomes uncut on t: other pins no longer gain by moving.
 			for _, v := range h.Net(nt) {
-				if v != u && !e.locked[v] {
-					e.bump(v, -c, keep)
+				if v != u32 && !e.locked[v] {
+					e.bump(int(v), -c, keep)
 				}
 			}
 		} else if fc == 1 {
 			// The lone remaining pin on s can now free the net.
 			for _, v := range h.Net(nt) {
-				if v != u && e.b.Side(v) == s && !e.locked[v] {
-					e.bump(v, +c, keep)
+				if v != u32 && e.b.Side(int(v)) == s && !e.locked[v] {
+					e.bump(int(v), +c, keep)
 				}
 			}
 		}

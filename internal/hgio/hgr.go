@@ -113,8 +113,10 @@ func ReadHGR(r io.Reader) (*hypergraph.Hypergraph, error) {
 		if err != nil {
 			return nil, err
 		}
+		var pins []int
 		for e := 0; e < h.NumNets(); e++ {
-			if err := b2.AddNet(h.NetName(e), h.NetCost(e), h.Net(e)...); err != nil {
+			pins = h.NetInts(e, pins[:0])
+			if err := b2.AddNet(h.NetName(e), h.NetCost(e), pins...); err != nil {
 				return nil, err
 			}
 		}

@@ -76,7 +76,7 @@ func WriteJSON(w io.Writer, h *hypergraph.Hypergraph) error {
 		jn.Nets[e] = JSONNet{
 			Name: h.NetName(e),
 			Cost: h.NetCost(e),
-			Pins: append([]int(nil), h.Net(e)...),
+			Pins: h.NetInts(e, nil),
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -154,7 +154,7 @@ func WriteNetAre(netW, areW io.Writer, h *hypergraph.Hypergraph) error {
 			if i == 0 {
 				kind = "s"
 			}
-			fmt.Fprintf(bw, "%s %s\n", name(u), kind)
+			fmt.Fprintf(bw, "%s %s\n", name(int(u)), kind)
 		}
 	}
 	if err := bw.Flush(); err != nil {

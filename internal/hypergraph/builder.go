@@ -74,43 +74,59 @@ func (b *Builder) AddNet(name string, cost float64, pins ...int) error {
 // DroppedNets reports how many nets were dropped for having < 2 distinct pins.
 func (b *Builder) DroppedNets() int { return b.dropped }
 
-// Build finalizes the hypergraph, constructing the node→nets dual adjacency,
-// and validates it.
+// Build finalizes the hypergraph, flattening the per-net pin lists into the
+// net→pins CSR arena, constructing the dual node→nets CSR, and validating
+// the result.
 func (b *Builder) Build() (*Hypergraph, error) {
 	n := len(b.nodeNames)
-	deg := make([]int, n)
+	m := len(b.pins)
 	numPins := 0
 	unit := true
 	for e, ps := range b.pins {
-		for _, u := range ps {
-			deg[u]++
-		}
 		numPins += len(ps)
 		if b.netCost[e] != 1 {
 			unit = false
 		}
 	}
-	nodeNets := make([][]int, n)
-	// Single backing array keeps the dual adjacency cache-friendly.
-	backing := make([]int, numPins)
-	off := 0
-	for u := 0; u < n; u++ {
-		nodeNets[u] = backing[off : off : off+deg[u]]
-		off += deg[u]
+	if n > maxIndex || m > maxIndex || numPins > maxIndex {
+		return nil, fmt.Errorf("hypergraph: %d nodes / %d nets / %d pins exceed the int32 arena limit", n, m, numPins)
 	}
+	// Net→pins CSR: concatenate the already-sorted per-net pin lists.
+	netOff := make([]int32, m+1)
+	pinArr := make([]int32, 0, numPins)
 	for e, ps := range b.pins {
 		for _, u := range ps {
-			nodeNets[u] = append(nodeNets[u], e)
+			pinArr = append(pinArr, int32(u))
+		}
+		netOff[e+1] = int32(len(pinArr))
+	}
+	// Dual node→nets CSR via counting sort over the pin arena: nets are
+	// visited in increasing ID so each node's net list comes out sorted.
+	nodeOff := make([]int32, n+1)
+	for _, u := range pinArr {
+		nodeOff[u+1]++
+	}
+	for u := 0; u < n; u++ {
+		nodeOff[u+1] += nodeOff[u]
+	}
+	netArr := make([]int32, numPins)
+	next := make([]int32, n)
+	copy(next, nodeOff[:n])
+	for e, ps := range b.pins {
+		for _, u := range ps {
+			netArr[next[u]] = int32(e)
+			next[u]++
 		}
 	}
 	h := &Hypergraph{
 		nodeNames:  b.nodeNames,
 		netNames:   b.netNames,
-		pins:       b.pins,
-		nodeNets:   nodeNets,
+		pinArr:     pinArr,
+		netOff:     netOff,
+		netArr:     netArr,
+		nodeOff:    nodeOff,
 		netCost:    b.netCost,
 		nodeWeight: b.nodeWeight,
-		numPins:    numPins,
 		unitCost:   unit,
 	}
 	if err := h.Validate(); err != nil {

@@ -41,8 +41,8 @@ func CliqueExpand(h *Hypergraph) *Graph {
 		w := h.NetCost(e) / float64(q-1)
 		for i := 0; i < q; i++ {
 			for j := i + 1; j < q; j++ {
-				adj[ps[i]] = append(adj[ps[i]], Edge{ps[j], w})
-				adj[ps[j]] = append(adj[ps[j]], Edge{ps[i], w})
+				adj[ps[i]] = append(adj[ps[i]], Edge{int(ps[j]), w})
+				adj[ps[j]] = append(adj[ps[j]], Edge{int(ps[i]), w})
 			}
 		}
 	}

@@ -1,0 +1,134 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refModel is an independent slice-of-slices netlist model mirroring the
+// Builder's documented semantics (sorted duplicate-free pins, sub-2-pin
+// nets dropped). The CSR equivalence test checks every Hypergraph accessor
+// against it.
+type refModel struct {
+	nets  [][]int // per-net sorted distinct pins
+	costs []float64
+	nodes int
+}
+
+func (r *refModel) addNet(cost float64, pins []int) {
+	seen := map[int]bool{}
+	var uniq []int
+	for _, u := range pins {
+		if !seen[u] {
+			seen[u] = true
+			uniq = append(uniq, u)
+		}
+		if u >= r.nodes {
+			r.nodes = u + 1
+		}
+	}
+	if len(uniq) < 2 {
+		return
+	}
+	// insertion sort keeps the reference free of the Builder's sort call
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && uniq[j] < uniq[j-1]; j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	r.nets = append(r.nets, uniq)
+	r.costs = append(r.costs, cost)
+}
+
+func (r *refModel) netsOf(u int) []int {
+	var out []int
+	for e, ps := range r.nets {
+		for _, v := range ps {
+			if v == u {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestCSRMatchesReferenceModel: the flat dual-CSR hypergraph must report
+// exactly the adjacency a naive slice-of-slices representation would —
+// Net, NetsOf, Degree, NetSize, pin totals and summary stats — across
+// randomized inputs with duplicate pins, dropped nets and implicit nodes.
+func TestCSRMatchesReferenceModel(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nNodes := 5 + rng.Intn(60)
+		nNets := 1 + rng.Intn(80)
+
+		b := NewBuilder()
+		ref := &refModel{}
+		for e := 0; e < nNets; e++ {
+			k := 1 + rng.Intn(6)
+			pins := make([]int, k)
+			for i := range pins {
+				pins[i] = rng.Intn(nNodes)
+			}
+			cost := 0.5 + rng.Float64()
+			if err := b.AddNet("", cost, pins...); err != nil {
+				t.Fatal(err)
+			}
+			ref.addNet(cost, pins)
+		}
+		if len(ref.nets) == 0 {
+			continue
+		}
+		b.EnsureNodes(ref.nodes)
+		h := b.MustBuild()
+
+		if h.NumNets() != len(ref.nets) {
+			t.Fatalf("trial %d: %d nets, reference %d", trial, h.NumNets(), len(ref.nets))
+		}
+		if h.NumNodes() != ref.nodes {
+			t.Fatalf("trial %d: %d nodes, reference %d", trial, h.NumNodes(), ref.nodes)
+		}
+		wantPins := 0
+		for e, ps := range ref.nets {
+			wantPins += len(ps)
+			if h.NetSize(e) != len(ps) {
+				t.Fatalf("trial %d: NetSize(%d) = %d, want %d", trial, e, h.NetSize(e), len(ps))
+			}
+			if h.NetCost(e) != ref.costs[e] {
+				t.Fatalf("trial %d: NetCost(%d) = %g, want %g", trial, e, h.NetCost(e), ref.costs[e])
+			}
+			got := h.Net(e)
+			for i, u := range ps {
+				if int(got[i]) != u {
+					t.Fatalf("trial %d: Net(%d) = %v, want %v", trial, e, got, ps)
+				}
+			}
+			if ints := h.NetInts(e, nil); len(ints) != len(ps) {
+				t.Fatalf("trial %d: NetInts(%d) length %d, want %d", trial, e, len(ints), len(ps))
+			}
+		}
+		if h.NumPins() != wantPins {
+			t.Fatalf("trial %d: %d pins, reference %d", trial, h.NumPins(), wantPins)
+		}
+		for u := 0; u < ref.nodes; u++ {
+			want := ref.netsOf(u)
+			got := h.NetsOf(u)
+			if h.Degree(u) != len(want) || len(got) != len(want) {
+				t.Fatalf("trial %d: Degree(%d) = %d, want %d", trial, u, h.Degree(u), len(want))
+			}
+			for i, e := range want {
+				if int(got[i]) != e {
+					t.Fatalf("trial %d: NetsOf(%d) = %v, want %v", trial, u, got, want)
+				}
+			}
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s := ComputeStats(h)
+		if s.Pins != wantPins || s.Nets != len(ref.nets) || s.Nodes != ref.nodes {
+			t.Fatalf("trial %d: stats %+v disagree with reference", trial, s)
+		}
+	}
+}

@@ -5,55 +5,69 @@
 // (cells/components) and E the set of hyperedges (nets). Each net connects
 // two or more nodes; each node may carry an integer weight (cell size) and
 // each net a float cost (unit for min-cut, arbitrary for timing-driven
-// partitioning). The representation is the standard dual adjacency list:
-// pins per net and nets per node, exactly the structure whose total size m
-// = pn = qe drives the Θ(m) space and Θ(m log n) time bounds in §3.5 of the
-// PROP paper.
+// partitioning). The representation is the flat dual CSR adjacency: one
+// contiguous pin arena indexed by net offsets and one contiguous net arena
+// indexed by node offsets, exactly the structure whose total size m = pn =
+// qe drives the Θ(m) space and Θ(m log n) time bounds in §3.5 of the PROP
+// paper — stored so that every Net/NetsOf access is a subslice of one
+// arena rather than a pointer chase.
 package hypergraph
 
 import (
 	"fmt"
+	"math"
 )
 
-// Hypergraph is an immutable netlist. Construct one with a Builder or a
-// reader from package hgio. Node and net IDs are dense integers in
-// [0, NumNodes) and [0, NumNets).
+// Hypergraph is an immutable netlist in dual CSR form. Construct one with a
+// Builder or a reader from package hgio. Node and net IDs are dense
+// integers in [0, NumNodes) and [0, NumNets); pins are stored as int32
+// (the Builder rejects inputs beyond int32 range) so the arenas stay
+// compact and cache-dense.
 type Hypergraph struct {
-	nodeNames  []string
-	netNames   []string
-	pins       [][]int // net -> node IDs (each list sorted, duplicate-free)
-	nodeNets   [][]int // node -> net IDs (each list sorted, duplicate-free)
+	nodeNames []string
+	netNames  []string
+	// pinArr/netOff is the net→pins CSR: net e's pins are
+	// pinArr[netOff[e]:netOff[e+1]], sorted and duplicate-free.
+	pinArr []int32
+	netOff []int32
+	// netArr/nodeOff is the dual node→nets CSR: node u's nets are
+	// netArr[nodeOff[u]:nodeOff[u+1]], sorted and duplicate-free.
+	netArr     []int32
+	nodeOff    []int32
 	netCost    []float64
 	nodeWeight []int64
-	numPins    int
 	unitCost   bool
 }
 
 // NumNodes returns |V|.
-func (h *Hypergraph) NumNodes() int { return len(h.nodeNets) }
+func (h *Hypergraph) NumNodes() int { return len(h.nodeWeight) }
 
 // NumNets returns |E|.
-func (h *Hypergraph) NumNets() int { return len(h.pins) }
+func (h *Hypergraph) NumNets() int { return len(h.netCost) }
 
 // NumPins returns the total pin count m = Σ|e|.
-func (h *Hypergraph) NumPins() int { return h.numPins }
+func (h *Hypergraph) NumPins() int { return len(h.pinArr) }
 
-// Net returns the node IDs connected by net e. The caller must not modify
-// the returned slice.
-func (h *Hypergraph) Net(e int) []int { return h.pins[e] }
+// Net returns the node IDs connected by net e as a subslice of the shared
+// pin arena. The caller must not modify the returned slice.
+func (h *Hypergraph) Net(e int) []int32 { return h.pinArr[h.netOff[e]:h.netOff[e+1]] }
 
-// NetsOf returns the net IDs node u is connected to. The caller must not
-// modify the returned slice.
-func (h *Hypergraph) NetsOf(u int) []int { return h.nodeNets[u] }
+// NetsOf returns the net IDs node u is connected to as a subslice of the
+// shared net arena. The caller must not modify the returned slice.
+func (h *Hypergraph) NetsOf(u int) []int32 { return h.netArr[h.nodeOff[u]:h.nodeOff[u+1]] }
 
 // Degree returns the number of pins on node u (p in the paper's notation).
-func (h *Hypergraph) Degree(u int) int { return len(h.nodeNets[u]) }
+func (h *Hypergraph) Degree(u int) int { return int(h.nodeOff[u+1] - h.nodeOff[u]) }
 
 // NetSize returns the number of pins on net e (q in the paper's notation).
-func (h *Hypergraph) NetSize(e int) int { return len(h.pins[e]) }
+func (h *Hypergraph) NetSize(e int) int { return int(h.netOff[e+1] - h.netOff[e]) }
 
 // NetCost returns the cost c(e) of net e.
 func (h *Hypergraph) NetCost(e int) float64 { return h.netCost[e] }
+
+// NetCosts returns the per-net cost vector itself (not a copy) so hot
+// loops can hoist it into a local; the caller must not modify it.
+func (h *Hypergraph) NetCosts() []float64 { return h.netCost }
 
 // UnitCost reports whether every net has cost exactly 1. FM's bucket data
 // structure is only valid in that case (paper §1, §4).
@@ -87,14 +101,25 @@ func (h *Hypergraph) NetName(e int) string {
 	return ""
 }
 
+// NetInts appends net e's pins to dst as ints and returns the extended
+// slice — the conversion helper for callers that need machine-word pin IDs
+// (variadic builder calls, JSON encoding).
+func (h *Hypergraph) NetInts(e int, dst []int) []int {
+	for _, u := range h.Net(e) {
+		dst = append(dst, int(u))
+	}
+	return dst
+}
+
 // Neighbors appends to dst the distinct neighbors of u (nodes sharing a net
 // with u, excluding u itself) and returns the extended slice. scratch must
 // have length ≥ NumNodes and be all-false; it is restored before returning.
 // This is the d = p(q−1) quantity from the paper amortized per node.
-func (h *Hypergraph) Neighbors(u int, dst []int, scratch []bool) []int {
-	for _, e := range h.nodeNets[u] {
-		for _, v := range h.pins[e] {
-			if v != u && !scratch[v] {
+func (h *Hypergraph) Neighbors(u int, dst []int32, scratch []bool) []int32 {
+	u32 := int32(u)
+	for _, e := range h.NetsOf(u) {
+		for _, v := range h.Net(int(e)) {
+			if v != u32 && !scratch[v] {
 				scratch[v] = true
 				dst = append(dst, v)
 			}
@@ -107,52 +132,66 @@ func (h *Hypergraph) Neighbors(u int, dst []int, scratch []bool) []int {
 }
 
 // Validate checks structural invariants: dual adjacency consistency, sorted
-// duplicate-free pin lists, positive net costs and node weights, and pin
-// count bookkeeping. It returns the first violation found.
+// duplicate-free pin lists, positive net costs and node weights, monotone
+// CSR offsets and pin count bookkeeping. It returns the first violation
+// found.
 func (h *Hypergraph) Validate() error {
-	count := 0
-	for e, ps := range h.pins {
+	if len(h.netOff) != h.NumNets()+1 || len(h.nodeOff) != h.NumNodes()+1 {
+		return fmt.Errorf("hypergraph: offset arrays sized (%d,%d) for %d nets, %d nodes",
+			len(h.netOff), len(h.nodeOff), h.NumNets(), h.NumNodes())
+	}
+	if h.netOff[0] != 0 || h.nodeOff[0] != 0 ||
+		int(h.netOff[h.NumNets()]) != len(h.pinArr) || int(h.nodeOff[h.NumNodes()]) != len(h.netArr) {
+		return fmt.Errorf("hypergraph: CSR offsets do not span the arenas")
+	}
+	if len(h.pinArr) != len(h.netArr) {
+		return fmt.Errorf("hypergraph: pin arena %d entries, net arena %d", len(h.pinArr), len(h.netArr))
+	}
+	for e := 0; e < h.NumNets(); e++ {
+		if h.netOff[e] > h.netOff[e+1] {
+			return fmt.Errorf("hypergraph: net offsets decrease at %d", e)
+		}
+		ps := h.Net(e)
 		if len(ps) < 2 {
 			return fmt.Errorf("hypergraph: net %d has %d pins, want ≥ 2", e, len(ps))
 		}
 		if h.netCost[e] <= 0 {
 			return fmt.Errorf("hypergraph: net %d has non-positive cost %g", e, h.netCost[e])
 		}
-		prev := -1
+		prev := int32(-1)
 		for _, u := range ps {
-			if u < 0 || u >= len(h.nodeNets) {
+			if u < 0 || int(u) >= h.NumNodes() {
 				return fmt.Errorf("hypergraph: net %d pin %d out of range", e, u)
 			}
 			if u <= prev {
 				return fmt.Errorf("hypergraph: net %d pins not sorted/unique at node %d", e, u)
 			}
 			prev = u
-			if !containsSorted(h.nodeNets[u], e) {
+			if !containsSorted(h.NetsOf(int(u)), int32(e)) {
 				return fmt.Errorf("hypergraph: node %d missing net %d in its net list", u, e)
 			}
-			count++
 		}
 	}
-	for u, ns := range h.nodeNets {
+	for u := 0; u < h.NumNodes(); u++ {
+		if h.nodeOff[u] > h.nodeOff[u+1] {
+			return fmt.Errorf("hypergraph: node offsets decrease at %d", u)
+		}
 		if h.nodeWeight[u] <= 0 {
 			return fmt.Errorf("hypergraph: node %d has non-positive weight %d", u, h.nodeWeight[u])
 		}
-		prev := -1
-		for _, e := range ns {
-			if e < 0 || e >= len(h.pins) {
+		prev := int32(-1)
+		for _, e := range h.NetsOf(u) {
+			if e < 0 || int(e) >= h.NumNets() {
 				return fmt.Errorf("hypergraph: node %d net %d out of range", u, e)
 			}
 			if e <= prev {
 				return fmt.Errorf("hypergraph: node %d nets not sorted/unique at net %d", u, e)
 			}
 			prev = e
-			if !containsSorted(h.pins[e], u) {
+			if !containsSorted(h.Net(int(e)), int32(u)) {
 				return fmt.Errorf("hypergraph: net %d missing node %d in its pin list", e, u)
 			}
 		}
-	}
-	if count != h.numPins {
-		return fmt.Errorf("hypergraph: pin count mismatch: recount %d, stored %d", count, h.numPins)
 	}
 	return nil
 }
@@ -160,23 +199,17 @@ func (h *Hypergraph) Validate() error {
 // Clone returns a deep copy; the copy's net costs and names may be mutated
 // through WithNetCosts without affecting the original.
 func (h *Hypergraph) Clone() *Hypergraph {
-	c := &Hypergraph{
+	return &Hypergraph{
 		nodeNames:  append([]string(nil), h.nodeNames...),
 		netNames:   append([]string(nil), h.netNames...),
-		pins:       make([][]int, len(h.pins)),
-		nodeNets:   make([][]int, len(h.nodeNets)),
+		pinArr:     append([]int32(nil), h.pinArr...),
+		netOff:     append([]int32(nil), h.netOff...),
+		netArr:     append([]int32(nil), h.netArr...),
+		nodeOff:    append([]int32(nil), h.nodeOff...),
 		netCost:    append([]float64(nil), h.netCost...),
 		nodeWeight: append([]int64(nil), h.nodeWeight...),
-		numPins:    h.numPins,
 		unitCost:   h.unitCost,
 	}
-	for i, p := range h.pins {
-		c.pins[i] = append([]int(nil), p...)
-	}
-	for i, n := range h.nodeNets {
-		c.nodeNets[i] = append([]int(nil), n...)
-	}
-	return c
 }
 
 // WithNetCosts returns a shallow structural copy of h whose net costs are
@@ -201,7 +234,10 @@ func (h *Hypergraph) WithNetCosts(costs []float64) (*Hypergraph, error) {
 	return &c, nil
 }
 
-func containsSorted(s []int, x int) bool {
+// maxIndex is the densest ID the int32 arenas can address.
+const maxIndex = math.MaxInt32
+
+func containsSorted(s []int32, x int32) bool {
 	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := (lo + hi) / 2

@@ -160,7 +160,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	h2 := h.Clone()
-	h2.pins[0][0], h2.pins[0][1] = h2.pins[0][1], h2.pins[0][0] // unsort
+	h2.pinArr[0], h2.pinArr[1] = h2.pinArr[1], h2.pinArr[0] // unsort net 0
 	if err := h2.Validate(); err == nil {
 		t.Error("Validate accepted unsorted pins")
 	}
@@ -170,9 +170,9 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Error("Validate accepted negative cost")
 	}
 	h4 := h.Clone()
-	h4.numPins = 99
+	h4.netOff[len(h4.netOff)-1]-- // offsets no longer span the pin arena
 	if err := h4.Validate(); err == nil {
-		t.Error("Validate accepted pin-count mismatch")
+		t.Error("Validate accepted truncated CSR offsets")
 	}
 }
 
@@ -180,7 +180,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 func TestCloneIndependence(t *testing.T) {
 	h := buildSmall(t)
 	c := h.Clone()
-	c.pins[0][0] = 3
+	c.pinArr[0] = 3
 	if h.Net(0)[0] == 3 {
 		t.Error("clone shares pin storage")
 	}

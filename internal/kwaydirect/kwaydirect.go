@@ -150,7 +150,7 @@ func (s *State) Gain(u, to int) float64 {
 	}
 	var g float64
 	for _, e := range s.H.NetsOf(u) {
-		cost := s.H.NetCost(e)
+		cost := s.H.NetCost(int(e))
 		switch {
 		case s.spanned[e] == 1:
 			// Entirely in `from`; moving u cuts it (u cannot be the only pin).
@@ -174,7 +174,7 @@ func (s *State) Move(u, to int) float64 {
 	}
 	w := s.H.NodeWeight(u)
 	for _, e := range s.H.NetsOf(u) {
-		cost := s.H.NetCost(e)
+		cost := s.H.NetCost(int(e))
 		wasSpanned := s.spanned[e]
 		if s.pinCount[from][e] == 1 {
 			s.spanned[e]--
@@ -284,7 +284,7 @@ type engine struct {
 	cfg     Config
 	locked  []bool
 	scratch []bool
-	nbrBuf  []int
+	nbrBuf  []int32
 }
 
 type moveRec struct {
@@ -388,7 +388,7 @@ func (e *engine) runPass() (float64, int) {
 		e.nbrBuf = h.Neighbors(u, e.nbrBuf[:0], e.scratch)
 		for _, v := range e.nbrBuf {
 			if !e.locked[v] {
-				push(v)
+				push(int(v))
 			}
 		}
 	}

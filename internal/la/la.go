@@ -118,7 +118,8 @@ func (e *engine) computeVec(u int) {
 		v[i] = 0
 	}
 	k := e.cfg.K
-	for _, nt := range h.NetsOf(u) {
+	for _, nt32 := range h.NetsOf(u) {
+		nt := int(nt32)
 		c := h.NetCost(nt)
 		// Positive term: net freed from side s after (unlocked others) more
 		// moves; impossible if a locked pin holds it on s.
@@ -193,14 +194,15 @@ func (e *engine) runPass() (float64, int) {
 		// bounded on circuits with large hub nets without changing any
 		// gain vector.
 		e.nbrBuf = e.nbrBuf[:0]
+		u32 := int32(u)
 		for _, nt := range h.NetsOf(u) {
-			if !e.updateAll && !e.relevantNet(nt, 1-s) {
+			if !e.updateAll && !e.relevantNet(int(nt), 1-s) {
 				continue
 			}
-			for _, v := range h.Net(nt) {
-				if v != u && !e.locked[v] && !e.nbrScratch[v] {
+			for _, v := range h.Net(int(nt)) {
+				if v != u32 && !e.locked[v] && !e.nbrScratch[v] {
 					e.nbrScratch[v] = true
-					e.nbrBuf = append(e.nbrBuf, v)
+					e.nbrBuf = append(e.nbrBuf, int(v))
 				}
 			}
 		}

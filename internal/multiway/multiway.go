@@ -131,7 +131,7 @@ func Induce(h *hypergraph.Hypergraph, nodes []int) (*hypergraph.Hypergraph, []in
 		back[i] = u
 		b.AddNode(h.NodeName(u), h.NodeWeight(u))
 	}
-	seen := make(map[int]bool, 64)
+	seen := make(map[int32]bool, 64)
 	pins := make([]int, 0, 16)
 	for _, u := range nodes {
 		for _, e := range h.NetsOf(u) {
@@ -140,13 +140,13 @@ func Induce(h *hypergraph.Hypergraph, nodes []int) (*hypergraph.Hypergraph, []in
 			}
 			seen[e] = true
 			pins = pins[:0]
-			for _, v := range h.Net(e) {
-				if j, ok := fwd[v]; ok {
+			for _, v := range h.Net(int(e)) {
+				if j, ok := fwd[int(v)]; ok {
 					pins = append(pins, j)
 				}
 			}
 			if len(pins) >= 2 {
-				if err := b.AddNet(h.NetName(e), h.NetCost(e), pins...); err != nil {
+				if err := b.AddNet(h.NetName(int(e)), h.NetCost(int(e)), pins...); err != nil {
 					return nil, nil, err
 				}
 			}

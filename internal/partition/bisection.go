@@ -66,6 +66,15 @@ func (b *Bisection) Sides() []uint8 { return append([]uint8(nil), b.side...) }
 // PinCount returns the number of pins of net e on side s.
 func (b *Bisection) PinCount(s uint8, e int) int { return int(b.pinCount[s][e]) }
 
+// SideView returns the live side-assignment vector itself (not a copy) so
+// hot loops can hoist it into a local. The caller must treat it as
+// read-only; it is invalidated semantically by Move.
+func (b *Bisection) SideView() []uint8 { return b.side }
+
+// PinCountView returns the live per-net pin-count vector of side s (not a
+// copy). Read-only for callers, like SideView.
+func (b *Bisection) PinCountView(s uint8) []int32 { return b.pinCount[s] }
+
 // SideWeight returns the total node weight on side s.
 func (b *Bisection) SideWeight(s uint8) int64 { return b.sideWeight[s] }
 
@@ -86,13 +95,14 @@ func (b *Bisection) IsCut(e int) bool {
 func (b *Bisection) Gain(u int) float64 {
 	s := b.side[u]
 	t := 1 - s
+	costs := b.H.NetCosts()
 	var g float64
 	for _, e := range b.H.NetsOf(u) {
 		switch {
 		case b.pinCount[s][e] == 1:
-			g += b.H.NetCost(e)
+			g += costs[e]
 		case b.pinCount[t][e] == 0:
-			g -= b.H.NetCost(e)
+			g -= costs[e]
 		}
 	}
 	return g
@@ -131,17 +141,18 @@ func (b *Bisection) Move(u int) float64 {
 	s := b.side[u]
 	t := 1 - s
 	w := b.H.NodeWeight(u)
+	costs := b.H.NetCosts()
 	for _, e := range b.H.NetsOf(u) {
 		cs, ct := b.pinCount[s][e], b.pinCount[t][e]
 		// Transition of net e: (cs, ct) -> (cs-1, ct+1).
 		if cs == 1 && ct > 0 {
 			// Net leaves the cutset.
 			b.cutNets--
-			b.cutCost -= b.H.NetCost(e)
+			b.cutCost -= costs[e]
 		} else if ct == 0 && cs > 1 {
 			// Net enters the cutset.
 			b.cutNets++
-			b.cutCost += b.H.NetCost(e)
+			b.cutCost += costs[e]
 		}
 		b.pinCount[s][e] = cs - 1
 		b.pinCount[t][e] = ct + 1

@@ -74,7 +74,7 @@ type engine struct {
 	locked  []bool
 	gain    []float64
 	scratch []bool
-	nbrBuf  []int
+	nbrBuf  []int32
 }
 
 // netGain is node u's Eqn.-1 contribution from net e.
@@ -102,13 +102,13 @@ func (e *engine) pairGain(a, bn int) float64 {
 	}
 	for _, nt := range na {
 		if containsSorted(nb, nt) {
-			g -= e.netGain(a, nt) + e.netGain(bn, nt)
+			g -= e.netGain(a, int(nt)) + e.netGain(bn, int(nt))
 		}
 	}
 	return g
 }
 
-func containsSorted(s []int, x int) bool {
+func containsSorted(s []int32, x int32) bool {
 	lo, hi := 0, len(s)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -147,7 +147,7 @@ func (e *engine) runPass() (float64, int) {
 			e.nbrBuf = h.Neighbors(u, e.nbrBuf[:0], e.scratch)
 			for _, v := range e.nbrBuf {
 				if !e.locked[v] {
-					e.gain[v] = e.b.Gain(v)
+					e.gain[v] = e.b.Gain(int(v))
 				}
 			}
 		}

@@ -45,11 +45,13 @@ func (n *Netlist) NumPins() int { return n.h.NumPins() }
 // Stats computes summary statistics.
 func (n *Netlist) Stats() Stats { return hypergraph.ComputeStats(n.h) }
 
-// Net returns the node IDs of net e (do not modify).
-func (n *Netlist) Net(e int) []int { return n.h.Net(e) }
+// Net returns the node IDs of net e as a view into the netlist's flat
+// CSR pin arena (do not modify).
+func (n *Netlist) Net(e int) []int32 { return n.h.Net(e) }
 
-// NetsOf returns the net IDs of node u (do not modify).
-func (n *Netlist) NetsOf(u int) []int { return n.h.NetsOf(u) }
+// NetsOf returns the net IDs of node u as a view into the netlist's flat
+// CSR adjacency arena (do not modify).
+func (n *Netlist) NetsOf(u int) []int32 { return n.h.NetsOf(u) }
 
 // NodeName returns the symbolic name of node u ("" if unnamed).
 func (n *Netlist) NodeName(u int) string { return n.h.NodeName(u) }

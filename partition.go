@@ -104,6 +104,12 @@ type PROPParams struct {
 	Refinements       int
 	TopK              int
 	DeterministicInit bool
+	// RefineWorkers shards the refinement gain sweeps inside each PROP run
+	// across that many workers (< 0 selects GOMAXPROCS, 0 keeps the serial
+	// default). The sweep is sharded over fixed node ranges and every gain
+	// read is pure, so the result is bit-identical for every value; leave
+	// it 0 when multi-start Runs already saturate the cores.
+	RefineWorkers int
 }
 
 // Result is a 2-way partition.
@@ -320,6 +326,9 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 			}
 			if p.DeterministicInit {
 				cfg.Init = core.InitDeterministic
+			}
+			if p.RefineWorkers != 0 {
+				cfg.Workers = p.RefineWorkers
 			}
 		}
 		r, err := core.Partition(b, cfg)

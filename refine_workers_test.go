@@ -1,0 +1,43 @@
+package prop_test
+
+import (
+	"runtime"
+	"testing"
+
+	"prop"
+)
+
+// TestRefineWorkersBitIdentical: PROPParams.RefineWorkers shards the
+// refinement gain sweeps inside each run, and the result must be
+// bit-identical for every worker count — same winning cut, same winning
+// run, same side assignment.
+func TestRefineWorkersBitIdentical(t *testing.T) {
+	n, err := prop.Generate(prop.GenParams{Nodes: 600, Nets: 660, Pins: 2300, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) prop.Result {
+		o := prop.Options{Algorithm: prop.AlgoPROP, Runs: 5, Seed: 11}
+		if workers != 0 {
+			o.PROP = &prop.PROPParams{RefineWorkers: workers}
+		}
+		res, err := prop.Partition(n, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(0) // serial default
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		got := run(w)
+		if got.CutCost != ref.CutCost || got.CutNets != ref.CutNets || got.BestRun != ref.BestRun {
+			t.Fatalf("RefineWorkers=%d: (cut %g, nets %d, best %d) differs from serial (cut %g, nets %d, best %d)",
+				w, got.CutCost, got.CutNets, got.BestRun, ref.CutCost, ref.CutNets, ref.BestRun)
+		}
+		for u := range got.Sides {
+			if got.Sides[u] != ref.Sides[u] {
+				t.Fatalf("RefineWorkers=%d: side[%d] differs from serial run", w, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Hot-path performance harness: runs the core microbenchmarks and the
+# timed PROP/FM study over the largest suite circuits, writing the
+# machine-readable report to BENCH_hotpath.json (committed alongside
+# EXPERIMENTS.md so perf changes are diffable).
+#
+#	./scripts/bench.sh                 # refuses single-proc runs
+#	./scripts/bench.sh -allow-serial   # accept GOMAXPROCS=1 timings
+#
+# Timings taken with one hardware thread are still valid single-thread
+# measurements, but they silently miss parallel regressions (the sharded
+# refinement sweep never engages), so a serial environment must be
+# acknowledged explicitly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+allow_serial=0
+for arg in "$@"; do
+	case "$arg" in
+	-allow-serial) allow_serial=1 ;;
+	*)
+		echo "usage: $0 [-allow-serial]" >&2
+		exit 2
+		;;
+	esac
+done
+
+procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+if [ "$procs" -le 1 ] && [ "$allow_serial" -eq 0 ]; then
+	echo "bench.sh: effective GOMAXPROCS is $procs — parallel code paths will not" >&2
+	echo "be exercised. Re-run with -allow-serial to record single-proc timings." >&2
+	exit 1
+fi
+
+echo "== core microbenchmarks =="
+go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|BenchmarkPassFlat' \
+	-benchmem ./internal/core
+
+echo "== hot-path study (BENCH_hotpath.json) =="
+go run ./cmd/bench -hotpath BENCH_hotpath.json -runs 3 -seed 7 -v
+
+echo "bench: done"

@@ -26,4 +26,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== benchmark smoke =="
+go test -run=NONE -bench=. -benchtime=1x ./...
+
 echo "ci: all checks passed"
