@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 
@@ -31,6 +32,7 @@ func main() {
 		exts       = flag.Bool("extensions", false, "print only the extensions study (multilevel, KL/SK, SA)")
 		balSweep   = flag.Bool("balance", false, "print only the balance-window sweep")
 		hotpath    = flag.String("hotpath", "", "run the hot-path timing study and write the JSON report to this file")
+		trace      = flag.String("trace", "", "with -hotpath, write the traced series' JSONL events to this file (default: discard)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the requested work to this file")
 		maxNodes   = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
 		runs       = flag.Int("runs", 0, "override base multi-start count")
@@ -60,7 +62,16 @@ func main() {
 		if *verbose {
 			progress = os.Stderr
 		}
-		rep, err := bench.RunHotpath(bench.DefaultHotpathCircuits(), r, *seed, progress)
+		var traceSink io.Writer
+		if *trace != "" {
+			tf, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer tf.Close()
+			traceSink = tf
+		}
+		rep, err := bench.RunHotpath(bench.DefaultHotpathCircuits(), r, *seed, traceSink, progress)
 		if err != nil {
 			fatal(err)
 		}

@@ -4,11 +4,17 @@
 // Usage:
 //
 //	propart -in circuit.hgr [-format hgr|netare|json] [-algo prop] \
-//	        [-r1 0.5 -r2 0.5] [-runs 20] [-par 8] [-k 2] [-seed 1] [-out sides.txt]
+//	        [-r1 0.5 -r2 0.5] [-runs 20] [-par 8] [-k 2] [-seed 1] [-out sides.txt] \
+//	        [-trace trace.jsonl] [-trace-level pass]
 //
 // With -format netare, -in names the .net file and -are the .are file.
-// The output lists one "node side" pair per line; -k > 2 performs
-// recursive k-way partitioning and prints part indices instead.
+// Instead of -in, -suite <name> loads one of the paper's Table-1 suite
+// circuits (e.g. industry2). The output lists one "node side" pair per
+// line; -k > 2 performs recursive k-way partitioning and prints part
+// indices instead.
+//
+// -trace writes a JSONL convergence trace (run spans and per-pass
+// events; see internal/obs for the schema) without changing the result.
 package main
 
 import (
@@ -24,28 +30,38 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input netlist file (required; '-' for stdin)")
-		are    = flag.String("are", "", ".are module-area file (netare format)")
-		format = flag.String("format", "hgr", "input format: hgr, netare, json")
-		algo   = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, eig1, melo, paraboli, window")
-		laK    = flag.Int("la", 2, "lookahead depth for -algo la")
-		r1     = flag.Float64("r1", 0.5, "lower balance bound")
-		r2     = flag.Float64("r2", 0.5, "upper balance bound")
-		runs   = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
-		par    = flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines for multi-start runs (1 = sequential)")
-		k      = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "", "output assignment file (default stdout)")
-		check  = flag.String("check", "", "verify a saved \"node side\" assignment file instead of partitioning")
-		quiet  = flag.Bool("q", false, "print only the cut size")
+		in       = flag.String("in", "", "input netlist file ('-' for stdin)")
+		suite    = flag.String("suite", "", "synthesize a Table-1 suite circuit by name instead of -in")
+		are      = flag.String("are", "", ".are module-area file (netare format)")
+		format   = flag.String("format", "hgr", "input format: hgr, netare, json")
+		algo     = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, eig1, melo, paraboli, window")
+		laK      = flag.Int("la", 2, "lookahead depth for -algo la")
+		r1       = flag.Float64("r1", 0.5, "lower balance bound")
+		r2       = flag.Float64("r2", 0.5, "upper balance bound")
+		runs     = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
+		par      = flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines for multi-start runs (1 = sequential)")
+		k        = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output assignment file (default stdout)")
+		check    = flag.String("check", "", "verify a saved \"node side\" assignment file instead of partitioning")
+		quiet    = flag.Bool("q", false, "print only the cut size")
+		traceOut = flag.String("trace", "", "write a JSONL trace of the runs to this file")
+		traceLvl = flag.String("trace-level", "pass", "trace granularity: run, pass, move")
 	)
 	flag.Parse()
-	if *in == "" {
+	if (*in == "") == (*suite == "") {
+		fmt.Fprintln(os.Stderr, "propart: exactly one of -in and -suite is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	n, err := load(*in, *are, *format)
+	var n *prop.Netlist
+	var err error
+	if *suite != "" {
+		n, err = prop.Benchmark(*suite)
+	} else {
+		n, err = load(*in, *are, *format)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -54,6 +70,35 @@ func main() {
 		R1:        *r1, R2: *r2,
 		Runs: *runs, Seed: *seed, LADepth: *laK,
 		Parallel: *par,
+	}
+
+	var tracer *prop.Tracer
+	if *traceOut != "" {
+		lvl, ok := prop.ParseTraceLevel(*traceLvl)
+		if !ok {
+			fatal(fmt.Errorf("bad -trace-level %q: want run, pass, or move", *traceLvl))
+		}
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tw := bufio.NewWriter(tf)
+		tracer = prop.NewTracer(tw, lvl)
+		opts.Tracer = tracer
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "propart: trace:", err)
+			}
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "propart: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "propart: trace:", err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", tracer.Events(), *traceOut)
+			}
+		}()
 	}
 
 	if *check != "" {

@@ -3,20 +3,30 @@
 // Usage:
 //
 //	propserve [-addr :8080] [-par 8] [-timeout 60s]
+//	          [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
-//	POST /v1/partition    partition a netlist synchronously; the request
-//	                      body is the netlist (.hgr text, or the JSON
-//	                      netlist format with Content-Type:
-//	                      application/json) and query parameters select
-//	                      algo, runs, seed, k, r1, r2, par, timeout_ms
-//	POST /v1/jobs         same request, asynchronously; returns a job id
-//	GET  /v1/jobs/{id}    job state and, when done, the result
-//	DELETE /v1/jobs/{id}  cancel a pending or running job
-//	GET  /healthz         liveness probe
-//	GET  /metrics         JSON metrics: jobs in flight, runs completed,
-//	                      cut-size histogram, p50/p99 latency
+//	POST /v1/partition      partition a netlist synchronously; the request
+//	                        body is the netlist (.hgr text, or the JSON
+//	                        netlist format with Content-Type:
+//	                        application/json) and query parameters select
+//	                        algo, runs, seed, k, r1, r2, par, timeout_ms
+//	POST /v1/jobs           same request, asynchronously; returns a job
+//	                        id. Add trace=pass (or run/move/1) to record a
+//	                        JSONL convergence trace of the job.
+//	GET  /v1/jobs/{id}      job state and, when done, the result
+//	DELETE /v1/jobs/{id}    cancel a pending or running job
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text metrics (jobs in flight, runs
+//	                        completed, cut-size and passes-per-run
+//	                        histograms, p50/p99 latency); ?format=json for
+//	                        the JSON export
+//	GET  /debug/trace/{id}  JSONL trace of a job submitted with trace=
+//	GET  /debug/pprof/      CPU/heap/goroutine profiles (net/http/pprof)
+//
+// Every request is logged with a run ID that also labels the job's
+// engine-level logs and trace events.
 //
 // Example:
 //
@@ -29,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,18 +48,41 @@ import (
 	"time"
 )
 
+// buildLogger constructs the process logger from the -log-* flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		par     = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+		addr      = flag.String("addr", ":8080", "listen address")
+		par       = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
-	s := newServer(*par, *timeout)
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propserve:", err)
+		os.Exit(2)
+	}
+	s := newServer(*par, *timeout, logger)
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           s.mux(),
+		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

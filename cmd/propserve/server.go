@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,6 +17,7 @@ import (
 
 	"prop"
 	"prop/internal/metrics"
+	"prop/internal/obs"
 )
 
 // server carries the HTTP handlers, the async job store, and the metric
@@ -24,35 +29,46 @@ type server struct {
 	defTimeout time.Duration // per-request compute budget
 	jobs       *jobStore
 	start      time.Time
+	log        *slog.Logger
 
-	reg      *metrics.Registry
-	mJobsUp  *metrics.Gauge   // async jobs currently queued or running
-	mReqUp   *metrics.Gauge   // synchronous partitions in flight
-	mJobs    *metrics.Counter // async jobs accepted
-	mParts   *metrics.Counter // partitions completed (sync + async)
-	mRuns    *metrics.Counter // multi-start runs completed
-	mErrors  *metrics.Counter // requests rejected or failed
-	mCutHist *metrics.Histogram
-	mLatency *metrics.Latency
+	reg         *metrics.Registry
+	mJobsUp     *metrics.Gauge   // async jobs currently queued or running
+	mReqUp      *metrics.Gauge   // synchronous partitions in flight
+	mJobs       *metrics.Counter // async jobs accepted
+	mParts      *metrics.Counter // partitions completed (sync + async)
+	mRuns       *metrics.Counter // multi-start runs completed
+	mErrors     *metrics.Counter // requests rejected or failed
+	mCutHist    *metrics.Histogram
+	mPassHist   *metrics.Histogram  // improvement passes per run
+	mCutImprove *metrics.FloatGauge // (worst-best)/worst ×100 of last portfolio
+	mRefineUtil *metrics.FloatGauge // refinement worker busy/wall ×100
+	mLatency    *metrics.Latency
 }
 
-func newServer(maxPar int, defTimeout time.Duration) *server {
+func newServer(maxPar int, defTimeout time.Duration, logger *slog.Logger) *server {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	reg := metrics.NewRegistry()
 	s := &server{
-		maxPar:     maxPar,
-		maxBody:    64 << 20,
-		defTimeout: defTimeout,
-		jobs:       newJobStore(),
-		start:      time.Now(),
-		reg:        reg,
-		mJobsUp:    reg.Gauge("jobs_in_flight"),
-		mReqUp:     reg.Gauge("partitions_in_flight"),
-		mJobs:      reg.Counter("jobs_total"),
-		mParts:     reg.Counter("partitions_total"),
-		mRuns:      reg.Counter("runs_completed_total"),
-		mErrors:    reg.Counter("errors_total"),
-		mCutHist:   reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
-		mLatency:   reg.Latency("partition_latency", 1024),
+		maxPar:      maxPar,
+		maxBody:     64 << 20,
+		defTimeout:  defTimeout,
+		jobs:        newJobStore(),
+		start:       time.Now(),
+		log:         logger,
+		reg:         reg,
+		mJobsUp:     reg.Gauge("jobs_in_flight"),
+		mReqUp:      reg.Gauge("partitions_in_flight"),
+		mJobs:       reg.Counter("jobs_total"),
+		mParts:      reg.Counter("partitions_total"),
+		mRuns:       reg.Counter("runs_completed_total"),
+		mErrors:     reg.Counter("errors_total"),
+		mCutHist:    reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+		mPassHist:   reg.Histogram("passes_per_run", 1, 2, 3, 4, 5, 6, 8, 10, 15, 20),
+		mCutImprove: reg.FloatGauge("cut_improvement_pct"),
+		mRefineUtil: reg.FloatGauge("refine_worker_utilization_pct"),
+		mLatency:    reg.Latency("partition_latency", 1024),
 	}
 	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
 	return s
@@ -67,7 +83,46 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.Handle("GET /metrics", s.reg)
+	m.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
+	m.HandleFunc("GET /debug/pprof/", pprof.Index)
+	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return m
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handler wraps the mux in the request-logging middleware: every request
+// gets a fresh run ID (propagated via context to the engine and the
+// logs), and one structured log line records method, path, status, and
+// latency.
+func (s *server) handler() http.Handler {
+	mux := s.mux()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.NewID()
+		r = r.WithContext(obs.WithRunID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"latency_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"run_id", id,
+		)
+	})
 }
 
 // partitionRequest is the decoded form of one partition query: the
@@ -77,6 +132,10 @@ type partitionRequest struct {
 	opts    prop.Options
 	k       int
 	timeout time.Duration
+	// traced marks an async job submitted with ?trace=..., whose JSONL
+	// trajectory is served at /debug/trace/{id} afterwards.
+	traced     bool
+	traceLevel prop.TraceLevel
 }
 
 // partitionResponse is the JSON reply for both sync and async paths.
@@ -156,6 +215,16 @@ func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
 	if timeoutMS > 0 {
 		req.timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
+	if v := q.Get("trace"); v != "" && err == nil {
+		lvl, ok := obs.ParseLevel(v)
+		if v == "1" {
+			lvl, ok = prop.TracePasses, true
+		}
+		if !ok {
+			err = fmt.Errorf("bad trace %q: want 1, run, pass, or move", v)
+		}
+		req.traced, req.traceLevel = true, lvl
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -180,11 +249,42 @@ func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
 }
 
 // run executes one partition request under its timeout, recording engine
-// metrics as runs complete.
-func (s *server) run(ctx context.Context, req *partitionRequest) (*partitionResponse, error) {
+// metrics as runs complete. runID labels per-run debug logs and, when tr
+// is non-nil, the emitted trace spans.
+func (s *server) run(ctx context.Context, req *partitionRequest, runID string, tr *prop.Tracer) (*partitionResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, req.timeout)
 	defer cancel()
-	req.opts.OnRun = func(u prop.RunUpdate) { s.mRuns.Inc() }
+	req.opts.Tracer = tr
+	if req.opts.TraceID == "" {
+		req.opts.TraceID = runID
+	}
+	// OnRun calls are serialized within one portfolio, but the recursive
+	// k-way path runs sibling portfolios concurrently — the best/worst
+	// tracking needs its own lock.
+	var statMu sync.Mutex
+	var bestCut, worstCut float64
+	seen := 0
+	req.opts.OnRun = func(u prop.RunUpdate) {
+		s.mRuns.Inc()
+		if u.Passes > 0 {
+			s.mPassHist.Observe(float64(u.Passes))
+		}
+		if u.RefineUtilization > 0 {
+			s.mRefineUtil.Set(u.RefineUtilization * 100)
+		}
+		statMu.Lock()
+		if seen == 0 || u.CutCost < bestCut {
+			bestCut = u.CutCost
+		}
+		if seen == 0 || u.CutCost > worstCut {
+			worstCut = u.CutCost
+		}
+		seen++
+		statMu.Unlock()
+		s.log.Debug("run complete",
+			"run", u.Run, "cut_cost", u.CutCost, "cut_nets", u.CutNets,
+			"passes", u.Passes, "run_id", runID)
+	}
 
 	start := time.Now()
 	resp := &partitionResponse{Algorithm: string(req.opts.Algorithm), K: req.k}
@@ -212,6 +312,11 @@ func (s *server) run(ctx context.Context, req *partitionRequest) (*partitionResp
 	s.mParts.Inc()
 	s.mCutHist.Observe(float64(resp.CutNets))
 	s.mLatency.Observe(time.Since(start))
+	statMu.Lock()
+	if seen > 1 && worstCut > 0 {
+		s.mCutImprove.Set((worstCut - bestCut) / worstCut * 100)
+	}
+	statMu.Unlock()
 	return resp, nil
 }
 
@@ -223,7 +328,7 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mReqUp.Add(1)
 	defer s.mReqUp.Add(-1)
-	resp, err := s.run(r.Context(), req)
+	resp, err := s.run(r.Context(), req, obs.RunID(r.Context()), nil)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -246,6 +351,26 @@ const (
 	jobCancelled jobState = "cancelled"
 )
 
+// traceBuf is a concurrency-safe sink for a job's JSONL trace. The
+// tracer serializes its own writes, but /debug/trace/{id} reads while
+// the job may still be emitting.
+type traceBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (t *traceBuf) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.buf.Write(p)
+}
+
+func (t *traceBuf) snapshot() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]byte(nil), t.buf.Bytes()...)
+}
+
 // job is one async partition request.
 type job struct {
 	ID     string             `json:"id"`
@@ -255,6 +380,7 @@ type job struct {
 
 	req    *partitionRequest
 	cancel context.CancelFunc
+	trace  *traceBuf // non-nil iff submitted with ?trace=...
 }
 
 // jobStore is the in-memory async job registry.
@@ -273,6 +399,9 @@ func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
 	defer js.mu.Unlock()
 	js.next++
 	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending, req: req, cancel: cancel}
+	if req.traced {
+		j.trace = &traceBuf{}
+	}
 	js.jobs[j.ID] = j
 	return j
 }
@@ -316,11 +445,15 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	// The job outlives the submit request: detach from r.Context().
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job outlives the submit request, but its run ID carries over:
+	// detach from r.Context() while re-attaching the ID.
+	runID := obs.RunID(r.Context())
+	ctx, cancel := context.WithCancel(obs.WithRunID(context.Background(), runID))
 	j := s.jobs.add(req, cancel)
 	s.mJobs.Inc()
 	s.mJobsUp.Add(1)
+	s.log.Info("job accepted", "job", j.ID, "state", jobPending,
+		"traced", req.traced, "run_id", runID)
 	go s.runJob(ctx, j.ID)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "state": string(jobPending)})
 }
@@ -328,11 +461,23 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // runJob drives one async job to completion.
 func (s *server) runJob(ctx context.Context, id string) {
 	defer s.mJobsUp.Add(-1)
+	runID := obs.RunID(ctx)
 	if !s.jobs.transition(id, jobPending, jobRunning, nil) {
+		s.log.Info("job state", "job", id, "state", jobCancelled, "run_id", runID)
 		return // cancelled before starting
 	}
+	s.log.Info("job state", "job", id, "state", jobRunning, "run_id", runID)
 	j := s.jobs.get(id)
-	resp, err := s.run(ctx, j.req)
+	var tr *prop.Tracer
+	if j.trace != nil {
+		tr = prop.NewTracer(j.trace, j.req.traceLevel)
+		// Label the job's trace spans with the job ID so the JSONL served
+		// at /debug/trace/{id} self-identifies; the run ID still ties the
+		// job to its request logs.
+		j.req.opts.TraceID = id
+	}
+	start := time.Now()
+	resp, err := s.run(ctx, j.req, runID, tr)
 	if err != nil {
 		to := jobFailed
 		if ctx.Err() == context.Canceled {
@@ -340,9 +485,31 @@ func (s *server) runJob(ctx context.Context, id string) {
 		}
 		s.mErrors.Inc()
 		s.jobs.transition(id, jobRunning, to, func(j *job) { j.Error = err.Error() })
+		s.log.Warn("job state", "job", id, "state", to, "error", err.Error(),
+			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond), "run_id", runID)
 		return
 	}
 	s.jobs.transition(id, jobRunning, jobDone, func(j *job) { j.Result = resp })
+	s.log.Info("job state", "job", id, "state", jobDone,
+		"cut_cost", resp.CutCost, "cut_nets", resp.CutNets,
+		"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond), "run_id", runID)
+}
+
+// handleTraceGet serves the JSONL trace of a traced job.
+func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.jobs.get(id)
+	if j == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if j.trace == nil {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("job %q was not submitted with ?trace=", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(j.trace.snapshot())
 }
 
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -365,6 +532,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	// context cancelled and the runner records the final state.
 	s.jobs.transition(id, jobPending, jobCancelled, nil)
 	j.cancel()
+	s.log.Info("job cancel requested", "job", id, "run_id", obs.RunID(r.Context()))
 	snap, _ := s.jobs.snapshot(id)
 	writeJSON(w, http.StatusOK, snap)
 }

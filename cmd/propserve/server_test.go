@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -29,7 +31,9 @@ func testNetlistHGR(t *testing.T) string {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(2, 30*time.Second).mux())
+	// The nil logger discards; the handler() wrapper keeps the logging
+	// middleware and run-ID propagation on the tested path.
+	ts := httptest.NewServer(newServer(2, 30*time.Second, nil).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -264,7 +268,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		resp := postHGR(t, fmt.Sprintf("%s/v1/partition?algo=fm&runs=2&seed=%d", ts.URL, i), hgr)
 		resp.Body.Close()
 	}
-	r, err := http.Get(ts.URL + "/metrics")
+	r, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,9 +283,142 @@ func TestMetricsEndpoint(t *testing.T) {
 	if !ok || hist["count"] != float64(3) {
 		t.Errorf("cut_nets histogram = %v", m["cut_nets"])
 	}
+	passes, ok := m["passes_per_run"].(map[string]any)
+	if !ok || passes["count"] != float64(6) {
+		t.Errorf("passes_per_run histogram = %v", m["passes_per_run"])
+	}
 	lat, ok := m["partition_latency"].(map[string]any)
 	if !ok || lat["count"] != float64(3) {
 		t.Errorf("partition_latency = %v", m["partition_latency"])
+	}
+}
+
+func TestMetricsEndpointPrometheus(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=2&seed=1", hgr)
+	resp.Body.Close()
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE partitions_total counter\npartitions_total 1\n",
+		"# TYPE runs_completed_total counter\nruns_completed_total 2\n",
+		"# TYPE passes_per_run histogram\n",
+		`passes_per_run_bucket{le="+Inf"} 2`,
+		"# TYPE cut_improvement_pct gauge\n",
+		"# TYPE partition_latency summary\n",
+		`partition_latency{quantile="0.5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics output:\n%s", want, body)
+		}
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", r.StatusCode)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "goroutine") {
+		t.Errorf("pprof index does not list profiles")
+	}
+}
+
+func TestJobTrace(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3&trace=pass", hgr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	sub := decodeBody[map[string]string](t, resp)
+	id := sub["id"]
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("traced job did not finish")
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State == jobDone {
+			break
+		}
+		if j.State == jobFailed || j.State == jobCancelled {
+			t.Fatalf("job state %q, error %q", j.State, j.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r, err := http.Get(ts.URL + "/debug/trace/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content-type = %q", ct)
+	}
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		kind, _ := ev["ev"].(string)
+		kinds[kind]++
+		if id2, ok := ev["id"].(string); ok && id2 != id {
+			t.Errorf("trace event labeled %q, want job id %q", id2, id)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if kinds["run_start"] != 2 || kinds["run_end"] != 2 {
+		t.Errorf("run span counts = %v, want 2 run_start + 2 run_end", kinds)
+	}
+	if kinds["pass"] == 0 {
+		t.Errorf("no pass events in trace: %v", kinds)
+	}
+
+	// An untraced job must 404 on the trace endpoint.
+	resp = postHGR(t, ts.URL+"/v1/jobs?algo=fm&runs=1", hgr)
+	sub = decodeBody[map[string]string](t, resp)
+	r2, err := http.Get(ts.URL + "/debug/trace/" + sub["id"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace status %d, want 404", r2.StatusCode)
 	}
 }
 

@@ -1,0 +1,137 @@
+// Command tracecheck validates a JSONL trace produced by the tracing
+// subsystem (propart -trace, bench -trace, or propserve ?trace=). It
+// checks every line against the event schema documented in internal/obs
+// and exits non-zero on the first violation, so CI can assert that the
+// trace pipeline emits well-formed events end to end.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl     # or '-' for stdin
+//
+// On success it prints a one-line summary (event counts by kind).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// schema lists the required fields per event kind and the JSON type
+// (as decoded by encoding/json) each must carry.
+var schema = map[string]map[string]string{
+	"run_start": {"ts_us": "number", "ev": "string", "run": "number"},
+	"run_end":   {"ts_us": "number", "ev": "string", "run": "number", "dur_us": "number"},
+	"pass": {
+		"ts_us": "number", "ev": "string", "run": "number", "algo": "string",
+		"pass": "number", "cut": "number", "gmax": "number",
+		"moves": "number", "kept": "number", "locked": "number", "dur_us": "number",
+	},
+	"move": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"pass": "number", "node": "number", "gain": "number",
+	},
+}
+
+func jsonType(v any) string {
+	switch v.(type) {
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case nil:
+		return "null"
+	}
+	return "object"
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.jsonl | ->")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	counts := map[string]int{}
+	lastTS := map[float64]float64{} // per-run monotonic timestamp check
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			fatal(fmt.Errorf("line %d: empty line", line))
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			fatal(fmt.Errorf("line %d: invalid JSON: %w", line, err))
+		}
+		kind, _ := ev["ev"].(string)
+		want, ok := schema[kind]
+		if !ok {
+			fatal(fmt.Errorf("line %d: unknown event kind %q", line, kind))
+		}
+		for field, typ := range want {
+			v, present := ev[field]
+			if !present {
+				fatal(fmt.Errorf("line %d: %s event missing field %q", line, kind, field))
+			}
+			if jsonType(v) != typ {
+				fatal(fmt.Errorf("line %d: %s event field %q is %s, want %s",
+					line, kind, field, jsonType(v), typ))
+			}
+		}
+		ts := ev["ts_us"].(float64)
+		run := ev["run"].(float64)
+		if ts < 0 {
+			fatal(fmt.Errorf("line %d: negative ts_us %g", line, ts))
+		}
+		// Events of one run are emitted in order; with a parallel portfolio
+		// runs interleave, so monotonicity holds per run, not globally.
+		if prev, seen := lastTS[run]; seen && ts < prev {
+			fatal(fmt.Errorf("line %d: run %g ts_us %g went backwards (prev %g)", line, run, ts, prev))
+		}
+		lastTS[run] = ts
+		counts[kind]++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if line == 0 {
+		fatal(fmt.Errorf("no events"))
+	}
+	if counts["run_start"] != counts["run_end"] {
+		fatal(fmt.Errorf("unbalanced run spans: %d run_start, %d run_end",
+			counts["run_start"], counts["run_end"]))
+	}
+
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	fmt.Printf("tracecheck: %d events ok (%s)\n", line, strings.Join(parts, " "))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

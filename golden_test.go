@@ -1,6 +1,7 @@
 package prop_test
 
 import (
+	"io"
 	"testing"
 
 	"prop"
@@ -86,5 +87,47 @@ func check(t *testing.T, n *prop.Netlist, algo prop.Algorithm, runs int, seed in
 	}
 	if cost, _, err := prop.Verify(n, res.Sides, prop.Options{}); err != nil || cost != res.CutCost {
 		t.Errorf("%s: independent recount %g (err %v) vs reported %g", algo, cost, err, res.CutCost)
+	}
+}
+
+// TestGoldenTracingInvariant pins the observation-only contract of the
+// tracing subsystem: attaching a tracer — even at move granularity, even
+// under a parallel portfolio — must not change the cut, the winning run,
+// or a single side bit relative to the untraced golden values.
+func TestGoldenTracingInvariant(t *testing.T) {
+	n, err := prop.Benchmark("struct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := func(algo prop.Algorithm) golden {
+		res, err := prop.Partition(n, prop.Options{Algorithm: algo, Runs: 3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return golden{res.CutCost, res.BestRun, sideHash(res.Sides)}
+	}
+	for _, algo := range []prop.Algorithm{prop.AlgoPROP, prop.AlgoFM} {
+		want := baseline(algo)
+		for _, par := range []int{1, 4} {
+			tr := prop.NewTracer(io.Discard, prop.TraceMoves)
+			res, err := prop.Partition(n, prop.Options{
+				Algorithm: algo, Runs: 3, Seed: 7, Parallel: par,
+				Tracer: tr, TraceID: "golden",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := golden{res.CutCost, res.BestRun, sideHash(res.Sides)}
+			if got != want {
+				t.Errorf("%s par=%d traced: got {cost:%g best:%d hash:%#x}, want {cost:%g best:%d hash:%#x}",
+					algo, par, got.cost, got.bestRun, got.hash, want.cost, want.bestRun, want.hash)
+			}
+			if tr.Events() == 0 {
+				t.Errorf("%s par=%d: tracer saw no events", algo, par)
+			}
+			if err := tr.Err(); err != nil {
+				t.Errorf("%s par=%d: tracer error: %v", algo, par, err)
+			}
+		}
 	}
 }

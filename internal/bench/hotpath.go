@@ -10,6 +10,7 @@ import (
 	"prop/internal/core"
 	"prop/internal/fm"
 	"prop/internal/gen"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -39,6 +40,11 @@ type HotpathCircuit struct {
 	Runs  int            `json:"runs"`
 	PROP  HotpathSeries  `json:"prop"`
 	FM    *HotpathSeries `json:"fm,omitempty"`
+	// PROPTraced re-times the PROP runs with a pass-level tracer attached,
+	// and TraceOverheadPct is its mean slowdown relative to the untraced
+	// series — the cost of turning observability on.
+	PROPTraced       *HotpathSeries `json:"prop_traced,omitempty"`
+	TraceOverheadPct float64        `json:"trace_overhead_pct"`
 }
 
 // HotpathReport is the full study.
@@ -56,8 +62,13 @@ func DefaultHotpathCircuits() []string { return []string{"biomed", "s15850", "in
 // RunHotpath times runs multi-start runs of PROP (and FM for reference) on
 // each named suite circuit. Every run is timed individually so the report
 // captures per-run wall clock, the acceptance metric of the hot-path
-// optimization work.
-func RunHotpath(names []string, runs int, seed int64, progress io.Writer) (HotpathReport, error) {
+// optimization work. Each circuit's PROP series is re-timed with a
+// pass-level tracer writing to traceSink (io.Discard when nil) to measure
+// the tracing overhead.
+func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Writer) (HotpathReport, error) {
+	if traceSink == nil {
+		traceSink = io.Discard
+	}
 	rep := HotpathReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
@@ -85,7 +96,7 @@ func RunHotpath(names []string, runs int, seed int64, progress io.Writer) (Hotpa
 			Pins:  h.NumPins(),
 			Runs:  runs,
 		}
-		propRun := func(seed int64) (float64, error) {
+		propRun := func(seed int64, _ int) (float64, error) {
 			b, err := randomStart(h, bal, seed)
 			if err != nil {
 				return 0, err
@@ -96,7 +107,22 @@ func RunHotpath(names []string, runs int, seed int64, progress io.Writer) (Hotpa
 			}
 			return res.CutCost, nil
 		}
-		fmRun := func(seed int64) (float64, error) {
+		tracer := obs.New(traceSink, obs.LevelPass)
+		propTracedRun := func(seed int64, r int) (float64, error) {
+			b, err := randomStart(h, bal, seed)
+			if err != nil {
+				return 0, err
+			}
+			cfg := core.DefaultConfig(bal)
+			cfg.Tracer = tracer
+			cfg.TraceRun = r
+			res, err := core.Partition(b, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return res.CutCost, nil
+		}
+		fmRun := func(seed int64, _ int) (float64, error) {
 			b, err := randomStart(h, bal, seed)
 			if err != nil {
 				return 0, err
@@ -110,26 +136,38 @@ func RunHotpath(names []string, runs int, seed int64, progress io.Writer) (Hotpa
 		if rec.PROP, err = timeSeries(propRun, runs, seed); err != nil {
 			return rep, fmt.Errorf("bench: hotpath %s PROP: %w", name, err)
 		}
+		tracedSeries, err := timeSeries(propTracedRun, runs, seed)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hotpath %s PROP traced: %w", name, err)
+		}
+		rec.PROPTraced = &tracedSeries
+		if rec.PROP.MeanMillis > 0 {
+			rec.TraceOverheadPct = (tracedSeries.MeanMillis - rec.PROP.MeanMillis) / rec.PROP.MeanMillis * 100
+		}
+		if tracedSeries.BestCut != rec.PROP.BestCut {
+			return rep, fmt.Errorf("bench: hotpath %s: traced best cut %g != untraced %g (tracing must be observation-only)",
+				name, tracedSeries.BestCut, rec.PROP.BestCut)
+		}
 		fmSeries, err := timeSeries(fmRun, runs, seed)
 		if err != nil {
 			return rep, fmt.Errorf("bench: hotpath %s FM: %w", name, err)
 		}
 		rec.FM = &fmSeries
 		if progress != nil {
-			fmt.Fprintf(progress, "hotpath %-10s PROP cut %g mean %.1fms | FM cut %g mean %.1fms\n",
-				name, rec.PROP.BestCut, rec.PROP.MeanMillis, rec.FM.BestCut, rec.FM.MeanMillis)
+			fmt.Fprintf(progress, "hotpath %-10s PROP cut %g mean %.1fms (traced %+.1f%%) | FM cut %g mean %.1fms\n",
+				name, rec.PROP.BestCut, rec.PROP.MeanMillis, rec.TraceOverheadPct, rec.FM.BestCut, rec.FM.MeanMillis)
 		}
 		rep.Circuits = append(rep.Circuits, rec)
 	}
 	return rep, nil
 }
 
-func timeSeries(run func(seed int64) (float64, error), runs int, seed int64) (HotpathSeries, error) {
+func timeSeries(run func(seed int64, r int) (float64, error), runs int, seed int64) (HotpathSeries, error) {
 	s := HotpathSeries{RunMillis: make([]float64, 0, runs)}
 	best := 0.0
 	for r := 0; r < runs; r++ {
 		start := time.Now()
-		cut, err := run(seed + int64(r))
+		cut, err := run(seed+int64(r), r)
 		if err != nil {
 			return s, err
 		}

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -77,6 +78,14 @@ type Config struct {
 	// a pure read of shared state. DefaultConfig sets 1 (serial) because
 	// multi-start engines already saturate cores with whole runs.
 	Workers int
+
+	// Tracer, when non-nil, receives per-pass (and, at obs.LevelMove,
+	// per-move) trace events. Tracing is observation-only: it never
+	// changes the computed partition, and a nil Tracer costs one
+	// predicated branch per pass — no closures, no allocations.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // DefaultConfig returns the paper's experimental parameter set with the

@@ -3,9 +3,11 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"prop/internal/ds"
 	"prop/internal/engine"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -19,6 +21,12 @@ type Result struct {
 	// PassCuts records the cut cost after each pass — the convergence
 	// trajectory (the paper reports convergence in 2–4 passes).
 	PassCuts []float64
+	// RefineBusy and RefineWall time the refinement gain sweeps across all
+	// passes: summed per-worker busy time and wall clock. Their ratio over
+	// RefineWorkers is the sweep worker utilization.
+	RefineBusy    time.Duration
+	RefineWall    time.Duration
+	RefineWorkers int
 }
 
 // Partition runs PROP (Fig. 2 of the paper) on the bisection in place:
@@ -30,25 +38,63 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	e := newPassEngine(b, cfg)
+	traced := cfg.Tracer.PassEnabled()
 	passes, moves := 0, 0
 	var passCuts []float64
+	var refineBusy, refineWall time.Duration
+	var passStart time.Time
+	if traced {
+		passStart = time.Now()
+	}
 	for {
 		gmax, m := e.runPass()
 		passes++
 		moves += m
 		passCuts = append(passCuts, b.CutCost())
+		refineBusy += time.Duration(e.ps.sweepBusyNS.Load())
+		refineWall += time.Duration(e.ps.sweepWallNS)
+		if traced {
+			now := time.Now()
+			e.emitPass(passes-1, b.CutCost(), gmax, now.Sub(passStart))
+			passStart = now
+		}
 		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
 			break
 		}
 	}
 	return Result{
-		Sides:    b.Sides(),
-		CutCost:  b.CutCost(),
-		CutNets:  b.CutNets(),
-		Passes:   passes,
-		Moves:    moves,
-		PassCuts: passCuts,
+		Sides:         b.Sides(),
+		CutCost:       b.CutCost(),
+		CutNets:       b.CutNets(),
+		Passes:        passes,
+		Moves:         moves,
+		PassCuts:      passCuts,
+		RefineBusy:    refineBusy,
+		RefineWall:    refineWall,
+		RefineWorkers: e.workers,
 	}, nil
+}
+
+// passStats aggregates the observability counters of one pass. The cheap
+// integer counters are maintained unconditionally (they ride on work the
+// pass already does); the node-level swept counter is only exact when
+// tracing is on, because counting it adds a read to the dirty-node
+// marking loop.
+type passStats struct {
+	dirtyNets   int   // dirty-net rebuilds summed over refine iterations
+	swept       int   // gain recomputations across refine sweeps
+	refineIters int   // refine iterations executed
+	sweepWallNS int64 // wall clock of the refinement sweeps
+	sweepBusyNS atomic.Int64
+	moves       int // virtual moves made
+	kept        int // moves kept after maximum-prefix rollback
+}
+
+func (s *passStats) reset() {
+	s.dirtyNets, s.swept, s.refineIters = 0, 0, 0
+	s.sweepWallNS = 0
+	s.sweepBusyNS.Store(0)
+	s.moves, s.kept = 0, 0
 }
 
 type passEngine struct {
@@ -64,6 +110,14 @@ type passEngine struct {
 	// workers is the resolved refinement-sweep worker count (engine
 	// semantics: Config.Workers ≤ 0 selects GOMAXPROCS).
 	workers int
+
+	// ps carries the current pass's observability counters; traced and
+	// traceMoves latch the tracer level so hot loops test one bool; pass
+	// is the 0-based index of the pass being executed.
+	ps         passStats
+	traced     bool
+	traceMoves bool
+	pass       int
 
 	// Dirty-net refinement state (§3.4 economics applied to the refine
 	// fixpoint): after the first full sweep of an iteration, only nets with
@@ -88,7 +142,36 @@ func newPassEngine(b *partition.Bisection, cfg Config) *passEngine {
 		workers:    engine.WorkerCount(cfg.Workers),
 		dirtyNet:   make([]bool, b.H.NumNets()),
 		dirtyNode:  make([]bool, n),
+		traced:     cfg.Tracer.PassEnabled(),
+		traceMoves: cfg.Tracer.MoveEnabled(),
 	}
+}
+
+// emitPass sends the just-completed pass's trace event. The nil-tracer
+// fast path is a single predicated branch — no closures, no allocations
+// (pinned by TestEmitPassNilTracerZeroAllocs).
+func (e *passEngine) emitPass(pass int, cut, gmax float64, dur time.Duration) {
+	tr := e.cfg.Tracer
+	if !tr.PassEnabled() {
+		return
+	}
+	tr.EmitPass(obs.Pass{
+		Algo:        "prop",
+		Run:         e.cfg.TraceRun,
+		Pass:        pass,
+		Cut:         cut,
+		Gmax:        gmax,
+		Moves:       e.ps.moves,
+		Kept:        e.ps.kept,
+		Locked:      e.ps.moves, // every virtual move locks exactly one node
+		DirtyNets:   e.ps.dirtyNets,
+		SweptNodes:  e.ps.swept,
+		RefineIters: e.ps.refineIters,
+		Workers:     e.workers,
+		SweepBusy:   time.Duration(e.ps.sweepBusyNS.Load()),
+		SweepWall:   time.Duration(e.ps.sweepWallNS),
+		Dur:         dur,
+	})
 }
 
 // seedProbabilities implements step 3 of Fig. 2.
@@ -118,9 +201,16 @@ const sweepShard = 256
 const parallelSweepMin = 2 * sweepShard
 
 // sweepGains recomputes e.gain[u] = calc.Gain(u) for every node (only ==
-// nil) or for the marked subset, sharded across the worker pool.
+// nil) or for the marked subset, sharded across the worker pool. Sweep
+// wall clock and summed per-worker busy time are recorded in e.ps — a few
+// time.Now calls per pass, feeding the refine-worker utilization metric
+// whether or not tracing is on.
 func (e *passEngine) sweepGains(only []bool) {
 	n := e.b.H.NumNodes()
+	if only == nil {
+		e.ps.swept += n
+	}
+	start := time.Now()
 	if e.workers > 1 && n >= parallelSweepMin {
 		shards := (n + sweepShard - 1) / sweepShard
 		var next atomic.Int64
@@ -133,9 +223,11 @@ func (e *passEngine) sweepGains(only []bool) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				wstart := time.Now()
 				for {
 					s := int(next.Add(1)) - 1
 					if s >= shards {
+						e.ps.sweepBusyNS.Add(time.Since(wstart).Nanoseconds())
 						return
 					}
 					hi := (s + 1) * sweepShard
@@ -147,9 +239,13 @@ func (e *passEngine) sweepGains(only []bool) {
 			}()
 		}
 		wg.Wait()
+		e.ps.sweepWallNS += time.Since(start).Nanoseconds()
 		return
 	}
 	e.sweepRange(0, n, only)
+	el := time.Since(start).Nanoseconds()
+	e.ps.sweepWallNS += el
+	e.ps.sweepBusyNS.Add(el)
 }
 
 func (e *passEngine) sweepRange(lo, hi int, only []bool) {
@@ -193,6 +289,7 @@ func (e *passEngine) refine() {
 			}
 			e.sweepGains(e.dirtyNode)
 		}
+		e.ps.refineIters++
 		e.applyProbabilities(it == e.cfg.Refinements-1)
 	}
 }
@@ -236,7 +333,20 @@ func (e *passEngine) applyProbabilities(last bool) {
 		e.dirtyNode[u] = false
 	}
 	e.dirtyCount = len(e.dirtyNets)
+	e.ps.dirtyNets += len(e.dirtyNets)
 	if last {
+		return
+	}
+	if e.traced {
+		// Count the nodes the next sweep will recompute (= newly marked).
+		for _, en := range e.dirtyNets {
+			for _, v := range h.Net(int(en)) {
+				if !e.dirtyNode[v] {
+					e.dirtyNode[v] = true
+					e.ps.swept++
+				}
+			}
+		}
 		return
 	}
 	for _, en := range e.dirtyNets {
@@ -249,6 +359,7 @@ func (e *passEngine) applyProbabilities(last bool) {
 func (e *passEngine) runPass() (float64, int) {
 	h := e.b.H
 	n := h.NumNodes()
+	e.ps.reset()
 	e.calc.ResetLocks()
 	e.seedProbabilities()
 	e.refine()
@@ -269,12 +380,18 @@ func (e *passEngine) runPass() (float64, int) {
 		trees[s].Delete(u)
 		imm := e.calc.MoveLock(u)
 		e.log.Record(u, imm)
+		if e.traceMoves {
+			e.cfg.Tracer.EmitMove(obs.Move{Run: e.cfg.TraceRun, Pass: e.pass, Node: u, Gain: imm})
+		}
 		e.updateAfterMove(u, trees)
 	}
 
 	// Steps 9–10: keep the maximum-prefix-immediate-gain subset.
 	p, gmax := e.log.BestPrefix()
 	e.log.RollbackBeyond(e.b, p)
+	e.ps.moves = e.log.Len()
+	e.ps.kept = p
+	e.pass++
 	return gmax, e.log.Len()
 }
 

@@ -13,6 +13,9 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
+
+	"prop/internal/obs"
 )
 
 // RunFunc executes one independent run of a portfolio. It must be safe to
@@ -41,6 +44,29 @@ type Config[T any] struct {
 	// serialized (never concurrent with each other) but arrive in
 	// completion order, not run order.
 	OnRun func(Update[T])
+
+	// Tracer, when non-nil, records a run_start/run_end span around every
+	// portfolio run (the tracer serializes concurrent emissions).
+	// Observation-only; never affects results.
+	Tracer *obs.Tracer
+	// TraceID labels the emitted spans with a request/job ID. Optional.
+	TraceID string
+}
+
+// tracedRun wraps one fn invocation in a run_start/run_end span.
+func tracedRun[T any](ctx context.Context, cfg *Config[T], fn RunFunc[T], r int) (T, error) {
+	if !cfg.Tracer.RunEnabled() {
+		return fn(ctx, r)
+	}
+	cfg.Tracer.EmitRunStart(obs.RunStart{ID: cfg.TraceID, Run: r})
+	start := time.Now()
+	v, err := fn(ctx, r)
+	end := obs.RunEnd{ID: cfg.TraceID, Run: r, Dur: time.Since(start)}
+	if err != nil {
+		end.Err = err.Error()
+	}
+	cfg.Tracer.EmitRunEnd(end)
+	return v, err
 }
 
 // WorkerCount resolves a Workers setting: values < 1 select GOMAXPROCS.
@@ -87,7 +113,7 @@ func Portfolio[T any](ctx context.Context, runs int, cfg Config[T], fn RunFunc[T
 			if e := ctx.Err(); e != nil {
 				return zero, 0, e
 			}
-			v, e := fn(ctx, r)
+			v, e := tracedRun(ctx, &cfg, fn, r)
 			if e != nil {
 				return zero, 0, e
 			}
@@ -118,7 +144,7 @@ func Portfolio[T any](ctx context.Context, runs int, cfg Config[T], fn RunFunc[T
 		go func() {
 			defer wg.Done()
 			for r := range runCh {
-				v, e := fn(ctx, r)
+				v, e := tracedRun(ctx, &cfg, fn, r)
 				select {
 				case outCh <- outcome{run: r, v: v, err: e}:
 				case <-ctx.Done():

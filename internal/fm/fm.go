@@ -13,8 +13,10 @@ package fm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"prop/internal/ds"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -46,6 +48,12 @@ type Config struct {
 	// MaxPasses bounds the number of improvement passes; 0 means run until
 	// a pass yields no positive gain (the paper reports 2–4 in practice).
 	MaxPasses int
+
+	// Tracer, when non-nil, receives one event per pass (cut, G_max,
+	// moves). Observation-only; a nil Tracer costs one branch per pass.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // Result reports the outcome of a run.
@@ -138,10 +146,25 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 	}
 	passes := 0
 	totalMoves := 0
+	traced := cfg.Tracer.PassEnabled()
+	var passStart time.Time
+	if traced {
+		passStart = time.Now()
+	}
 	for {
 		gmax, moves := eng.runPass()
 		passes++
 		totalMoves += moves
+		if traced {
+			now := time.Now()
+			cfg.Tracer.EmitPass(obs.Pass{
+				Algo: "fm", Run: cfg.TraceRun, Pass: passes - 1,
+				Cut: b.CutCost(), Gmax: gmax,
+				Moves: moves, Kept: eng.lastKept, Locked: moves,
+				Dur: now.Sub(passStart),
+			})
+			passStart = now
+		}
 		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
 			break
 		}
@@ -161,6 +184,9 @@ type engine struct {
 	gain   []float64
 	locked []bool
 	log    partition.PassLog
+	// lastKept is the kept maximum-prefix length of the most recent pass
+	// (observability only).
+	lastKept int
 	// selfCheck (tests only) verifies after every move that the maintained
 	// delta gains equal freshly computed Eqn.-1 gains.
 	selfCheck bool
@@ -216,6 +242,7 @@ func (e *engine) runPass() (float64, int) {
 	}
 	p, gmax := e.log.BestPrefix()
 	e.log.RollbackBeyond(e.b, p)
+	e.lastKept = p
 	return gmax, e.log.Len()
 }
 

@@ -2,15 +2,19 @@
 // the partitioning engine and the propserve service: expvar-style counters
 // and gauges, a fixed-bucket histogram (cut-size distribution), and a
 // sliding-window latency tracker with p50/p99 quantiles. Everything is
-// safe for concurrent use and exports as one flat JSON document.
+// safe for concurrent use and exports both as one flat JSON document and
+// in the Prometheus text exposition format (version 0.0.4).
 package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +47,16 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 value (utilization, improvement
+// percentage). Safe for concurrent use via atomic bit storage.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts observations into fixed buckets. Bucket i counts
 // observations v with v ≤ Bounds[i]; one extra overflow bucket counts the
@@ -176,8 +190,13 @@ func (l *Latency) Snapshot() LatencySnapshot {
 	return s
 }
 
-// quantile interpolates the q-quantile of a sorted sample.
+// quantile interpolates the q-quantile of a sorted sample. An empty
+// sample yields 0 (callers normally guard, but the empty case must not
+// index below the slice).
 func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -190,59 +209,94 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]*(1-frac) + sorted[i+1]*frac
 }
 
-// Registry is a named collection of metrics exporting as one JSON object.
+// itemKind tags a registered metric with its Prometheus exposition type.
+type itemKind int
+
+const (
+	kindFunc itemKind = iota
+	kindCounter
+	kindGauge
+	kindFloatGauge
+	kindHistogram
+	kindLatency
+)
+
+// item is one registered metric: the JSON view plus the typed handle the
+// Prometheus writer needs.
+type item struct {
+	kind    itemKind
+	json    func() any
+	counter *Counter
+	gauge   *Gauge
+	fgauge  *FloatGauge
+	hist    *Histogram
+	lat     *Latency
+}
+
+// Registry is a named collection of metrics exporting as one JSON object
+// or as Prometheus text format.
 type Registry struct {
 	mu    sync.Mutex
 	order []string
-	items map[string]func() any
+	items map[string]item
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{items: map[string]func() any{}}
+	return &Registry{items: map[string]item{}}
 }
 
 // publish registers a lazily evaluated metric; re-registering a name
 // replaces it.
-func (r *Registry) publish(name string, fn func() any) {
+func (r *Registry) publish(name string, it item) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.items[name]; !dup {
 		r.order = append(r.order, name)
 	}
-	r.items[name] = fn
+	r.items[name] = it
 }
 
 // Counter registers and returns a new counter.
 func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
-	r.publish(name, func() any { return c.Value() })
+	r.publish(name, item{kind: kindCounter, counter: c, json: func() any { return c.Value() }})
 	return c
 }
 
 // Gauge registers and returns a new gauge.
 func (r *Registry) Gauge(name string) *Gauge {
 	g := &Gauge{}
-	r.publish(name, func() any { return g.Value() })
+	r.publish(name, item{kind: kindGauge, gauge: g, json: func() any { return g.Value() }})
+	return g
+}
+
+// FloatGauge registers and returns a new float gauge.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	g := &FloatGauge{}
+	r.publish(name, item{kind: kindFloatGauge, fgauge: g, json: func() any { return g.Value() }})
 	return g
 }
 
 // Histogram registers and returns a new histogram.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	h := NewHistogram(bounds...)
-	r.publish(name, func() any { return h.Snapshot() })
+	r.publish(name, item{kind: kindHistogram, hist: h, json: func() any { return h.Snapshot() }})
 	return h
 }
 
 // Latency registers and returns a new latency tracker.
 func (r *Registry) Latency(name string, window int) *Latency {
 	l := NewLatency(window)
-	r.publish(name, func() any { return l.Snapshot() })
+	r.publish(name, item{kind: kindLatency, lat: l, json: func() any { return l.Snapshot() }})
 	return l
 }
 
-// Func registers a computed metric (e.g. uptime).
-func (r *Registry) Func(name string, fn func() any) { r.publish(name, fn) }
+// Func registers a computed metric (e.g. uptime). Numeric results are
+// exposed to Prometheus as untyped samples; everything else is JSON-only.
+func (r *Registry) Func(name string, fn func() any) {
+	r.publish(name, item{kind: kindFunc, json: fn})
+}
 
 // WriteJSON emits every metric as one indented JSON object with stable key
 // order (registration order).
@@ -251,7 +305,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	names := append([]string(nil), r.order...)
 	fns := make([]func() any, len(names))
 	for i, n := range names {
-		fns[i] = r.items[n]
+		fns[i] = r.items[n].json
 	}
 	r.mu.Unlock()
 
@@ -277,8 +331,115 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return err
 }
 
-// ServeHTTP implements http.Handler, serving the JSON export.
-func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = r.WriteJSON(w)
+// promName maps a registry name onto the Prometheus identifier charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (version 0.0.4), in registration order. Counters and gauges map
+// directly; Histograms become cumulative histograms with `_bucket`,
+// `_sum`, and `_count` series; Latency trackers become summaries with
+// p50/p99 quantile series (values in milliseconds); Func metrics with
+// numeric results are emitted untyped, others are skipped (JSON-only).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	items := make([]item, len(names))
+	for i, n := range names {
+		items[i] = r.items[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, name := range names {
+		pn := promName(name)
+		switch it := items[i]; it.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, it.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", pn, pn, it.gauge.Value())
+		case kindFloatGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(it.fgauge.Value()))
+		case kindHistogram:
+			s := it.hist.Snapshot()
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+			cum := int64(0)
+			for _, bk := range s.Buckets {
+				cum += bk.Count
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, bk.LE, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", pn, promFloat(s.Sum), pn, s.Count)
+		case kindLatency:
+			s := it.lat.Snapshot()
+			fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", pn, promFloat(s.P50MS))
+			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", pn, promFloat(s.P99MS))
+			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", pn, promFloat(s.MeanMS*float64(s.Count)), pn, s.Count)
+		case kindFunc:
+			switch v := it.json().(type) {
+			case int:
+				fmt.Fprintf(&b, "%s %d\n", pn, v)
+			case int64:
+				fmt.Fprintf(&b, "%s %d\n", pn, v)
+			case float64:
+				fmt.Fprintf(&b, "%s %s\n", pn, promFloat(v))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// wantJSON reports whether the request asks for the JSON export rather
+// than Prometheus text: `?format=json` or an Accept header naming
+// application/json.
+func wantJSON(req *http.Request) bool {
+	if req == nil {
+		return false
+	}
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}
+
+// ServeHTTP implements http.Handler. The default response is the
+// Prometheus text format; `?format=json` (or Accept: application/json)
+// selects the JSON export.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if wantJSON(req) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WritePrometheus(w)
 }

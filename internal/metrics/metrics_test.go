@@ -137,19 +137,176 @@ func TestRegistryJSONStableOrder(t *testing.T) {
 	}
 }
 
-func TestRegistryServeHTTP(t *testing.T) {
+func TestRegistryServeHTTPJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	for _, target := range []string{"/metrics?format=json", "/metrics"} {
+		req := httptest.NewRequest("GET", target, nil)
+		if !strings.Contains(target, "format=json") {
+			req.Header.Set("Accept", "application/json")
+		}
+		rec := httptest.NewRecorder()
+		r.ServeHTTP(rec, req)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content-type = %q", target, ct)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", target, err)
+		}
+		if decoded["hits"] != float64(1) {
+			t.Errorf("%s: hits = %v", target, decoded["hits"])
+		}
+	}
+}
+
+func TestRegistryServeHTTPPrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("hits").Inc()
 	rec := httptest.NewRecorder()
 	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
 		t.Errorf("content-type = %q", ct)
 	}
-	var decoded map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
-		t.Fatalf("invalid JSON: %v", err)
+	body := rec.Body.String()
+	if !strings.Contains(body, "# TYPE hits counter\nhits 1\n") {
+		t.Errorf("missing counter exposition:\n%s", body)
 	}
-	if decoded["hits"] != float64(1) {
-		t.Errorf("hits = %v", decoded["hits"])
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total").Add(3)
+	r.Gauge("jobs_in_flight").Set(2)
+	r.FloatGauge("cut_improvement_pct").Set(12.5)
+	h := r.Histogram("passes_per_run", 1, 2, 4)
+	for _, v := range []float64{1, 2, 2, 3, 9} {
+		h.Observe(v)
+	}
+	l := r.Latency("request_latency", 64)
+	for i := 1; i <= 100; i++ {
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	r.Func("uptime_seconds", func() any { return 42 })
+	r.Func("build.info", func() any { return map[string]string{"v": "1"} }) // JSON-only
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE jobs_in_flight gauge\njobs_in_flight 2\n",
+		"# TYPE cut_improvement_pct gauge\ncut_improvement_pct 12.5\n",
+		"# TYPE passes_per_run histogram\n",
+		`passes_per_run_bucket{le="1"} 1`,
+		`passes_per_run_bucket{le="2"} 3`,
+		`passes_per_run_bucket{le="4"} 4`,
+		`passes_per_run_bucket{le="+Inf"} 5`,
+		"passes_per_run_sum 17\npasses_per_run_count 5\n",
+		"# TYPE request_latency summary\n",
+		`request_latency{quantile="0.5"}`,
+		`request_latency{quantile="0.99"}`,
+		"request_latency_count 100\n",
+		"uptime_seconds 42\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "build") {
+		t.Errorf("non-numeric Func metric leaked into Prometheus output:\n%s", out)
+	}
+	// Bucket counts must be cumulative, not per-bucket.
+	if strings.Contains(out, `passes_per_run_bucket{le="2"} 2`) {
+		t.Errorf("bucket counts are not cumulative:\n%s", out)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"jobs_total":   "jobs_total",
+		"http.latency": "http_latency",
+		"cut-cost":     "cut_cost",
+		"9lives":       "_9lives",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	var g FloatGauge
+	if g.Value() != 0 {
+		t.Errorf("zero value = %g, want 0", g.Value())
+	}
+	g.Set(3.25)
+	if g.Value() != 3.25 {
+		t.Errorf("value = %g, want 3.25", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("value = %g, want -1", g.Value())
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	if q := quantile([]float64{7}, 0.99); q != 7 {
+		t.Errorf("single-sample quantile = %g, want 7", q)
+	}
+	// Empty latency tracker: snapshot must not panic and must report zeros.
+	s := NewLatency(16).Snapshot()
+	if s.Count != 0 || s.P50MS != 0 || s.P99MS != 0 || s.MeanMS != 0 {
+		t.Errorf("empty latency snapshot = %+v", s)
+	}
+	// Single observation: both quantiles are that observation.
+	l := NewLatency(16)
+	l.Observe(5 * time.Millisecond)
+	s = l.Snapshot()
+	if s.P50MS != 5 || s.P99MS != 5 {
+		t.Errorf("single-sample snapshot = %+v", s)
+	}
+	// Empty histogram: snapshot reports zero mean without dividing by zero.
+	hs := NewHistogram(1, 2).Snapshot()
+	if hs.Count != 0 || hs.Mean != 0 || hs.Sum != 0 {
+		t.Errorf("empty histogram snapshot = %+v", hs)
+	}
+}
+
+// TestConcurrentObserveSnapshot exercises Histogram and Latency under
+// concurrent writers and readers; run with -race to verify the locking.
+func TestConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	l := NewLatency(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(base + j))
+				l.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}(i * 500)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = h.Snapshot()
+				_ = l.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 2000 {
+		t.Errorf("histogram count = %d, want 2000", s.Count)
+	}
+	if s := l.Snapshot(); s.Count != 2000 {
+		t.Errorf("latency count = %d, want 2000", s.Count)
 	}
 }

@@ -1,0 +1,319 @@
+// Package obs is the telemetry subsystem shared by the partitioning
+// engines and the serving layer: a low-overhead structured trace recorder
+// (JSONL span/event stream with monotonic timestamps at run/pass/move
+// granularity) plus small helpers for request-ID generation and context
+// propagation used by the slog-based request logging in propserve.
+//
+// The recorder is observation-only by construction: emitters read engine
+// state but never write it, so a run traced at any level produces
+// bit-identical partitions to an untraced run. A nil *Tracer is the
+// disabled state and every emission site guards with the nil-safe
+// PassEnabled/MoveEnabled/RunEnabled predicates, so the disabled hot path
+// is a single predicated branch — no closures, no allocations
+// (TestEmitPassNilTracerZeroAllocs pins this).
+//
+// # Trace schema
+//
+// One JSON object per line. Every event carries:
+//
+//	ts_us   int     microseconds since the tracer was created (monotonic)
+//	ev      string  event kind: run_start | run_end | pass | move
+//	run     int     0-based multi-start run index
+//
+// Kind-specific fields:
+//
+//	run_start  id?
+//	run_end    id?, dur_us, err?
+//	pass       algo, id?, pass, cut, gmax, moves, kept, locked,
+//	           dirty_nets, swept, refine_iters, workers,
+//	           sweep_busy_us, sweep_wall_us, dur_us
+//	move       pass, node, gain
+//
+// Fields marked ? are omitted when empty. cmd/tracecheck validates a
+// JSONL stream against this schema.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level selects trace granularity. Each level includes the ones below it.
+type Level int32
+
+const (
+	// LevelRun records only run_start/run_end span events.
+	LevelRun Level = iota
+	// LevelPass additionally records one event per improvement pass — the
+	// convergence trajectory. This is the default working level.
+	LevelPass
+	// LevelMove additionally records every virtual move (large!).
+	LevelMove
+)
+
+// ParseLevel maps the CLI spellings ("run", "pass", "move") to a Level.
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "run":
+		return LevelRun, true
+	case "pass", "":
+		return LevelPass, true
+	case "move":
+		return LevelMove, true
+	}
+	return LevelPass, false
+}
+
+// Tracer records structured events as JSONL. Safe for concurrent use:
+// lines are assembled and written under one mutex, so events from
+// parallel runs interleave whole-line. The zero of *Tracer (nil) is the
+// disabled recorder.
+type Tracer struct {
+	level Level
+	epoch time.Time
+
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+
+	events atomic.Int64
+}
+
+// New returns a Tracer writing JSONL events to w at the given level. The
+// caller owns w's lifetime (and any buffering around it); the tracer
+// writes one complete line per event.
+func New(w io.Writer, level Level) *Tracer {
+	if level < LevelRun {
+		level = LevelRun
+	}
+	if level > LevelMove {
+		level = LevelMove
+	}
+	return &Tracer{level: level, epoch: time.Now(), w: w, buf: make([]byte, 0, 256)}
+}
+
+// RunEnabled reports whether run span events should be emitted. Nil-safe.
+func (t *Tracer) RunEnabled() bool { return t != nil }
+
+// PassEnabled reports whether per-pass events should be emitted. Nil-safe.
+func (t *Tracer) PassEnabled() bool { return t != nil && t.level >= LevelPass }
+
+// MoveEnabled reports whether per-move events should be emitted. Nil-safe.
+func (t *Tracer) MoveEnabled() bool { return t != nil && t.level >= LevelMove }
+
+// Events returns the number of events emitted so far. Nil-safe.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.events.Load()
+}
+
+// Err returns the first write error encountered, if any. Nil-safe.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// RunStart is the opening span event of one multi-start run.
+type RunStart struct {
+	ID  string // request/job label, optional
+	Run int
+}
+
+// RunEnd closes a run span.
+type RunEnd struct {
+	ID  string
+	Run int
+	Dur time.Duration
+	Err string // non-empty when the run failed
+}
+
+// Pass is one improvement-pass event — the unit of the paper's
+// convergence claims. Core fills every field; simpler engines (FM) leave
+// the refinement fields zero.
+type Pass struct {
+	Algo string // "prop", "fm", ...
+	ID   string
+	Run  int
+	Pass int // 0-based pass index within the run
+
+	Cut  float64 // cut cost after the pass (post-rollback)
+	Gmax float64 // realized maximum prefix gain of the pass
+
+	Moves  int // virtual moves made during the pass
+	Kept   int // moves kept after maximum-prefix rollback
+	Locked int // nodes locked when selection stopped
+
+	DirtyNets   int // cumulative dirty-net rebuilds across refine iterations
+	SweptNodes  int // gain recomputations across refine sweeps
+	RefineIters int // refine iterations actually executed
+
+	Workers   int           // refinement sweep worker count
+	SweepBusy time.Duration // summed per-worker busy time in sweeps
+	SweepWall time.Duration // wall-clock time of the sweeps
+
+	Dur time.Duration // wall-clock time of the whole pass
+}
+
+// Move is one virtual move (LevelMove only).
+type Move struct {
+	Run  int
+	Pass int
+	Node int
+	Gain float64 // immediate (deterministic) gain realized by the move
+}
+
+// EmitRunStart records a run_start event. Nil-safe no-op when disabled.
+func (t *Tracer) EmitRunStart(e RunStart) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("run_start", e.Run)
+	b = appendStr(b, "id", e.ID)
+	t.close(b)
+	t.mu.Unlock()
+}
+
+// EmitRunEnd records a run_end event. Nil-safe no-op when disabled.
+func (t *Tracer) EmitRunEnd(e RunEnd) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("run_end", e.Run)
+	b = appendStr(b, "id", e.ID)
+	b = appendInt(b, "dur_us", e.Dur.Microseconds())
+	b = appendStr(b, "err", e.Err)
+	t.close(b)
+	t.mu.Unlock()
+}
+
+// EmitPass records a pass event. Callers should guard with PassEnabled;
+// EmitPass itself is also nil-safe.
+func (t *Tracer) EmitPass(e Pass) {
+	if t == nil || t.level < LevelPass {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("pass", e.Run)
+	b = appendStr(b, "algo", e.Algo)
+	b = appendStr(b, "id", e.ID)
+	b = appendInt(b, "pass", int64(e.Pass))
+	b = appendFloat(b, "cut", e.Cut)
+	b = appendFloat(b, "gmax", e.Gmax)
+	b = appendInt(b, "moves", int64(e.Moves))
+	b = appendInt(b, "kept", int64(e.Kept))
+	b = appendInt(b, "locked", int64(e.Locked))
+	b = appendInt(b, "dirty_nets", int64(e.DirtyNets))
+	b = appendInt(b, "swept", int64(e.SweptNodes))
+	b = appendInt(b, "refine_iters", int64(e.RefineIters))
+	b = appendInt(b, "workers", int64(e.Workers))
+	b = appendInt(b, "sweep_busy_us", e.SweepBusy.Microseconds())
+	b = appendInt(b, "sweep_wall_us", e.SweepWall.Microseconds())
+	b = appendInt(b, "dur_us", e.Dur.Microseconds())
+	t.close(b)
+	t.mu.Unlock()
+}
+
+// EmitMove records a move event. Callers should guard with MoveEnabled;
+// EmitMove itself is also nil-safe.
+func (t *Tracer) EmitMove(e Move) {
+	if t == nil || t.level < LevelMove {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("move", e.Run)
+	b = appendInt(b, "pass", int64(e.Pass))
+	b = appendInt(b, "node", int64(e.Node))
+	b = appendFloat(b, "gain", e.Gain)
+	t.close(b)
+	t.mu.Unlock()
+}
+
+// open starts a line in the reused buffer: {"ts_us":N,"ev":"...","run":N.
+// Must be called with t.mu held.
+func (t *Tracer) open(ev string, run int) []byte {
+	b := t.buf[:0]
+	b = append(b, `{"ts_us":`...)
+	b = strconv.AppendInt(b, time.Since(t.epoch).Microseconds(), 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, ev...)
+	b = append(b, `","run":`...)
+	b = strconv.AppendInt(b, int64(run), 10)
+	return b
+}
+
+// close terminates the line and writes it. Must be called with t.mu held.
+func (t *Tracer) close(b []byte) {
+	b = append(b, '}', '\n')
+	t.buf = b[:0] // retain grown capacity for the next event
+	if t.err == nil {
+		if _, err := t.w.Write(b); err != nil {
+			t.err = err
+		}
+	}
+	t.events.Add(1)
+}
+
+func appendInt(b []byte, key string, v int64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendFloat(b []byte, key string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendStr appends a quoted string field, omitting empty values.
+func appendStr(b []byte, key, v string) []byte {
+	if v == "" {
+		return b
+	}
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, '"', ':')
+	return strconv.AppendQuote(b, v)
+}
+
+// NewID returns a short random hex ID for request/run correlation.
+func NewID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a timestamp so IDs stay usable.
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey is the context key type for run-ID propagation.
+type ctxKey struct{}
+
+// WithRunID returns a context carrying the request-scoped run ID.
+func WithRunID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RunID extracts the run ID installed by WithRunID ("" if absent).
+func RunID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

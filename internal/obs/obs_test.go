@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeLines parses a JSONL stream into one map per line.
+func decodeLines(t *testing.T, s string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestEventEncoding(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, LevelMove)
+	tr.EmitRunStart(RunStart{ID: "r1", Run: 0})
+	tr.EmitPass(Pass{Algo: "prop", ID: "r1", Run: 0, Pass: 1, Cut: 55.5, Gmax: 2.25,
+		Moves: 10, Kept: 7, Locked: 10, DirtyNets: 3, SweptNodes: 40, RefineIters: 2,
+		Workers: 4, SweepBusy: 9 * time.Microsecond, SweepWall: 3 * time.Microsecond,
+		Dur: 1500 * time.Microsecond})
+	tr.EmitMove(Move{Run: 0, Pass: 1, Node: 17, Gain: -1.5})
+	tr.EmitRunEnd(RunEnd{ID: "r1", Run: 0, Dur: time.Millisecond, Err: "boom \"quoted\""})
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	if tr.Events() != 4 {
+		t.Fatalf("events = %d, want 4", tr.Events())
+	}
+
+	lines := decodeLines(t, sb.String())
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	for i, m := range lines {
+		for _, key := range []string{"ts_us", "ev", "run"} {
+			if _, ok := m[key]; !ok {
+				t.Errorf("line %d missing required key %q: %v", i, key, m)
+			}
+		}
+	}
+	if lines[0]["ev"] != "run_start" || lines[0]["id"] != "r1" {
+		t.Errorf("run_start = %v", lines[0])
+	}
+	p := lines[1]
+	if p["ev"] != "pass" || p["algo"] != "prop" || p["cut"] != 55.5 || p["gmax"] != 2.25 ||
+		p["pass"] != float64(1) || p["moves"] != float64(10) || p["kept"] != float64(7) ||
+		p["dirty_nets"] != float64(3) || p["swept"] != float64(40) ||
+		p["workers"] != float64(4) || p["dur_us"] != float64(1500) {
+		t.Errorf("pass = %v", p)
+	}
+	if lines[2]["ev"] != "move" || lines[2]["node"] != float64(17) || lines[2]["gain"] != -1.5 {
+		t.Errorf("move = %v", lines[2])
+	}
+	if lines[3]["ev"] != "run_end" || lines[3]["err"] != `boom "quoted"` {
+		t.Errorf("run_end = %v", lines[3])
+	}
+	// Empty optional strings are omitted entirely.
+	var sb2 strings.Builder
+	tr2 := New(&sb2, LevelRun)
+	tr2.EmitRunStart(RunStart{Run: 3})
+	if strings.Contains(sb2.String(), `"id"`) {
+		t.Errorf("empty id not omitted: %s", sb2.String())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.RunEnabled() || tr.PassEnabled() || tr.MoveEnabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	if tr.Events() != 0 || tr.Err() != nil {
+		t.Error("nil tracer has state")
+	}
+	// Emissions on nil must be no-ops, not panics.
+	tr.EmitRunStart(RunStart{})
+	tr.EmitRunEnd(RunEnd{})
+	tr.EmitPass(Pass{})
+	tr.EmitMove(Move{})
+}
+
+func TestLevelGating(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, LevelRun)
+	if !tr.RunEnabled() || tr.PassEnabled() || tr.MoveEnabled() {
+		t.Errorf("LevelRun gating wrong")
+	}
+	tr.EmitPass(Pass{Run: 0})
+	tr.EmitMove(Move{Run: 0})
+	if tr.Events() != 0 {
+		t.Errorf("gated events were emitted: %s", sb.String())
+	}
+	tr = New(&sb, LevelPass)
+	if !tr.PassEnabled() || tr.MoveEnabled() {
+		t.Errorf("LevelPass gating wrong")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"run": LevelRun, "pass": LevelPass, "": LevelPass, "move": LevelMove} {
+		got, ok := ParseLevel(s)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("verbose"); ok {
+		t.Error("ParseLevel accepted junk")
+	}
+}
+
+// syncBuffer is an io.Writer tests can share with a concurrent tracer.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	var buf syncBuffer
+	tr := New(&buf, LevelMove)
+	var wg sync.WaitGroup
+	const workers, events = 8, 200
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				tr.EmitPass(Pass{Algo: "prop", Run: w, Pass: i, Cut: float64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := decodeLines(t, buf.String())
+	if len(lines) != workers*events {
+		t.Fatalf("lines = %d, want %d", len(lines), workers*events)
+	}
+	if tr.Events() != workers*events {
+		t.Fatalf("events = %d", tr.Events())
+	}
+}
+
+// errWriter fails after n writes.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestWriteErrorSticky(t *testing.T) {
+	tr := New(&errWriter{n: 1}, LevelPass)
+	tr.EmitPass(Pass{Run: 0})
+	if tr.Err() != nil {
+		t.Fatalf("unexpected early error: %v", tr.Err())
+	}
+	tr.EmitPass(Pass{Run: 1})
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	tr.EmitPass(Pass{Run: 2}) // must not panic or clear the error
+	if tr.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestRunIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RunID(ctx) != "" {
+		t.Error("empty context has run ID")
+	}
+	ctx = WithRunID(ctx, "abc123")
+	if RunID(ctx) != "abc123" {
+		t.Errorf("RunID = %q", RunID(ctx))
+	}
+	a, b := NewID(), NewID()
+	if a == b || len(a) == 0 {
+		t.Errorf("NewID not unique: %q %q", a, b)
+	}
+}

@@ -83,6 +83,15 @@ type Options struct {
 	// Parallel > 1 need not be run order.
 	OnRun func(RunUpdate)
 
+	// Tracer, when non-nil, records structured JSONL trace events: run
+	// spans from the engine plus per-pass convergence events from the
+	// PROP and FM kernels (see NewTracer). Observation-only — results are
+	// bit-identical with tracing on or off, at any Parallel value.
+	Tracer *Tracer
+	// TraceID labels this request's trace events and log lines (e.g. a
+	// propserve request/job ID). Optional.
+	TraceID string
+
 	// PROP overrides the paper's default PROP parameters when non-nil.
 	PROP *PROPParams
 }
@@ -94,6 +103,13 @@ type RunUpdate struct {
 	// CutCost and CutNets are the run's final cut.
 	CutCost float64
 	CutNets int
+	// Passes counts the run's improvement passes (0 for algorithms that
+	// do not report passes).
+	Passes int
+	// RefineUtilization is the PROP refinement-sweep worker utilization
+	// of the run — summed worker busy time over (wall clock × workers),
+	// in (0, 1]. Zero for non-PROP algorithms or unmeasured runs.
+	RefineUtilization float64
 }
 
 // PROPParams exposes PROP's tunables (see the paper §3.2–3.4; zero values
@@ -204,9 +220,24 @@ func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 
 // runResult is one multi-start run's outcome flowing through the engine.
 type runResult struct {
-	sides []uint8
-	cost  float64
-	nets  int
+	sides  []uint8
+	cost   float64
+	nets   int
+	passes int
+	// refineBusy/refineWall/refineWorkers time PROP's refinement sweeps
+	// (zero for other algorithms); see core.Result.
+	refineBusy    time.Duration
+	refineWall    time.Duration
+	refineWorkers int
+}
+
+// update converts a run outcome to the public OnRun form.
+func (r runResult) update(run int) RunUpdate {
+	u := RunUpdate{Run: run, CutCost: r.cost, CutNets: r.nets, Passes: r.passes}
+	if r.refineWall > 0 && r.refineWorkers > 0 {
+		u.RefineUtilization = float64(r.refineBusy) / (float64(r.refineWall) * float64(r.refineWorkers))
+	}
+	return u
 }
 
 // multiStart executes the multi-start portfolio on the engine's worker
@@ -217,11 +248,11 @@ func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Bal
 	cfg := engine.Config[runResult]{
 		Workers: o.Parallel,
 		Less:    func(a, b runResult) bool { return a.cost < b.cost },
+		Tracer:  o.Tracer,
+		TraceID: o.TraceID,
 	}
 	if o.OnRun != nil {
-		cfg.OnRun = func(u engine.Update[runResult]) {
-			o.OnRun(RunUpdate{Run: u.Run, CutCost: u.Result.cost, CutNets: u.Result.nets})
-		}
+		cfg.OnRun = func(u engine.Update[runResult]) { o.OnRun(u.Result.update(u.Run)) }
 	}
 	best, bestRun, err := engine.Portfolio(ctx, runs, cfg,
 		func(ctx context.Context, r int) (runResult, error) {
@@ -236,11 +267,7 @@ func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Bal
 			} else {
 				initial = partition.RandomSides(h, bal, rand.New(rand.NewSource(seed)))
 			}
-			sides, cost, nets, err := oneRun(h, bal, o, initial, seed)
-			if err != nil {
-				return runResult{}, err
-			}
-			return runResult{sides: sides, cost: cost, nets: nets}, nil
+			return oneRun(h, bal, o, initial, seed, r)
 		})
 	if err != nil {
 		return Result{}, err
@@ -254,30 +281,30 @@ func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Bal
 	}, nil
 }
 
-func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial []uint8, seed int64) ([]uint8, float64, int, error) {
+func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial []uint8, seed int64, run int) (runResult, error) {
 	switch o.Algorithm {
 	case AlgoKL:
 		r, err := kl.Partition(h, initial, kl.Config{})
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
 	case AlgoSK:
 		r, err := sk.Partition(h, initial, sk.Config{})
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
 	case AlgoSA:
 		r, err := anneal.Partition(h, initial, anneal.Config{Balance: bal, Seed: seed})
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Temperatures}, nil
 	}
 	b, err := partition.NewBisection(h, initial)
 	if err != nil {
-		return nil, 0, 0, err
+		return runResult{}, err
 	}
 	switch o.Algorithm {
 	case AlgoFM, AlgoFMTree:
@@ -285,11 +312,11 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		if o.Algorithm == AlgoFMTree {
 			sel = fm.Tree
 		}
-		r, err := fm.Partition(b, fm.Config{Balance: bal, Selector: sel})
+		r, err := fm.Partition(b, fm.Config{Balance: bal, Selector: sel, Tracer: o.Tracer, TraceRun: run})
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
 	case AlgoLA:
 		k := o.LADepth
 		if k == 0 {
@@ -297,9 +324,9 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		}
 		r, err := la.Partition(b, la.Config{K: k, Balance: bal})
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
 	case AlgoPROP:
 		cfg := core.DefaultConfig(bal)
 		if p := o.PROP; p != nil {
@@ -331,13 +358,18 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 				cfg.Workers = p.RefineWorkers
 			}
 		}
+		cfg.Tracer = o.Tracer
+		cfg.TraceRun = run
 		r, err := core.Partition(b, cfg)
 		if err != nil {
-			return nil, 0, 0, err
+			return runResult{}, err
 		}
-		return r.Sides, r.CutCost, r.CutNets, nil
+		return runResult{
+			sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes,
+			refineBusy: r.RefineBusy, refineWall: r.RefineWall, refineWorkers: r.RefineWorkers,
+		}, nil
 	}
-	return nil, 0, 0, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
+	return runResult{}, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
 }
 
 // KWayResult is a recursive k-way partition.

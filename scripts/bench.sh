@@ -2,7 +2,9 @@
 # Hot-path performance harness: runs the core microbenchmarks and the
 # timed PROP/FM study over the largest suite circuits, writing the
 # machine-readable report to BENCH_hotpath.json (committed alongside
-# EXPERIMENTS.md so perf changes are diffable).
+# EXPERIMENTS.md so perf changes are diffable). The study also re-times
+# PROP with a pass-level tracer attached and records the slowdown as
+# trace_overhead_pct per circuit — the cost of turning telemetry on.
 #
 #	./scripts/bench.sh                 # refuses single-proc runs
 #	./scripts/bench.sh -allow-serial   # accept GOMAXPROCS=1 timings
@@ -34,7 +36,7 @@ if [ "$procs" -le 1 ] && [ "$allow_serial" -eq 0 ]; then
 fi
 
 echo "== core microbenchmarks =="
-go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|BenchmarkPassFlat' \
+go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|BenchmarkPassFlat|BenchmarkEmitPass' \
 	-benchmem ./internal/core
 
 echo "== hot-path study (BENCH_hotpath.json) =="

@@ -29,4 +29,18 @@ go test -race ./...
 echo "== benchmark smoke =="
 go test -run=NONE -bench=. -benchtime=1x ./...
 
+echo "== trace smoke =="
+# End-to-end telemetry check: a traced run must emit schema-valid JSONL
+# and must not change the reported cut.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/propart -suite balu -runs 2 -par 1 -q \
+	-trace "$tracedir/trace.jsonl" >"$tracedir/cut.txt"
+go run ./cmd/tracecheck "$tracedir/trace.jsonl"
+go run ./cmd/propart -suite balu -runs 2 -par 1 -q >"$tracedir/cut_untraced.txt"
+if ! cmp -s "$tracedir/cut.txt" "$tracedir/cut_untraced.txt"; then
+	echo "trace smoke: traced cut differs from untraced cut" >&2
+	exit 1
+fi
+
 echo "ci: all checks passed"

@@ -1,0 +1,39 @@
+package prop
+
+import (
+	"io"
+
+	"prop/internal/obs"
+)
+
+// Tracer is a structured JSONL trace recorder (see internal/obs for the
+// event schema). Attach one via Options.Tracer to record run spans and
+// per-pass convergence events; a nil Tracer disables tracing at zero
+// cost. Tracing is observation-only — traced and untraced runs produce
+// bit-identical partitions.
+type Tracer = obs.Tracer
+
+// TraceLevel selects trace granularity.
+type TraceLevel = obs.Level
+
+// Trace granularity levels, coarsest first. Each level includes the ones
+// above it.
+const (
+	// TraceRuns records only run_start/run_end span events.
+	TraceRuns = obs.LevelRun
+	// TracePasses additionally records one event per improvement pass —
+	// the convergence trajectory. The default working level.
+	TracePasses = obs.LevelPass
+	// TraceMoves additionally records every virtual move (large!).
+	TraceMoves = obs.LevelMove
+)
+
+// NewTracer returns a Tracer writing JSONL events to w at the given
+// level. The caller owns w (and any buffering around it); the tracer
+// emits one complete line per event and is safe for concurrent use, so
+// one tracer can observe a parallel portfolio.
+func NewTracer(w io.Writer, level TraceLevel) *Tracer { return obs.New(w, level) }
+
+// ParseTraceLevel maps the CLI spellings "run", "pass", and "move" to a
+// TraceLevel; ok is false for anything else.
+func ParseTraceLevel(s string) (TraceLevel, bool) { return obs.ParseLevel(s) }
