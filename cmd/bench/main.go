@@ -32,6 +32,7 @@ func main() {
 		exts       = flag.Bool("extensions", false, "print only the extensions study (multilevel, KL/SK, SA)")
 		balSweep   = flag.Bool("balance", false, "print only the balance-window sweep")
 		hotpath    = flag.String("hotpath", "", "run the hot-path timing study and write the JSON report to this file")
+		increment  = flag.String("incremental", "", "run the warm-vs-cold ECO repartitioning study and write the JSON report to this file")
 		trace      = flag.String("trace", "", "with -hotpath, write the traced series' JSONL events to this file (default: discard)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the requested work to this file")
 		maxNodes   = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
@@ -86,6 +87,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("hotpath report written to %s\n", *hotpath)
+		return
+	}
+
+	if *increment != "" {
+		r := *runs
+		if r == 0 {
+			r = 5
+		}
+		var progress *os.File
+		if *verbose {
+			progress = os.Stderr
+		}
+		rep, err := bench.RunIncremental(bench.DefaultHotpathCircuits(), bench.DefaultIncrementalFractions(), r, *seed, progress)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*increment)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteIncremental(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("incremental report written to %s\n", *increment)
 		return
 	}
 

@@ -5,6 +5,7 @@
 //
 //	propart -in circuit.hgr [-format hgr|netare|json] [-algo prop] \
 //	        [-r1 0.5 -r2 0.5] [-runs 20] [-par 8] [-k 2] [-seed 1] [-out sides.txt] \
+//	        [-warm sides.txt] [-delta delta.json] \
 //	        [-trace trace.jsonl] [-trace-level pass]
 //
 // With -format netare, -in names the .net file and -are the .are file.
@@ -13,12 +14,21 @@
 // line; -k > 2 performs recursive k-way partitioning and prints part
 // indices instead.
 //
+// -delta applies a JSON netlist delta (ECO edit script; see the prop
+// package's Delta type) to the input before partitioning. Combined with
+// -warm, which names a previous "node side" assignment of the *base*
+// netlist, the run takes the incremental path: the old sides are
+// projected through the delta and the partitioner warm-starts from them
+// instead of solving from scratch. -warm alone warm-starts run 0 on the
+// unmodified input. Both are bisection-only (-k 2).
+//
 // -trace writes a JSONL convergence trace (run spans and per-pass
 // events; see internal/obs for the schema) without changing the result.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +53,8 @@ func main() {
 		k        = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output assignment file (default stdout)")
+		warm     = flag.String("warm", "", "warm-start from a saved \"node side\" assignment file")
+		deltaIn  = flag.String("delta", "", "apply a JSON netlist delta before partitioning (incremental with -warm)")
 		check    = flag.String("check", "", "verify a saved \"node side\" assignment file instead of partitioning")
 		quiet    = flag.Bool("q", false, "print only the cut size")
 		traceOut = flag.String("trace", "", "write a JSONL trace of the runs to this file")
@@ -124,6 +136,49 @@ func main() {
 		w = f
 	}
 
+	if (*warm != "" || *deltaIn != "") && *k > 2 {
+		fatal(fmt.Errorf("-warm and -delta are bisection-only; drop -k %d", *k))
+	}
+	if *deltaIn != "" {
+		d, err := readDelta(*deltaIn)
+		if err != nil {
+			fatal(err)
+		}
+		if *warm != "" {
+			// Incremental path: project the base assignment through the
+			// delta and warm-start from it.
+			prev, err := readSides(*warm, n.NumNodes())
+			if err != nil {
+				fatal(err)
+			}
+			_, res, err := prop.Repartition(n, prev, d, opts)
+			if err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "%s (warm, delta): cut nets %d, cut cost %g, %.2fs\n",
+					*algo, res.CutNets, res.CutCost, res.Elapsed.Seconds())
+			} else {
+				fmt.Println(res.CutNets)
+			}
+			for u, s := range res.Sides {
+				fmt.Fprintf(w, "%d %d\n", u, s)
+			}
+			return
+		}
+		edited, _, err := n.ApplyDelta(d)
+		if err != nil {
+			fatal(err)
+		}
+		n = edited
+	} else if *warm != "" {
+		sides, err := readSides(*warm, n.NumNodes())
+		if err != nil {
+			fatal(err)
+		}
+		opts.Initial = sides
+	}
+
 	if *k > 2 {
 		res, err := prop.KWay(n, *k, opts)
 		if err != nil {
@@ -187,6 +242,22 @@ func load(in, are, format string) (*prop.Netlist, error) {
 		return prop.ReadNetAre(r, nil)
 	}
 	return nil, fmt.Errorf("unknown format %q", format)
+}
+
+// readDelta parses a JSON netlist delta file.
+func readDelta(path string) (*prop.Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d prop.Delta
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("delta %s: %w", path, err)
+	}
+	return &d, nil
 }
 
 // readSides parses "node side" lines (as written by -out) into a side

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	propserve [-addr :8080] [-par 8] [-timeout 60s]
+//	          [-max-jobs 64] [-job-history 256] [-job-ttl 15m] [-cache 128]
 //	          [-log-level info] [-log-format text]
 //
 // Endpoints:
@@ -11,11 +12,29 @@
 //	                        body is the netlist (.hgr text, or the JSON
 //	                        netlist format with Content-Type:
 //	                        application/json) and query parameters select
-//	                        algo, runs, seed, k, r1, r2, par, timeout_ms
-//	POST /v1/jobs           same request, asynchronously; returns a job
-//	                        id. Add trace=pass (or run/move/1) to record a
-//	                        JSONL convergence trace of the job.
-//	GET  /v1/jobs/{id}      job state and, when done, the result
+//	                        algo, runs, seed, k, r1, r2, par, timeout_ms.
+//	                        Results are cached by content fingerprint
+//	                        (netlist + result-determining options + k, up
+//	                        to -cache entries, LRU): a repeated identical
+//	                        request replays the exact bytes of the first
+//	                        response, marked with an X-Cache: hit header.
+//	POST /v1/repartition    incremental path: the JSON body carries a
+//	                        netlist delta plus the base state — either
+//	                        {"netlist": ..., "sides": [...], "delta": ...}
+//	                        inline or {"base_job": "j3", "delta": ...}
+//	                        referencing a finished 2-way job — and the
+//	                        server applies the delta, projects the sides
+//	                        through it, and warm-starts PROP from that
+//	                        state instead of solving from scratch
+//	POST /v1/jobs           same request as /v1/partition, asynchronously;
+//	                        returns a job id. Add trace=pass (or
+//	                        run/move/1) to record a JSONL convergence
+//	                        trace of the job. At most -max-jobs jobs may
+//	                        be pending or running at once; past that the
+//	                        submit is refused with 429 + Retry-After.
+//	GET  /v1/jobs/{id}      job state and, when done, the result;
+//	                        finished jobs are evicted after -job-ttl, or
+//	                        earlier once -job-history newer ones finished
 //	DELETE /v1/jobs/{id}    cancel a pending or running job
 //	GET  /healthz           liveness probe
 //	GET  /metrics           Prometheus text metrics (jobs in flight, runs
@@ -66,11 +85,15 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		par       = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
-		timeout   = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat = flag.String("log-format", "text", "log format: text or json")
+		addr       = flag.String("addr", ":8080", "listen address")
+		par        = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+		maxJobs    = flag.Int("max-jobs", 64, "max pending+running async jobs (-1 = unbounded)")
+		jobHistory = flag.Int("job-history", 256, "finished jobs retained for GET (-1 = unbounded)")
+		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "finished jobs evicted after this (-1s = never)")
+		cacheSize  = flag.Int("cache", 128, "partition result-cache entries (-1 = disabled)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat  = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
@@ -79,7 +102,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "propserve:", err)
 		os.Exit(2)
 	}
-	s := newServer(*par, *timeout, logger)
+	s := newServer(serverConfig{
+		maxPar:     *par,
+		defTimeout: *timeout,
+		maxJobs:    *maxJobs,
+		jobHistory: *jobHistory,
+		jobTTL:     *jobTTL,
+		cacheSize:  *cacheSize,
+	}, logger)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),

@@ -16,9 +16,53 @@ import (
 	"time"
 
 	"prop"
+	"prop/internal/cache"
 	"prop/internal/metrics"
 	"prop/internal/obs"
 )
+
+// serverConfig sizes a server's resource bounds. The zero value of any
+// field selects its default.
+type serverConfig struct {
+	maxPar     int           // cap on per-request Parallel
+	defTimeout time.Duration // per-request compute budget
+	maxJobs    int           // cap on pending+running async jobs (< 0 unbounded)
+	jobHistory int           // terminal jobs retained for GET (< 0 unbounded)
+	jobTTL     time.Duration // terminal jobs evicted after this (< 0 never)
+	cacheSize  int           // /v1/partition result-cache entries (< 0 disables)
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		} else if *v < 0 {
+			*v = 0
+		}
+	}
+	def(&c.maxJobs, 64)
+	def(&c.jobHistory, 256)
+	def(&c.cacheSize, 128)
+	if c.jobTTL == 0 {
+		c.jobTTL = 15 * time.Minute
+	} else if c.jobTTL < 0 {
+		c.jobTTL = 0
+	}
+	if c.defTimeout == 0 {
+		c.defTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// cacheKey identifies a /v1/partition result: content hashes of the
+// netlist and the result-determining options, plus the part count.
+// Parallelism and tracing knobs are deliberately absent — results are
+// bit-identical across them, so serving a cached payload is correct.
+type cacheKey struct {
+	netlist uint64
+	options uint64
+	k       int
+}
 
 // server carries the HTTP handlers, the async job store, and the metric
 // instruments. One server fronts one shared concurrent engine
@@ -28,6 +72,7 @@ type server struct {
 	maxBody    int64         // request body limit, bytes
 	defTimeout time.Duration // per-request compute budget
 	jobs       *jobStore
+	results    *cache.Cache[cacheKey, []byte] // nil when disabled
 	start      time.Time
 	log        *slog.Logger
 
@@ -36,8 +81,10 @@ type server struct {
 	mReqUp      *metrics.Gauge   // synchronous partitions in flight
 	mJobs       *metrics.Counter // async jobs accepted
 	mParts      *metrics.Counter // partitions completed (sync + async)
+	mReparts    *metrics.Counter // incremental repartitions completed
 	mRuns       *metrics.Counter // multi-start runs completed
 	mErrors     *metrics.Counter // requests rejected or failed
+	mBusy       *metrics.Counter // job submissions rejected with 429
 	mCutHist    *metrics.Histogram
 	mPassHist   *metrics.Histogram  // improvement passes per run
 	mCutImprove *metrics.FloatGauge // (worst-best)/worst ×100 of last portfolio
@@ -45,16 +92,17 @@ type server struct {
 	mLatency    *metrics.Latency
 }
 
-func newServer(maxPar int, defTimeout time.Duration, logger *slog.Logger) *server {
+func newServer(cfg serverConfig, logger *slog.Logger) *server {
+	cfg = cfg.withDefaults()
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	reg := metrics.NewRegistry()
 	s := &server{
-		maxPar:      maxPar,
+		maxPar:      cfg.maxPar,
 		maxBody:     64 << 20,
-		defTimeout:  defTimeout,
-		jobs:        newJobStore(),
+		defTimeout:  cfg.defTimeout,
+		jobs:        newJobStore(cfg.maxJobs, cfg.jobHistory, cfg.jobTTL),
 		start:       time.Now(),
 		log:         logger,
 		reg:         reg,
@@ -62,8 +110,10 @@ func newServer(maxPar int, defTimeout time.Duration, logger *slog.Logger) *serve
 		mReqUp:      reg.Gauge("partitions_in_flight"),
 		mJobs:       reg.Counter("jobs_total"),
 		mParts:      reg.Counter("partitions_total"),
+		mReparts:    reg.Counter("repartitions_total"),
 		mRuns:       reg.Counter("runs_completed_total"),
 		mErrors:     reg.Counter("errors_total"),
+		mBusy:       reg.Counter("jobs_rejected_total"),
 		mCutHist:    reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
 		mPassHist:   reg.Histogram("passes_per_run", 1, 2, 3, 4, 5, 6, 8, 10, 15, 20),
 		mCutImprove: reg.FloatGauge("cut_improvement_pct"),
@@ -71,6 +121,12 @@ func newServer(maxPar int, defTimeout time.Duration, logger *slog.Logger) *serve
 		mLatency:    reg.Latency("partition_latency", 1024),
 	}
 	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
+	if cfg.cacheSize > 0 {
+		s.results = cache.New[cacheKey, []byte](cfg.cacheSize)
+		reg.Func("result_cache_hits_total", func() any { return int64(s.results.Hits()) })
+		reg.Func("result_cache_misses_total", func() any { return int64(s.results.Misses()) })
+		reg.Func("result_cache_entries", func() any { return int64(s.results.Len()) })
+	}
 	return s
 }
 
@@ -78,6 +134,7 @@ func newServer(maxPar int, defTimeout time.Duration, logger *slog.Logger) *serve
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("POST /v1/partition", s.handlePartition)
+	m.HandleFunc("POST /v1/repartition", s.handleRepartition)
 	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -155,10 +212,9 @@ type partitionResponse struct {
 	PartWeights []int64 `json:"part_weights,omitempty"`
 }
 
-// decodeRequest parses query knobs and the netlist body. The body is the
-// netlist itself: application/json selects the JSON netlist format,
-// anything else is parsed as hMETIS .hgr text.
-func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
+// decodeQuery parses the shared query knobs (algo, runs, seed, k, r1,
+// r2, par, timeout_ms, trace) into a bodyless request.
+func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	q := r.URL.Query()
 	req := &partitionRequest{k: 2, timeout: s.defTimeout}
 	req.opts = prop.Options{Algorithm: prop.AlgoPROP, Runs: 20, Seed: 1, Parallel: s.maxPar}
@@ -234,7 +290,17 @@ func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
 	if req.opts.Runs < 1 || req.opts.Runs > 10000 {
 		return nil, fmt.Errorf("bad runs %d: want 1..10000", req.opts.Runs)
 	}
+	return req, nil
+}
 
+// decodeRequest parses query knobs and the netlist body. The body is the
+// netlist itself: application/json selects the JSON netlist format,
+// anything else is parsed as hMETIS .hgr text.
+func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
+	req, err := s.decodeQuery(r)
+	if err != nil {
+		return nil, err
+	}
 	body := http.MaxBytesReader(nil, r.Body, s.maxBody)
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
@@ -326,6 +392,19 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	// Result cache: keyed on content, not request bytes, so e.g. the same
+	// netlist in .hgr and JSON form, or with a different par=, still hits.
+	// Hits replay the exact payload bytes the populating miss sent.
+	var key cacheKey
+	if s.results != nil {
+		key = cacheKey{netlist: req.netlist.Fingerprint(), options: req.opts.Fingerprint(), k: req.k}
+		if payload, ok := s.results.Get(key); ok {
+			s.log.Info("cache hit", "run_id", obs.RunID(r.Context()))
+			w.Header().Set("X-Cache", "hit")
+			writeJSONBytes(w, http.StatusOK, payload)
+			return
+		}
+	}
 	s.mReqUp.Add(1)
 	defer s.mReqUp.Add(-1)
 	resp, err := s.run(r.Context(), req, obs.RunID(r.Context()), nil)
@@ -337,7 +416,17 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	payload = append(payload, '\n')
+	if s.results != nil {
+		s.results.Put(key, payload)
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSONBytes(w, http.StatusOK, payload)
 }
 
 // jobState is an async job's lifecycle phase.
@@ -371,6 +460,11 @@ func (t *traceBuf) snapshot() []byte {
 	return append([]byte(nil), t.buf.Bytes()...)
 }
 
+// terminal reports whether a state ends a job's lifecycle.
+func (s jobState) terminal() bool {
+	return s == jobDone || s == jobFailed || s == jobCancelled
+}
+
 // job is one async partition request.
 type job struct {
 	ID     string             `json:"id"`
@@ -378,25 +472,64 @@ type job struct {
 	Error  string             `json:"error,omitempty"`
 	Result *partitionResponse `json:"result,omitempty"`
 
-	req    *partitionRequest
-	cancel context.CancelFunc
-	trace  *traceBuf // non-nil iff submitted with ?trace=...
+	req      *partitionRequest
+	cancel   context.CancelFunc
+	trace    *traceBuf // non-nil iff submitted with ?trace=...
+	finished time.Time // when the job reached a terminal state
 }
 
-// jobStore is the in-memory async job registry.
+// jobStore is the in-memory async job registry. It is bounded two ways:
+// at most maxActive jobs may be pending or running at once (add refuses
+// past that, and the caller answers 429), and terminal jobs are retained
+// only until maxDone newer ones displace them (LRU) or they outlive ttl —
+// without this the map, and every kept netlist, grows without bound.
 type jobStore struct {
-	mu   sync.Mutex
-	next int
-	jobs map[string]*job
+	mu        sync.Mutex
+	next      int
+	jobs      map[string]*job
+	active    int           // jobs currently pending or running
+	maxActive int           // 0 = unbounded
+	maxDone   int           // 0 = unbounded
+	ttl       time.Duration // 0 = never expire
+	done      []string      // terminal job IDs, oldest first
+	now       func() time.Time
 }
 
-func newJobStore() *jobStore {
-	return &jobStore{jobs: map[string]*job{}}
+func newJobStore(maxActive, maxDone int, ttl time.Duration) *jobStore {
+	return &jobStore{
+		jobs:      map[string]*job{},
+		maxActive: maxActive,
+		maxDone:   maxDone,
+		ttl:       ttl,
+		now:       time.Now,
+	}
 }
 
+// evictLocked drops terminal jobs beyond the history cap or past their
+// TTL. Callers hold js.mu.
+func (js *jobStore) evictLocked() {
+	for len(js.done) > 0 {
+		id := js.done[0]
+		over := js.maxDone > 0 && len(js.done) > js.maxDone
+		expired := js.ttl > 0 && js.now().Sub(js.jobs[id].finished) > js.ttl
+		if !over && !expired {
+			return
+		}
+		delete(js.jobs, id)
+		js.done = js.done[1:]
+	}
+}
+
+// add registers a new pending job, or returns nil when the in-flight cap
+// is reached (the caller converts that to 429 + Retry-After).
 func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	js.evictLocked()
+	if js.maxActive > 0 && js.active >= js.maxActive {
+		return nil
+	}
+	js.active++
 	js.next++
 	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending, req: req, cancel: cancel}
 	if req.traced {
@@ -409,22 +542,25 @@ func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
 func (js *jobStore) get(id string) *job {
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	js.evictLocked()
 	return js.jobs[id]
 }
 
 // snapshot returns a copy of the job's public fields for serialization.
 func (js *jobStore) snapshot(id string) (job, bool) {
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	j := js.jobs[id]
+	j := js.get(id)
 	if j == nil {
 		return job{}, false
 	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
 	return job{ID: j.ID, State: j.State, Error: j.Error, Result: j.Result}, true
 }
 
 // transition updates a job's state under the store lock; from restricts
-// the transition (empty matches any state). It reports success.
+// the transition (empty matches any state). A transition into a terminal
+// state frees the job's in-flight slot and starts its retention clock.
+// It reports success.
 func (js *jobStore) transition(id string, from, to jobState, fn func(*job)) bool {
 	js.mu.Lock()
 	defer js.mu.Unlock()
@@ -432,9 +568,16 @@ func (js *jobStore) transition(id string, from, to jobState, fn func(*job)) bool
 	if j == nil || (from != "" && j.State != from) {
 		return false
 	}
+	wasTerminal := j.State.terminal()
 	j.State = to
 	if fn != nil {
 		fn(j)
+	}
+	if to.terminal() && !wasTerminal {
+		js.active--
+		j.finished = js.now()
+		js.done = append(js.done, id)
+		js.evictLocked()
 	}
 	return true
 }
@@ -450,6 +593,13 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	runID := obs.RunID(r.Context())
 	ctx, cancel := context.WithCancel(obs.WithRunID(context.Background(), runID))
 	j := s.jobs.add(req, cancel)
+	if j == nil {
+		cancel()
+		s.mBusy.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (%d in flight)", s.jobs.maxActive))
+		return
+	}
 	s.mJobs.Inc()
 	s.mJobsUp.Add(1)
 	s.log.Info("job accepted", "job", j.ID, "state", jobPending,
@@ -537,6 +687,151 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// repartitionRequest is the JSON body of POST /v1/repartition: the delta
+// plus the base state, either inline (netlist + sides) or by reference to
+// a finished 2-way job whose netlist and winning sides the server still
+// retains.
+type repartitionRequest struct {
+	// BaseJob names a done async job to reuse as the base state.
+	BaseJob string `json:"base_job,omitempty"`
+	// Netlist is the base netlist in the JSON netlist format; Sides is its
+	// previous side assignment. Both are ignored when BaseJob is set.
+	Netlist json.RawMessage `json:"netlist,omitempty"`
+	Sides   []int           `json:"sides,omitempty"`
+	Delta   *prop.Delta     `json:"delta"`
+}
+
+// repartitionResponse extends the partition payload with what the delta
+// did to the netlist.
+type repartitionResponse struct {
+	partitionResponse
+	DeltaStructural bool `json:"delta_structural"`
+	DeltaNewNodes   int  `json:"delta_new_nodes"`
+	DeltaNewNets    int  `json:"delta_new_nets"`
+	DeltaCollapsed  int  `json:"delta_collapsed_nets"`
+}
+
+// base resolves a finished 2-way job into its netlist and winning sides.
+func (js *jobStore) base(id string) (*prop.Netlist, []uint8, error) {
+	j := js.get(id)
+	if j == nil {
+		return nil, nil, fmt.Errorf("unknown base job %q (finished jobs are evicted after a while)", id)
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if j.State != jobDone || j.Result == nil {
+		return nil, nil, fmt.Errorf("base job %q is %s, want done", id, j.State)
+	}
+	if len(j.Result.Sides) == 0 {
+		return nil, nil, fmt.Errorf("base job %q has no 2-way sides (k=%d)", id, j.Result.K)
+	}
+	sides := make([]uint8, len(j.Result.Sides))
+	for u, v := range j.Result.Sides {
+		sides[u] = uint8(v)
+	}
+	return j.req.netlist, sides, nil
+}
+
+// handleRepartition runs the incremental path: apply a netlist delta to a
+// base state, project the previous sides through the mapping, and
+// warm-start the partitioner (prop.RepartitionCtx) instead of solving
+// from scratch.
+func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeQuery(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var body repartitionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.maxBody))
+	if err := dec.Decode(&body); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
+		return
+	}
+	if body.Delta == nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: missing delta"))
+		return
+	}
+	var base *prop.Netlist
+	var prevSides []uint8
+	switch {
+	case body.BaseJob != "":
+		base, prevSides, err = s.jobs.base(body.BaseJob)
+		if err != nil {
+			s.fail(w, http.StatusNotFound, err)
+			return
+		}
+	case len(body.Netlist) > 0:
+		base, err = prop.ReadJSON(bytes.NewReader(body.Netlist))
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("netlist: %w", err))
+			return
+		}
+		prevSides = make([]uint8, len(body.Sides))
+		for u, v := range body.Sides {
+			if v != 0 && v != 1 {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("sides[%d] = %d, want 0 or 1", u, v))
+				return
+			}
+			prevSides[u] = uint8(v)
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: want base_job or netlist+sides"))
+		return
+	}
+
+	s.mReqUp.Add(1)
+	defer s.mReqUp.Add(-1)
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	runID := obs.RunID(r.Context())
+	req.opts.OnRun = func(u prop.RunUpdate) { s.mRuns.Inc() }
+	req.opts.TraceID = runID
+	start := time.Now()
+	_, res, err := prop.RepartitionCtx(ctx, base, prevSides, body.Delta, req.opts)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		s.fail(w, status, err)
+		return
+	}
+	// The mapping is re-derived for the response: RepartitionCtx applied
+	// the delta internally, and Apply is cheap next to the search.
+	_, mp, err := base.ApplyDelta(body.Delta)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := &repartitionResponse{
+		partitionResponse: partitionResponse{
+			Algorithm: string(req.opts.Algorithm),
+			K:         2,
+			CutCost:   res.CutCost,
+			CutNets:   res.CutNets,
+			Runs:      res.Runs,
+			BestRun:   res.BestRun,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		},
+		DeltaStructural: mp.Structural,
+		DeltaNewNodes:   mp.NewNodes,
+		DeltaNewNets:    mp.NewNets,
+		DeltaCollapsed:  mp.CollapsedNets,
+	}
+	resp.Sides = make([]int, len(res.Sides))
+	for u, side := range res.Sides {
+		resp.Sides[u] = int(side)
+	}
+	s.mReparts.Inc()
+	s.mParts.Inc()
+	s.mCutHist.Observe(float64(resp.CutNets))
+	s.mLatency.Observe(time.Since(start))
+	s.log.Info("repartition", "cut_cost", res.CutCost, "cut_nets", res.CutNets,
+		"structural", mp.Structural, "elapsed_ms", resp.ElapsedMS, "run_id", runID)
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
@@ -554,4 +849,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
+}
+
+// writeJSONBytes sends an already-marshaled JSON payload — the cache path
+// must replay the populating response byte for byte.
+func writeJSONBytes(w http.ResponseWriter, status int, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(b)
 }

@@ -30,12 +30,24 @@ func testNetlistHGR(t *testing.T) string {
 }
 
 func newTestServer(t *testing.T) *httptest.Server {
+	ts, _ := newTestServerConfig(t, serverConfig{})
+	return ts
+}
+
+func newTestServerConfig(t *testing.T, cfg serverConfig) (*httptest.Server, *server) {
 	t.Helper()
+	if cfg.maxPar == 0 {
+		cfg.maxPar = 2
+	}
+	if cfg.defTimeout == 0 {
+		cfg.defTimeout = 30 * time.Second
+	}
 	// The nil logger discards; the handler() wrapper keeps the logging
 	// middleware and run-ID propagation on the tested path.
-	ts := httptest.NewServer(newServer(2, 30*time.Second, nil).handler())
+	s := newServer(cfg, nil)
+	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
-	return ts
+	return ts, s
 }
 
 func postHGR(t *testing.T, url, body string) *http.Response {
@@ -419,6 +431,284 @@ func TestJobTrace(t *testing.T) {
 	r2.Body.Close()
 	if r2.StatusCode != http.StatusNotFound {
 		t.Errorf("untraced job trace status %d, want 404", r2.StatusCode)
+	}
+}
+
+func TestPartitionCacheHitIsByteIdentical(t *testing.T) {
+	ts, s := newTestServerConfig(t, serverConfig{})
+	hgr := testNetlistHGR(t)
+	url := ts.URL + "/v1/partition?algo=prop&runs=3&seed=5"
+
+	read := func(resp *http.Response) (string, string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), resp.Header.Get("X-Cache")
+	}
+
+	body1, xc1 := read(postHGR(t, url, hgr))
+	if xc1 != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", xc1)
+	}
+	body2, xc2 := read(postHGR(t, url, hgr))
+	if xc2 != "hit" {
+		t.Errorf("second request X-Cache = %q, want hit", xc2)
+	}
+	if body1 != body2 {
+		t.Errorf("cache hit payload differs from populating miss:\n%s\nvs\n%s", body1, body2)
+	}
+	if h, m := s.results.Hits(), s.results.Misses(); h != 1 || m != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", h, m)
+	}
+
+	// A different seed is a different fingerprint — and a different par
+	// (excluded from the fingerprint by design) is not.
+	_, xc3 := read(postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=3&seed=6", hgr))
+	if xc3 != "miss" {
+		t.Errorf("different seed X-Cache = %q, want miss", xc3)
+	}
+	body4, xc4 := read(postHGR(t, url+"&par=1", hgr))
+	if xc4 != "hit" || body4 != body1 {
+		t.Errorf("par-only change X-Cache = %q (want hit), payload identical = %t", xc4, body4 == body1)
+	}
+}
+
+func TestJobQueueFullReturns429(t *testing.T) {
+	ts, _ := newTestServerConfig(t, serverConfig{maxJobs: 1})
+	n, err := prop.Generate(prop.GenParams{Nodes: 3000, Nets: 3300, Pins: 11000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteHGR(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single slot with a long-running job.
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=500", sb.String())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	sub := decodeBody[map[string]string](t, resp)
+
+	resp2 := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=2", sb.String())
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After header")
+	}
+
+	// Cancelling the in-flight job frees the slot.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub["id"], nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after cancel")
+		}
+		r3 := postHGR(t, ts.URL+"/v1/jobs?algo=fm&runs=1", testNetlistHGR(t))
+		r3.Body.Close()
+		if r3.StatusCode == http.StatusAccepted {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitJobDone polls until the job reaches a terminal state.
+func waitJobDone(t *testing.T, baseURL, id string) job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", id)
+		}
+		r, err := http.Get(baseURL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State.terminal() {
+			return j
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, url, body string) string {
+	t.Helper()
+	resp := postHGR(t, url, body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	return decodeBody[map[string]string](t, resp)["id"]
+}
+
+func TestJobHistoryEviction(t *testing.T) {
+	ts, _ := newTestServerConfig(t, serverConfig{jobHistory: 1})
+	hgr := testNetlistHGR(t)
+	id1 := submitJob(t, ts.URL+"/v1/jobs?algo=fm&runs=1", hgr)
+	waitJobDone(t, ts.URL, id1)
+	id2 := submitJob(t, ts.URL+"/v1/jobs?algo=fm&runs=1", hgr)
+	waitJobDone(t, ts.URL, id2)
+
+	// Two terminal jobs against a history of one: the older is evicted.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job status %d, want 404", r.StatusCode)
+	}
+	r2, err := http.Get(ts.URL + "/v1/jobs/" + id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Errorf("retained job status %d, want 200", r2.StatusCode)
+	}
+}
+
+func TestJobTTLEviction(t *testing.T) {
+	ts, s := newTestServerConfig(t, serverConfig{jobTTL: time.Minute})
+	hgr := testNetlistHGR(t)
+	id := submitJob(t, ts.URL+"/v1/jobs?algo=fm&runs=1", hgr)
+	waitJobDone(t, ts.URL, id)
+
+	// Advance the store's clock past the TTL instead of sleeping.
+	s.jobs.mu.Lock()
+	s.jobs.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
+	s.jobs.mu.Unlock()
+	r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("expired job status %d, want 404", r.StatusCode)
+	}
+}
+
+// repartitionBody builds the inline /v1/repartition request body.
+func repartitionBody(t *testing.T, n *prop.Netlist, sides []uint8, d *prop.Delta) []byte {
+	t.Helper()
+	var nl bytes.Buffer
+	if err := n.WriteJSON(&nl); err != nil {
+		t.Fatal(err)
+	}
+	intSides := make([]int, len(sides))
+	for u, s := range sides {
+		intSides[u] = int(s)
+	}
+	body, err := json.Marshal(map[string]any{
+		"netlist": json.RawMessage(nl.Bytes()),
+		"sides":   intSides,
+		"delta":   d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestRepartitionEndpoint(t *testing.T) {
+	ts, _ := newTestServerConfig(t, serverConfig{})
+	n, err := prop.Generate(prop.GenParams{Nodes: 120, Nets: 140, Pins: 480, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := prop.Partition(n, prop.Options{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &prop.Delta{
+		AddNodes: []prop.DeltaNodeAdd{{Name: "eco0", Weight: 1}},
+		AddNets:  []prop.DeltaNetAdd{{Name: "econet0", Cost: 1, Pins: []int{0, 1, n.NumNodes()}}},
+	}
+	body := repartitionBody(t, n, prev.Sides, d)
+	resp, err := http.Post(ts.URL+"/v1/repartition?runs=1&seed=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	rr := decodeBody[repartitionResponse](t, resp)
+	if len(rr.Sides) != n.NumNodes()+1 {
+		t.Fatalf("sides len %d, want %d", len(rr.Sides), n.NumNodes()+1)
+	}
+	if !rr.DeltaStructural || rr.DeltaNewNodes != n.NumNodes()+1 {
+		t.Errorf("delta info = structural %t, nodes %d", rr.DeltaStructural, rr.DeltaNewNodes)
+	}
+	if rr.CutCost <= 0 || rr.CutNets <= 0 {
+		t.Errorf("degenerate warm cut: %+v", rr.partitionResponse)
+	}
+}
+
+func TestRepartitionFromBaseJob(t *testing.T) {
+	ts, _ := newTestServerConfig(t, serverConfig{})
+	hgr := testNetlistHGR(t)
+	id := submitJob(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3", hgr)
+	if j := waitJobDone(t, ts.URL, id); j.State != jobDone {
+		t.Fatalf("base job state %q", j.State)
+	}
+	d := &prop.Delta{Recost: []prop.DeltaNetCost{{Net: 0, Cost: 3}}}
+	body, err := json.Marshal(map[string]any{"base_job": id, "delta": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/repartition?runs=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	rr := decodeBody[repartitionResponse](t, resp)
+	if len(rr.Sides) != 120 || rr.DeltaStructural {
+		t.Errorf("base-job repartition = %d sides, structural %t", len(rr.Sides), rr.DeltaStructural)
+	}
+}
+
+func TestRepartitionErrors(t *testing.T) {
+	ts, _ := newTestServerConfig(t, serverConfig{})
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/repartition", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"base_job": "j9", "delta": {}}`); got != http.StatusNotFound {
+		t.Errorf("unknown base job status %d, want 404", got)
+	}
+	if got := post(`{"base_job": "j9"}`); got != http.StatusBadRequest {
+		t.Errorf("missing delta status %d, want 400", got)
+	}
+	if got := post(`not json`); got != http.StatusBadRequest {
+		t.Errorf("malformed body status %d, want 400", got)
+	}
+	if got := post(`{"delta": {}}`); got != http.StatusBadRequest {
+		t.Errorf("missing base status %d, want 400", got)
 	}
 }
 

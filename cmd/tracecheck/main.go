@@ -34,6 +34,11 @@ var schema = map[string]map[string]string{
 		"ts_us": "number", "ev": "string", "run": "number",
 		"pass": "number", "node": "number", "gain": "number",
 	},
+	"delta_apply": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"structural": "number", "nodes": "number", "nets": "number",
+		"collapsed": "number", "dur_us": "number",
+	},
 }
 
 func jsonType(v any) string {

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"prop/internal/core"
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+	"prop/internal/warm"
+)
+
+// The incremental study measures the ECO repartitioning path end to end:
+// partition a suite circuit from scratch, perturb it with a generated
+// engineering change order, then compare re-partitioning from scratch
+// (multi-start random PROP, the cold path) against the warm-start chain
+// (warm.Chain: project the previous solution through the delta mapping,
+// complete it by connectivity, PROP from that state, FM/PROP polish to a
+// fixpoint). scripts/bench.sh writes the report to
+// BENCH_incremental.json; the acceptance bar is warm cut within 2% of
+// cold at ≤ 0.5× cold wall time on the 5% industry2 perturbation.
+
+// IncrementalRecord is one (circuit, perturbation fraction) measurement.
+type IncrementalRecord struct {
+	Name     string  `json:"name"`
+	Fraction float64 `json:"fraction"`
+	// Nodes/Nets size the perturbed circuit.
+	Nodes int `json:"nodes"`
+	Nets  int `json:"nets"`
+	// DeltaApplyMillis times Delta.Apply (construction, not search).
+	DeltaApplyMillis float64 `json:"delta_apply_millis"`
+	// Cold is best-of-Runs random-start PROP on the perturbed circuit;
+	// ColdMillis is the whole portfolio's wall time (the from-scratch
+	// protocol a production service would otherwise run).
+	ColdCut    float64 `json:"cold_cut"`
+	ColdMillis float64 `json:"cold_millis"`
+	// Warm is the warm.Chain result from the projected previous solution;
+	// WarmMillis covers the whole chain, projection included. WarmStages
+	// counts the engine runs the chain executed before its fixpoint.
+	WarmCut    float64 `json:"warm_cut"`
+	WarmMillis float64 `json:"warm_millis"`
+	WarmStages int     `json:"warm_stages"`
+	// CutRatio = WarmCut/ColdCut, TimeRatio = WarmMillis/ColdMillis.
+	CutRatio  float64 `json:"cut_ratio"`
+	TimeRatio float64 `json:"time_ratio"`
+}
+
+// IncrementalReport is the full warm-vs-cold study.
+type IncrementalReport struct {
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Seed       int64               `json:"seed"`
+	Runs       int                 `json:"runs"`
+	Records    []IncrementalRecord `json:"records"`
+}
+
+// DefaultIncrementalFractions are the ECO sizes of the study: 1%, 5% and
+// 10% of the nodes churned.
+func DefaultIncrementalFractions() []float64 { return []float64{0.01, 0.05, 0.10} }
+
+// RunIncremental measures warm-vs-cold repartitioning on each named suite
+// circuit at each perturbation fraction. runs is the cold multi-start
+// count (also used to produce the pre-ECO solution the warm path projects
+// forward).
+func RunIncremental(names []string, fractions []float64, runs int, seed int64, progress io.Writer) (IncrementalReport, error) {
+	rep := IncrementalReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+		Runs:       runs,
+	}
+	specs := map[string]gen.SuiteSpec{}
+	for _, s := range gen.Table1() {
+		specs[s.Name] = s
+	}
+	bal := partition.Exact5050()
+	for _, name := range names {
+		spec, ok := specs[name]
+		if !ok {
+			return rep, fmt.Errorf("bench: unknown incremental circuit %q", name)
+		}
+		c, err := gen.SuiteCircuit(spec)
+		if err != nil {
+			return rep, err
+		}
+		// The previous solution: from-scratch multi-start on the base
+		// circuit, outside any timed region.
+		prevSides, _, _, err := coldPortfolio(c.H, bal, runs, seed)
+		if err != nil {
+			return rep, fmt.Errorf("bench: incremental %s base: %w", name, err)
+		}
+		for _, frac := range fractions {
+			d, err := gen.ECO(c.H, gen.ECOParams{Fraction: frac, Seed: seed + int64(frac*1000)})
+			if err != nil {
+				return rep, fmt.Errorf("bench: incremental %s eco %g: %w", name, frac, err)
+			}
+			applyStart := time.Now()
+			h2, mp, err := d.Apply(c.H)
+			if err != nil {
+				return rep, fmt.Errorf("bench: incremental %s apply %g: %w", name, frac, err)
+			}
+			applyMs := millis(time.Since(applyStart))
+
+			_, coldCut, coldDur, err := coldPortfolio(h2, bal, runs, seed+1)
+			if err != nil {
+				return rep, fmt.Errorf("bench: incremental %s cold %g: %w", name, frac, err)
+			}
+
+			warmStart := time.Now()
+			initial, err := mp.ProjectSides(prevSides)
+			if err != nil {
+				return rep, err
+			}
+			res, err := warm.Chain(h2, initial, core.DefaultConfig(bal))
+			if err != nil {
+				return rep, fmt.Errorf("bench: incremental %s warm %g: %w", name, frac, err)
+			}
+			warmDur := time.Since(warmStart)
+
+			rec := IncrementalRecord{
+				Name:             name,
+				Fraction:         frac,
+				Nodes:            h2.NumNodes(),
+				Nets:             h2.NumNets(),
+				DeltaApplyMillis: applyMs,
+				ColdCut:          coldCut,
+				ColdMillis:       millis(coldDur),
+				WarmCut:          res.CutCost,
+				WarmMillis:       millis(warmDur),
+				WarmStages:       res.Stages,
+			}
+			if coldCut > 0 {
+				rec.CutRatio = res.CutCost / coldCut
+			}
+			if coldDur > 0 {
+				rec.TimeRatio = float64(warmDur) / float64(coldDur)
+			}
+			rep.Records = append(rep.Records, rec)
+			if progress != nil {
+				fmt.Fprintf(progress, "incremental %-10s %4.0f%%: cold %g in %.0fms | warm %g in %.0fms (cut ×%.3f, time ×%.2f)\n",
+					name, frac*100, coldCut, rec.ColdMillis, res.CutCost, rec.WarmMillis, rec.CutRatio, rec.TimeRatio)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// coldPortfolio is the from-scratch protocol: best of runs random-start
+// serial PROP runs, returning the winning sides/cut and total wall time.
+func coldPortfolio(h *hypergraph.Hypergraph, bal partition.Balance, runs int, seed int64) ([]uint8, float64, time.Duration, error) {
+	start := time.Now()
+	var bestSides []uint8
+	bestCut := 0.0
+	for r := 0; r < runs; r++ {
+		b, err := randomStart(h, bal, seed+int64(r))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		res, err := core.Partition(b, core.DefaultConfig(bal))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if r == 0 || res.CutCost < bestCut {
+			bestCut = res.CutCost
+			bestSides = res.Sides
+		}
+	}
+	return bestSides, bestCut, time.Since(start), nil
+}
+
+func millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// WriteIncremental emits the report as indented JSON.
+func WriteIncremental(w io.Writer, rep IncrementalReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

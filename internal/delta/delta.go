@@ -1,0 +1,439 @@
+// Package delta implements incremental netlist edits (ECO — engineering
+// change orders) against the frozen CSR hypergraph: a typed, validated
+// edit script that applies in one shot to produce a fresh hypergraph plus
+// the old→new ID mapping the warm-start repartitioner projects the
+// previous cut through.
+//
+// The workload this serves is the production shape of VLSI partitioning:
+// a netlist that was already partitioned changes slightly (cells added or
+// dropped, nets re-pinned, sizes and criticalities re-estimated) and needs
+// a re-partition. Rebuilding and re-partitioning from scratch wastes both
+// the Θ(m) construction and — far more — the multi-start search; applying
+// a Delta keeps construction proportional to the change where possible
+// (pure reweight/recost deltas share the CSR arenas with the base via
+// hypergraph.WithNetCosts/WithNodeWeights) and the Mapping lets PROP start
+// from the previous cut instead of a random one.
+//
+// ID convention: every node reference inside a Delta (RemoveNodes,
+// Reweight targets, pins of AddNets/Repin) lives in the combined ID space
+// [0, base.NumNodes()+len(AddNodes)): IDs below base.NumNodes() name base
+// nodes, IDs at or above it name the delta's own AddNodes entries in
+// order. Net references name base nets only.
+package delta
+
+import (
+	"fmt"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// NodeAdd describes one new node. Weight 0 defaults to 1.
+type NodeAdd struct {
+	Name   string `json:"name,omitempty"`
+	Weight int64  `json:"weight,omitempty"`
+}
+
+// NodeWeight re-weights one surviving node.
+type NodeWeight struct {
+	Node   int   `json:"node"`
+	Weight int64 `json:"weight"`
+}
+
+// NetAdd describes one new net. Cost 0 defaults to 1; pins are combined-
+// space node IDs.
+type NetAdd struct {
+	Name string  `json:"name,omitempty"`
+	Cost float64 `json:"cost,omitempty"`
+	Pins []int   `json:"pins"`
+}
+
+// NetCost re-costs one surviving net.
+type NetCost struct {
+	Net  int     `json:"net"`
+	Cost float64 `json:"cost"`
+}
+
+// NetRepin replaces the pin set of one surviving net.
+type NetRepin struct {
+	Net  int   `json:"net"`
+	Pins []int `json:"pins"`
+}
+
+// Delta is a typed netlist edit script. The zero value is the empty edit.
+// Deltas serialize as JSON (the propserve /v1/repartition body and the
+// propart -delta file format).
+type Delta struct {
+	AddNodes    []NodeAdd    `json:"add_nodes,omitempty"`
+	RemoveNodes []int        `json:"remove_nodes,omitempty"`
+	Reweight    []NodeWeight `json:"reweight,omitempty"`
+	AddNets     []NetAdd     `json:"add_nets,omitempty"`
+	RemoveNets  []int        `json:"remove_nets,omitempty"`
+	Recost      []NetCost    `json:"recost,omitempty"`
+	Repin       []NetRepin   `json:"repin,omitempty"`
+}
+
+// Structural reports whether applying d changes the adjacency structure
+// (anything beyond reweighting nodes and recosting nets).
+func (d *Delta) Structural() bool {
+	return len(d.AddNodes) > 0 || len(d.RemoveNodes) > 0 ||
+		len(d.AddNets) > 0 || len(d.RemoveNets) > 0 || len(d.Repin) > 0
+}
+
+// Empty reports whether d edits nothing.
+func (d *Delta) Empty() bool {
+	return !d.Structural() && len(d.Reweight) == 0 && len(d.Recost) == 0
+}
+
+// Mapping records how base IDs translate into the hypergraph a Delta
+// produced. It is what warm-start projection consumes.
+type Mapping struct {
+	// OldToNew[u] is the new ID of base node u, or -1 if the delta removed
+	// it.
+	OldToNew []int32
+	// AddedToNew[i] is the new ID of Delta.AddNodes[i].
+	AddedToNew []int32
+	// NetOldToNew[e] is the new ID of base net e, or -1 when the delta
+	// removed it or node removal collapsed it below two pins.
+	NetOldToNew []int32
+	// NewNodes and NewNets size the produced hypergraph.
+	NewNodes, NewNets int
+	// CollapsedNets counts base nets dropped because node removal left
+	// them with fewer than two pins (RemoveNets removals are not counted).
+	CollapsedNets int
+	// Structural mirrors Delta.Structural at apply time; when false the
+	// produced hypergraph shares its CSR arenas with the base.
+	Structural bool
+}
+
+// Validate checks d against the base hypergraph it will apply to: every
+// reference in range, no duplicate edit targets, no edits of removed
+// nodes/nets, positive weights and costs, and every added or re-pinned
+// net left with at least two distinct surviving pins. It returns the
+// first violation found.
+func (d *Delta) Validate(base *hypergraph.Hypergraph) error {
+	n, m := base.NumNodes(), base.NumNets()
+	combined := n + len(d.AddNodes)
+
+	for i, a := range d.AddNodes {
+		if a.Weight < 0 {
+			return fmt.Errorf("delta: add_nodes[%d] weight %d < 0", i, a.Weight)
+		}
+	}
+	nodeGone := make(map[int]bool, len(d.RemoveNodes))
+	for i, u := range d.RemoveNodes {
+		if u < 0 || u >= n {
+			return fmt.Errorf("delta: remove_nodes[%d] = %d out of [0,%d)", i, u, n)
+		}
+		if nodeGone[u] {
+			return fmt.Errorf("delta: node %d removed twice", u)
+		}
+		nodeGone[u] = true
+	}
+	seenW := make(map[int]bool, len(d.Reweight))
+	for i, rw := range d.Reweight {
+		if rw.Node < 0 || rw.Node >= n {
+			return fmt.Errorf("delta: reweight[%d] node %d out of [0,%d)", i, rw.Node, n)
+		}
+		if nodeGone[rw.Node] {
+			return fmt.Errorf("delta: reweight[%d] targets removed node %d", i, rw.Node)
+		}
+		if seenW[rw.Node] {
+			return fmt.Errorf("delta: node %d reweighted twice", rw.Node)
+		}
+		seenW[rw.Node] = true
+		if rw.Weight < 1 {
+			return fmt.Errorf("delta: reweight[%d] node %d weight %d < 1", i, rw.Node, rw.Weight)
+		}
+	}
+
+	netGone := make(map[int]bool, len(d.RemoveNets))
+	for i, e := range d.RemoveNets {
+		if e < 0 || e >= m {
+			return fmt.Errorf("delta: remove_nets[%d] = %d out of [0,%d)", i, e, m)
+		}
+		if netGone[e] {
+			return fmt.Errorf("delta: net %d removed twice", e)
+		}
+		netGone[e] = true
+	}
+	seenC := make(map[int]bool, len(d.Recost))
+	for i, rc := range d.Recost {
+		if rc.Net < 0 || rc.Net >= m {
+			return fmt.Errorf("delta: recost[%d] net %d out of [0,%d)", i, rc.Net, m)
+		}
+		if netGone[rc.Net] {
+			return fmt.Errorf("delta: recost[%d] targets removed net %d", i, rc.Net)
+		}
+		if seenC[rc.Net] {
+			return fmt.Errorf("delta: net %d recosted twice", rc.Net)
+		}
+		seenC[rc.Net] = true
+		if rc.Cost <= 0 {
+			return fmt.Errorf("delta: recost[%d] net %d cost %g ≤ 0", i, rc.Net, rc.Cost)
+		}
+	}
+
+	checkPins := func(what string, pins []int) error {
+		distinct := make(map[int]bool, len(pins))
+		for _, p := range pins {
+			if p < 0 || p >= combined {
+				return fmt.Errorf("delta: %s pin %d out of combined space [0,%d)", what, p, combined)
+			}
+			if p < n && nodeGone[p] {
+				return fmt.Errorf("delta: %s pin %d references removed node", what, p)
+			}
+			distinct[p] = true
+		}
+		if len(distinct) < 2 {
+			return fmt.Errorf("delta: %s has %d distinct pins, want ≥ 2", what, len(distinct))
+		}
+		return nil
+	}
+	seenP := make(map[int]bool, len(d.Repin))
+	for i, rp := range d.Repin {
+		if rp.Net < 0 || rp.Net >= m {
+			return fmt.Errorf("delta: repin[%d] net %d out of [0,%d)", i, rp.Net, m)
+		}
+		if netGone[rp.Net] {
+			return fmt.Errorf("delta: repin[%d] targets removed net %d", i, rp.Net)
+		}
+		if seenP[rp.Net] {
+			return fmt.Errorf("delta: net %d re-pinned twice", rp.Net)
+		}
+		seenP[rp.Net] = true
+		if err := checkPins(fmt.Sprintf("repin[%d]", i), rp.Pins); err != nil {
+			return err
+		}
+	}
+	for i, an := range d.AddNets {
+		if an.Cost < 0 {
+			return fmt.Errorf("delta: add_nets[%d] cost %g < 0", i, an.Cost)
+		}
+		if err := checkPins(fmt.Sprintf("add_nets[%d]", i), an.Pins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply validates d against base and produces the edited hypergraph plus
+// the ID mapping. Non-structural deltas (reweight/recost only) share the
+// base's CSR arenas — Θ(n + e) work; structural deltas rebuild the
+// adjacency in one Θ(m) pass, dropping base nets that node removal left
+// with fewer than two pins (counted in Mapping.CollapsedNets).
+func (d *Delta) Apply(base *hypergraph.Hypergraph) (*hypergraph.Hypergraph, *Mapping, error) {
+	if err := d.Validate(base); err != nil {
+		return nil, nil, err
+	}
+	n, m := base.NumNodes(), base.NumNets()
+
+	if !d.Structural() {
+		h := base
+		if len(d.Recost) > 0 {
+			costs := append([]float64(nil), base.NetCosts()...)
+			for _, rc := range d.Recost {
+				costs[rc.Net] = rc.Cost
+			}
+			var err error
+			if h, err = h.WithNetCosts(costs); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(d.Reweight) > 0 {
+			weights := make([]int64, n)
+			for u := range weights {
+				weights[u] = base.NodeWeight(u)
+			}
+			for _, rw := range d.Reweight {
+				weights[rw.Node] = rw.Weight
+			}
+			var err error
+			if h, err = h.WithNodeWeights(weights); err != nil {
+				return nil, nil, err
+			}
+		}
+		return h, identityMapping(n, m), nil
+	}
+
+	// Structural rebuild. Combined-space node table first: surviving base
+	// nodes in base order, then the added nodes.
+	removedNode := make([]bool, n)
+	for _, u := range d.RemoveNodes {
+		removedNode[u] = true
+	}
+	weight := make([]int64, n)
+	for u := range weight {
+		weight[u] = base.NodeWeight(u)
+	}
+	for _, rw := range d.Reweight {
+		weight[rw.Node] = rw.Weight
+	}
+
+	mp := &Mapping{
+		OldToNew:    make([]int32, n),
+		AddedToNew:  make([]int32, len(d.AddNodes)),
+		NetOldToNew: make([]int32, m),
+		Structural:  true,
+	}
+	b := hypergraph.NewBuilder()
+	for u := 0; u < n; u++ {
+		if removedNode[u] {
+			mp.OldToNew[u] = -1
+			continue
+		}
+		mp.OldToNew[u] = int32(b.AddNode(base.NodeName(u), weight[u]))
+	}
+	for i, a := range d.AddNodes {
+		w := a.Weight
+		if w == 0 {
+			w = 1
+		}
+		mp.AddedToNew[i] = int32(b.AddNode(a.Name, w))
+	}
+	// combinedToNew resolves a combined-space pin to its new ID.
+	combinedToNew := func(p int) int32 {
+		if p < n {
+			return mp.OldToNew[p]
+		}
+		return mp.AddedToNew[p-n]
+	}
+
+	removedNet := make([]bool, m)
+	for _, e := range d.RemoveNets {
+		removedNet[e] = true
+	}
+	repin := make(map[int][]int, len(d.Repin))
+	for _, rp := range d.Repin {
+		repin[rp.Net] = rp.Pins
+	}
+	cost := make([]float64, m)
+	for e := range cost {
+		cost[e] = base.NetCost(e)
+	}
+	for _, rc := range d.Recost {
+		cost[rc.Net] = rc.Cost
+	}
+
+	nextNet := 0
+	var pinBuf []int
+	addNet := func(name string, c float64, pins []int) (int, error) {
+		if err := b.AddNet(name, c, pins...); err != nil {
+			return -1, err
+		}
+		id := nextNet
+		nextNet++
+		return id, nil
+	}
+	for e := 0; e < m; e++ {
+		if removedNet[e] {
+			mp.NetOldToNew[e] = -1
+			continue
+		}
+		pinBuf = pinBuf[:0]
+		if pins, ok := repin[e]; ok {
+			for _, p := range pins {
+				pinBuf = append(pinBuf, int(combinedToNew(p)))
+			}
+		} else {
+			for _, u := range base.Net(e) {
+				if nu := mp.OldToNew[u]; nu >= 0 {
+					pinBuf = append(pinBuf, int(nu))
+				}
+			}
+		}
+		if distinctCount(pinBuf) < 2 {
+			// Node removal collapsed the net; it can never be cut.
+			mp.NetOldToNew[e] = -1
+			mp.CollapsedNets++
+			continue
+		}
+		id, err := addNet(base.NetName(e), cost[e], pinBuf)
+		if err != nil {
+			return nil, nil, err
+		}
+		mp.NetOldToNew[e] = int32(id)
+	}
+	for _, an := range d.AddNets {
+		c := an.Cost
+		if c == 0 {
+			c = 1
+		}
+		pinBuf = pinBuf[:0]
+		for _, p := range an.Pins {
+			pinBuf = append(pinBuf, int(combinedToNew(p)))
+		}
+		if _, err := addNet(an.Name, c, pinBuf); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	h, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	mp.NewNodes = h.NumNodes()
+	mp.NewNets = h.NumNets()
+	return h, mp, nil
+}
+
+// ProjectSides projects a base-hypergraph side assignment through the
+// mapping: surviving nodes keep their side at their new ID, nodes the
+// delta added (or any slot not covered by a surviving node) come back as
+// partition.Unassigned for CompleteSides to place. old must have one
+// entry per base node.
+func (mp *Mapping) ProjectSides(old []uint8) ([]uint8, error) {
+	if len(old) != len(mp.OldToNew) {
+		return nil, fmt.Errorf("delta: ProjectSides got %d sides for %d base nodes", len(old), len(mp.OldToNew))
+	}
+	out := make([]uint8, mp.NewNodes)
+	for i := range out {
+		out[i] = partition.Unassigned
+	}
+	for u, nu := range mp.OldToNew {
+		if nu < 0 {
+			continue
+		}
+		s := old[u]
+		if s > 1 {
+			return nil, fmt.Errorf("delta: ProjectSides base node %d has side %d, want 0 or 1", u, s)
+		}
+		out[nu] = s
+	}
+	return out, nil
+}
+
+func identityMapping(n, m int) *Mapping {
+	mp := &Mapping{
+		OldToNew:    make([]int32, n),
+		NetOldToNew: make([]int32, m),
+		NewNodes:    n,
+		NewNets:     m,
+	}
+	for u := range mp.OldToNew {
+		mp.OldToNew[u] = int32(u)
+	}
+	for e := range mp.NetOldToNew {
+		mp.NetOldToNew[e] = int32(e)
+	}
+	return mp
+}
+
+// distinctCount counts distinct values in a small slice without
+// allocating; pin lists here are net-sized (tens at most).
+func distinctCount(s []int) int {
+	c := 0
+	for i, v := range s {
+		dup := false
+		for _, w := range s[:i] {
+			if w == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c++
+		}
+	}
+	return c
+}

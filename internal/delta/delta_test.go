@@ -1,0 +1,275 @@
+package delta
+
+import (
+	"encoding/json"
+	"testing"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+// base builds the fixture used throughout: 6 nodes, 4 nets.
+//
+//	net 0: {0,1,2} cost 1
+//	net 1: {2,3}   cost 2
+//	net 2: {3,4,5} cost 1
+//	net 3: {0,5}   cost 1
+func base(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 6; i++ {
+		b.AddNode("", 1)
+	}
+	mustNet := func(cost float64, pins ...int) {
+		if err := b.AddNet("", cost, pins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustNet(1, 0, 1, 2)
+	mustNet(2, 2, 3)
+	mustNet(1, 3, 4, 5)
+	mustNet(1, 0, 5)
+	return b.MustBuild()
+}
+
+func TestEmptyDeltaIdentity(t *testing.T) {
+	h := base(t)
+	d := &Delta{}
+	if !d.Empty() || d.Structural() {
+		t.Fatalf("zero Delta: Empty=%v Structural=%v", d.Empty(), d.Structural())
+	}
+	nh, mp, err := d.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nh != h {
+		t.Error("empty delta should return the base hypergraph itself")
+	}
+	if mp.Structural || mp.NewNodes != 6 || mp.NewNets != 4 {
+		t.Errorf("mapping = %+v", mp)
+	}
+	for u, nu := range mp.OldToNew {
+		if int(nu) != u {
+			t.Fatalf("OldToNew[%d] = %d", u, nu)
+		}
+	}
+}
+
+func TestNonStructuralSharesArenas(t *testing.T) {
+	h := base(t)
+	d := &Delta{
+		Reweight: []NodeWeight{{Node: 1, Weight: 5}},
+		Recost:   []NetCost{{Net: 2, Cost: 7}},
+	}
+	nh, mp, err := d.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Structural {
+		t.Error("reweight/recost delta reported structural")
+	}
+	if !h.SharesStructure(nh) {
+		t.Error("non-structural delta should share CSR arenas with the base")
+	}
+	if nh.NodeWeight(1) != 5 || nh.NetCost(2) != 7 {
+		t.Errorf("edits not applied: w1=%d c2=%g", nh.NodeWeight(1), nh.NetCost(2))
+	}
+	if h.NodeWeight(1) != 1 || h.NetCost(2) != 1 {
+		t.Error("base hypergraph mutated")
+	}
+	if h.Fingerprint() == nh.Fingerprint() {
+		t.Error("fingerprint unchanged by reweight/recost")
+	}
+}
+
+func TestStructuralApplyAndMapping(t *testing.T) {
+	h := base(t)
+	// Remove node 4 (collapses net 2 {3,4,5} to {3,5}? no — still 2 pins,
+	// survives), remove node 1, remove net 3, add a node wired to 0 and 2,
+	// repin net 1 to {0, new}.
+	d := &Delta{
+		AddNodes:    []NodeAdd{{Name: "eco0", Weight: 3}},
+		RemoveNodes: []int{1},
+		RemoveNets:  []int{3},
+		Repin:       []NetRepin{{Net: 1, Pins: []int{0, 6}}}, // 6 = combined ID of eco0
+		AddNets:     []NetAdd{{Cost: 2.5, Pins: []int{0, 2, 6}}},
+	}
+	nh, mp, err := d.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Structural {
+		t.Error("structural delta reported non-structural")
+	}
+	// Surviving nodes 0,2,3,4,5 renumber to 0..4; eco0 → 5.
+	wantOld := []int32{0, -1, 1, 2, 3, 4}
+	for u, want := range wantOld {
+		if mp.OldToNew[u] != want {
+			t.Errorf("OldToNew[%d] = %d, want %d", u, mp.OldToNew[u], want)
+		}
+	}
+	if mp.AddedToNew[0] != 5 {
+		t.Errorf("AddedToNew[0] = %d, want 5", mp.AddedToNew[0])
+	}
+	if nh.NumNodes() != 6 || mp.NewNodes != 6 {
+		t.Fatalf("NumNodes = %d / %d", nh.NumNodes(), mp.NewNodes)
+	}
+	if nh.NodeWeight(5) != 3 {
+		t.Errorf("added node weight = %d", nh.NodeWeight(5))
+	}
+	// Net 0 {0,1,2} loses node 1 → {0,2} survives as new net 0.
+	// Net 1 re-pinned to {0, eco0} → new net 1. Net 2 {3,4,5} → new net 2.
+	// Net 3 removed. Added net → new net 3.
+	if mp.NetOldToNew[0] != 0 || mp.NetOldToNew[1] != 1 || mp.NetOldToNew[2] != 2 || mp.NetOldToNew[3] != -1 {
+		t.Errorf("NetOldToNew = %v", mp.NetOldToNew)
+	}
+	if nh.NumNets() != 4 || mp.NewNets != 4 {
+		t.Fatalf("NumNets = %d / %d", nh.NumNets(), mp.NewNets)
+	}
+	if mp.CollapsedNets != 0 {
+		t.Errorf("CollapsedNets = %d, want 0", mp.CollapsedNets)
+	}
+	got := nh.Net(1) // re-pinned net: old node 0 → 0, eco0 → 5
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Errorf("repinned net pins = %v, want [0 5]", got)
+	}
+	if nh.NetCost(1) != 2 {
+		t.Errorf("repinned net kept cost %g, want 2", nh.NetCost(1))
+	}
+	if nh.NetCost(3) != 2.5 {
+		t.Errorf("added net cost = %g", nh.NetCost(3))
+	}
+}
+
+func TestNodeRemovalCollapsesNet(t *testing.T) {
+	h := base(t)
+	// Removing nodes 2 and 3 collapses net 1 {2,3} to zero pins.
+	d := &Delta{RemoveNodes: []int{2, 3}}
+	nh, mp, err := d.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.CollapsedNets != 1 {
+		t.Errorf("CollapsedNets = %d, want 1", mp.CollapsedNets)
+	}
+	if mp.NetOldToNew[1] != -1 {
+		t.Errorf("collapsed net still mapped: %d", mp.NetOldToNew[1])
+	}
+	if nh.NumNets() != 3 {
+		t.Errorf("NumNets = %d, want 3", nh.NumNets())
+	}
+}
+
+func TestProjectSides(t *testing.T) {
+	h := base(t)
+	d := &Delta{
+		AddNodes:    []NodeAdd{{}, {}},
+		RemoveNodes: []int{0},
+		AddNets:     []NetAdd{{Pins: []int{6, 7}}},
+	}
+	_, mp, err := d.Apply(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := []uint8{0, 0, 1, 1, 0, 1}
+	proj, err := mp.ProjectSides(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors 1..5 → new 0..4 keeping sides; added nodes unassigned.
+	want := []uint8{0, 1, 1, 0, 1, partition.Unassigned, partition.Unassigned}
+	if len(proj) != len(want) {
+		t.Fatalf("len = %d, want %d", len(proj), len(want))
+	}
+	for i := range want {
+		if proj[i] != want[i] {
+			t.Errorf("proj[%d] = %d, want %d", i, proj[i], want[i])
+		}
+	}
+	if _, err := mp.ProjectSides(old[:3]); err == nil {
+		t.Error("short sides slice accepted")
+	}
+	if _, err := mp.ProjectSides([]uint8{0, 2, 1, 1, 0, 1}); err == nil {
+		t.Error("side value 2 accepted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	h := base(t)
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"remove node out of range", Delta{RemoveNodes: []int{6}}},
+		{"remove node twice", Delta{RemoveNodes: []int{1, 1}}},
+		{"reweight removed node", Delta{RemoveNodes: []int{1}, Reweight: []NodeWeight{{Node: 1, Weight: 2}}}},
+		{"reweight twice", Delta{Reweight: []NodeWeight{{Node: 1, Weight: 2}, {Node: 1, Weight: 3}}}},
+		{"reweight to zero", Delta{Reweight: []NodeWeight{{Node: 1, Weight: 0}}}},
+		{"remove net out of range", Delta{RemoveNets: []int{4}}},
+		{"recost removed net", Delta{RemoveNets: []int{0}, Recost: []NetCost{{Net: 0, Cost: 2}}}},
+		{"recost nonpositive", Delta{Recost: []NetCost{{Net: 0, Cost: 0}}}},
+		{"repin removed net", Delta{RemoveNets: []int{0}, Repin: []NetRepin{{Net: 0, Pins: []int{1, 2}}}}},
+		{"repin pin out of combined space", Delta{Repin: []NetRepin{{Net: 0, Pins: []int{0, 6}}}}},
+		{"repin pin on removed node", Delta{RemoveNodes: []int{1}, Repin: []NetRepin{{Net: 0, Pins: []int{0, 1}}}}},
+		{"repin single distinct pin", Delta{Repin: []NetRepin{{Net: 0, Pins: []int{2, 2}}}}},
+		{"add net single pin", Delta{AddNets: []NetAdd{{Pins: []int{3}}}}},
+		{"add node negative weight", Delta{AddNodes: []NodeAdd{{Weight: -1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.d.Validate(h); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		if _, _, err := tc.d.Apply(h); err == nil {
+			t.Errorf("%s: Apply accepted", tc.name)
+		}
+	}
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	d := &Delta{
+		AddNodes:    []NodeAdd{{Name: "x", Weight: 2}},
+		RemoveNodes: []int{3},
+		Reweight:    []NodeWeight{{Node: 0, Weight: 4}},
+		AddNets:     []NetAdd{{Cost: 1.5, Pins: []int{0, 6}}},
+		RemoveNets:  []int{2},
+		Recost:      []NetCost{{Net: 0, Cost: 3}},
+		Repin:       []NetRepin{{Net: 1, Pins: []int{0, 2}}},
+	}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Delta
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Errorf("round trip changed encoding:\n%s\n%s", raw, raw2)
+	}
+}
+
+func TestFingerprintInsensitiveToNames(t *testing.T) {
+	b1 := hypergraph.NewBuilder()
+	b1.AddNode("a", 1)
+	b1.AddNode("b", 2)
+	_ = b1.AddNet("n", 1, 0, 1)
+	b2 := hypergraph.NewBuilder()
+	b2.AddNode("x", 1)
+	b2.AddNode("y", 2)
+	_ = b2.AddNet("m", 1, 0, 1)
+	h1, h2 := b1.MustBuild(), b2.MustBuild()
+	if h1.Fingerprint() != h2.Fingerprint() {
+		t.Error("fingerprint should ignore names")
+	}
+	b3 := hypergraph.NewBuilder()
+	b3.AddNode("a", 1)
+	b3.AddNode("b", 3)
+	_ = b3.AddNet("n", 1, 0, 1)
+	if b3.MustBuild().Fingerprint() == h1.Fingerprint() {
+		t.Error("fingerprint should see node weights")
+	}
+}

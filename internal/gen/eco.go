@@ -1,0 +1,155 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prop/internal/delta"
+	"prop/internal/hypergraph"
+)
+
+// ECOParams sizes a synthetic engineering change order against an
+// existing circuit.
+type ECOParams struct {
+	// Fraction is the perturbation size in (0, 0.5]: roughly Fraction of
+	// the nodes are replaced (removed and re-added with fresh IDs), with
+	// their nets rewired to the replacement cells.
+	Fraction float64
+	// Seed makes the perturbation deterministic.
+	Seed int64
+}
+
+// ECO synthesizes a netlist delta perturbing h the way an engineering
+// change order does: a random Fraction of the cells are swapped out for
+// replacements, and the edits stay local to the swapped cells — each
+// removed cell's nets are either re-pinned to its replacement (the
+// rewire), dropped as dead logic, or simply lose the pin; each
+// replacement additionally gains a fresh net into nearby surviving logic,
+// and a proportional number of nets get re-costed (timing re-estimation)
+// and surviving cells re-weighted (re-sizing). Locality is the point:
+// real ECOs touch the neighborhood of the change, not random logic across
+// the chip, which is what makes warm-start repartitioning effective.
+//
+// The returned delta always validates against h.
+func ECO(h *hypergraph.Hypergraph, p ECOParams) (*delta.Delta, error) {
+	n, m := h.NumNodes(), h.NumNets()
+	if p.Fraction <= 0 || p.Fraction > 0.5 {
+		return nil, fmt.Errorf("gen: ECO fraction %g out of (0, 0.5]", p.Fraction)
+	}
+	if n < 8 || m < 8 {
+		return nil, fmt.Errorf("gen: ECO needs ≥ 8 nodes and nets, have %d/%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	k := int(p.Fraction * float64(n))
+	if k < 1 {
+		k = 1
+	}
+
+	d := &delta.Delta{}
+	// Disjoint random node groups via one permutation: the first k are
+	// swapped out, the next k/2 re-weighted.
+	nodePerm := rng.Perm(n)
+	removed := make(map[int]bool, k)
+	for _, u := range nodePerm[:k] {
+		d.RemoveNodes = append(d.RemoveNodes, u)
+		removed[u] = true
+	}
+	for _, u := range nodePerm[k : k+k/4] {
+		d.Reweight = append(d.Reweight, delta.NodeWeight{Node: u, Weight: h.NodeWeight(u) + 1})
+	}
+	survivors := nodePerm[k:]
+	survivor := func() int { return survivors[rng.Intn(len(survivors))] }
+
+	// Replacement cells: cell i (combined ID n+i) replaces removed[i].
+	for i := 0; i < k; i++ {
+		d.AddNodes = append(d.AddNodes, delta.NodeAdd{
+			Name:   fmt.Sprintf("eco%d", i),
+			Weight: int64(rng.Intn(2)) + 1,
+		})
+	}
+
+	// Rewire each removed cell's nets to its replacement: a couple of the
+	// cell's nets are re-pinned onto the new cell, occasionally one is
+	// dropped as dead logic, the rest just lose the pin (net collapse
+	// handles the ones that fall under two pins). A net touching several
+	// removed cells is claimed once, by the first.
+	claimed := make(map[int]bool)
+	for i, u := range d.RemoveNodes {
+		replacement := n + i
+		nets := h.NetsOf(u)
+		rewired := 0
+		for _, e32 := range nets {
+			e := int(e32)
+			if claimed[e] {
+				continue
+			}
+			claimed[e] = true
+			switch {
+			case rewired < 2: // rewire to the replacement cell
+				pins := []int{replacement}
+				for _, v := range h.Net(e) {
+					if !removed[int(v)] {
+						pins = append(pins, int(v))
+					}
+				}
+				if len(pins) < 2 {
+					pins = append(pins, survivor())
+				}
+				d.Repin = append(d.Repin, delta.NetRepin{Net: e, Pins: pins})
+				rewired++
+			case rng.Intn(4) == 0: // dead logic
+				d.RemoveNets = append(d.RemoveNets, e)
+			}
+			// Unclaimed cases: the net keeps its other pins and merely
+			// loses u.
+		}
+	}
+
+	// Each replacement also gains one fresh net into nearby surviving
+	// logic (1–3 extra pins; the replacement's combined ID never collides
+	// with a survivor, so ≥ 2 distinct pins always remain).
+	for i := 0; i < k; i++ {
+		pins := []int{n + i}
+		for j, extra := 0, 1+rng.Intn(3); j < extra; j++ {
+			pins = append(pins, survivor())
+		}
+		d.AddNets = append(d.AddNets, delta.NetAdd{
+			Name: fmt.Sprintf("econet%d", i),
+			Cost: 1,
+			Pins: uniqInts(pins),
+		})
+	}
+
+	// Timing re-estimation: mildly re-cost a few unclaimed nets (±25%,
+	// the scale of a criticality update, not a redesign).
+	recosted := 0
+	for _, e := range rng.Perm(m) {
+		if recosted >= k/4 {
+			break
+		}
+		if claimed[e] {
+			continue
+		}
+		d.Recost = append(d.Recost, delta.NetCost{Net: e, Cost: h.NetCost(e) * (0.75 + 0.5*float64(rng.Intn(2)))})
+		recosted++
+	}
+	return d, nil
+}
+
+// uniqInts returns the distinct values of s in first-seen order.
+func uniqInts(s []int) []int {
+	out := s[:0:0]
+	for _, v := range s {
+		dup := false
+		for _, w := range out {
+			if w == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}

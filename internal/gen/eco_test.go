@@ -1,0 +1,87 @@
+package gen
+
+import "testing"
+
+func TestECOValidatesAndApplies(t *testing.T) {
+	c, err := SuiteCircuit(SuiteSpec{Name: "balu", Nodes: 801, Nets: 735, Pins: 2697})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.10} {
+		d, err := ECO(c.H, ECOParams{Fraction: frac, Seed: 42})
+		if err != nil {
+			t.Fatalf("fraction %g: %v", frac, err)
+		}
+		if err := d.Validate(c.H); err != nil {
+			t.Fatalf("fraction %g: generated delta invalid: %v", frac, err)
+		}
+		h2, mp, err := d.Apply(c.H)
+		if err != nil {
+			t.Fatalf("fraction %g: apply: %v", frac, err)
+		}
+		if !mp.Structural {
+			t.Errorf("fraction %g: ECO delta should be structural", frac)
+		}
+		// Node count is preserved up to collapse-free add/remove symmetry.
+		if h2.NumNodes() != c.H.NumNodes() {
+			t.Errorf("fraction %g: node count %d → %d, want unchanged", frac, c.H.NumNodes(), h2.NumNodes())
+		}
+		wantRemoved := int(frac * float64(c.H.NumNodes()))
+		if wantRemoved < 1 {
+			wantRemoved = 1
+		}
+		if len(d.RemoveNodes) != wantRemoved || len(d.AddNodes) != wantRemoved {
+			t.Errorf("fraction %g: %d removed / %d added, want %d each",
+				frac, len(d.RemoveNodes), len(d.AddNodes), wantRemoved)
+		}
+	}
+}
+
+func TestECODeterministic(t *testing.T) {
+	c, err := SuiteCircuit(SuiteSpec{Name: "balu", Nodes: 801, Nets: 735, Pins: 2697})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ECO(c.H, ECOParams{Fraction: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ECO(c.H, ECOParams{Fraction: 0.05, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _, err := a.Apply(c.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _, err := b.Apply(c.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.Fingerprint() != hb.Fingerprint() {
+		t.Error("same seed produced different perturbations")
+	}
+	c2, err := ECO(c.H, ECOParams{Fraction: 0.05, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, _, err := c2.Apply(c.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Fingerprint() == ha.Fingerprint() {
+		t.Error("different seeds produced identical perturbations")
+	}
+}
+
+func TestECORejectsBadParams(t *testing.T) {
+	c, err := SuiteCircuit(SuiteSpec{Name: "balu", Nodes: 801, Nets: 735, Pins: 2697})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, -0.1, 0.6} {
+		if _, err := ECO(c.H, ECOParams{Fraction: frac}); err == nil {
+			t.Errorf("fraction %g accepted", frac)
+		}
+	}
+}

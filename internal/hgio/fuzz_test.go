@@ -1,0 +1,82 @@
+package hgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets assert the readers' contract on arbitrary input:
+// return an error or a well-formed hypergraph, never panic and never
+// allocate from unvalidated declared sizes. Accepted inputs must
+// additionally survive a write→reread round trip of the derived
+// structural quantities.
+
+func FuzzReadHGR(f *testing.F) {
+	f.Add("3 4\n1 2\n2 3 4\n1 4\n")
+	f.Add("2 3 1\n2.5 1 2\n0.5 2 3\n")
+	f.Add("1 2 10\n1 2\n3\n7\n")
+	f.Add("1 2 11\n4 1 2\n3\n7\n")
+	f.Add("% comment\n1 2\n1 2\n")
+	f.Add("1 99999999999\n1 2\n")
+	f.Add("-1 -1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadHGR(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			t.Fatalf("write after accepting %q: %v", in, err)
+		}
+		h2, err := ReadHGR(&buf)
+		if err != nil {
+			t.Fatalf("reread after accepting %q: %v", in, err)
+		}
+		if h2.NumNodes() != h.NumNodes() || h2.NumNets() != h.NumNets() || h2.NumPins() != h.NumPins() {
+			t.Fatalf("round trip changed shape: %d/%d/%d -> %d/%d/%d",
+				h.NumNodes(), h.NumNets(), h.NumPins(),
+				h2.NumNodes(), h2.NumNets(), h2.NumPins())
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"nodes":[{},{},{"weight":3}],"nets":[{"pins":[0,1]},{"cost":2,"pins":[1,2]}]}`)
+	f.Add(`{"nodes":[{"name":"a"},{"name":"b"}],"nets":[{"name":"n","pins":[0,1]}]}`)
+	f.Add(`{"nodes":[],"nets":[{"pins":[0]}]}`)
+	f.Add(`{"nodes":[{"weight":-5}],"nets":[]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, h); err != nil {
+			t.Fatalf("write after accepting %q: %v", in, err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("reread after accepting %q: %v", in, err)
+		}
+	})
+}
+
+func FuzzReadNetAre(f *testing.F) {
+	f.Add("0\n4\n2\n3\n0\na1 s\na2 l\na2 s\na3 l\n", "a1 2\na2 1\na3 4\n")
+	f.Add("0\n0\n0\n0\n0\n", "")
+	f.Add("0\n2\n1\n2\n0\np1 s B\na1 l\n", "p1 1.5\n")
+	f.Add("0\n-1\n-1\n-1\n0\nx s\ny l\n", "x nan\n")
+	f.Add("", "")
+	f.Fuzz(func(t *testing.T, netIn, areIn string) {
+		h, err := ReadNetAre(strings.NewReader(netIn), strings.NewReader(areIn))
+		if err != nil {
+			return
+		}
+		if h.NumNodes() < 0 || h.NumNets() < 0 || h.NumPins() < 0 {
+			t.Fatalf("negative sizes from %q/%q", netIn, areIn)
+		}
+	})
+}

@@ -43,6 +43,16 @@ func ReadHGR(r io.Reader) (*hypergraph.Hypergraph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hgio: bad node count %q", fields[1])
 	}
+	// The declared counts size allocations below, so bound them before
+	// trusting them: a handcrafted header must not be able to demand
+	// gigabytes (largest real circuits are ~10^5 cells).
+	const maxCount = 1 << 24
+	if nets < 0 || nets > maxCount {
+		return nil, fmt.Errorf("hgio: net count %d out of [0,%d]", nets, maxCount)
+	}
+	if nodes < 0 || nodes > maxCount {
+		return nil, fmt.Errorf("hgio: node count %d out of [0,%d]", nodes, maxCount)
+	}
 	hasCosts, hasWeights := false, false
 	if len(fields) == 3 {
 		switch fields[2] {

@@ -1,0 +1,66 @@
+package hypergraph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// WithNodeWeights returns a shallow structural copy of h whose node
+// weights are replaced by weights (len must equal NumNodes, every entry
+// ≥ 1). Like WithNetCosts it shares the CSR arenas with the receiver, so
+// non-structural netlist deltas (reweight/recost only) apply in Θ(n + e)
+// instead of rebuilding the Θ(m) adjacency.
+func (h *Hypergraph) WithNodeWeights(weights []int64) (*Hypergraph, error) {
+	if len(weights) != h.NumNodes() {
+		return nil, fmt.Errorf("hypergraph: WithNodeWeights got %d weights for %d nodes", len(weights), h.NumNodes())
+	}
+	for u, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("hypergraph: WithNodeWeights node %d weight %d < 1", u, w)
+		}
+	}
+	c := *h
+	c.nodeWeight = append([]int64(nil), weights...)
+	return &c, nil
+}
+
+// Fingerprint returns a 64-bit FNV-1a content hash over everything that
+// determines partitioning results: the node and net counts, the net→pins
+// CSR arena, the per-net costs, and the per-node weights. Symbolic names
+// are deliberately excluded — two netlists that differ only in naming
+// partition identically and should cache-hit each other. The dual
+// node→nets CSR is derived from the pin CSR, so hashing it would add no
+// discrimination.
+func (h *Hypergraph) Fingerprint() uint64 {
+	f := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, _ = f.Write(b[:])
+	}
+	put(uint64(h.NumNodes()))
+	put(uint64(h.NumNets()))
+	for _, p := range h.pinArr {
+		put(uint64(p))
+	}
+	for _, o := range h.netOff {
+		put(uint64(o))
+	}
+	for _, c := range h.netCost {
+		put(math.Float64bits(c))
+	}
+	for _, w := range h.nodeWeight {
+		put(uint64(w))
+	}
+	return f.Sum64()
+}
+
+// SharesStructure reports whether o shares this hypergraph's CSR arenas
+// (as produced by WithNetCosts/WithNodeWeights). Used by tests to pin the
+// arena-reuse guarantee of non-structural delta application.
+func (h *Hypergraph) SharesStructure(o *Hypergraph) bool {
+	return len(h.pinArr) == len(o.pinArr) && (len(h.pinArr) == 0 || &h.pinArr[0] == &o.pinArr[0]) &&
+		len(h.netArr) == len(o.netArr) && (len(h.netArr) == 0 || &h.netArr[0] == &o.netArr[0])
+}

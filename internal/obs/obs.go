@@ -22,12 +22,17 @@
 //
 // Kind-specific fields:
 //
-//	run_start  id?
-//	run_end    id?, dur_us, err?
-//	pass       algo, id?, pass, cut, gmax, moves, kept, locked,
-//	           dirty_nets, swept, refine_iters, workers,
-//	           sweep_busy_us, sweep_wall_us, dur_us
-//	move       pass, node, gain
+//	run_start    id?
+//	run_end      id?, dur_us, err?
+//	pass         algo, id?, pass, cut, gmax, moves, kept, locked,
+//	             dirty_nets, swept, refine_iters, workers,
+//	             sweep_busy_us, sweep_wall_us, dur_us
+//	move         pass, node, gain
+//	delta_apply  id?, structural (0/1), nodes, nets, collapsed, dur_us
+//
+// delta_apply spans the application of a netlist delta (incremental
+// repartitioning); its run field is always 0 — delta application happens
+// before the multi-start portfolio.
 //
 // Fields marked ? are omitted when empty. cmd/tracecheck validates a
 // JSONL stream against this schema.
@@ -173,6 +178,40 @@ type Move struct {
 	Pass int
 	Node int
 	Gain float64 // immediate (deterministic) gain realized by the move
+}
+
+// DeltaApply spans one netlist-delta application — the construction step
+// of incremental repartitioning, before any partitioning run.
+type DeltaApply struct {
+	ID         string
+	Structural bool
+	// Nodes and Nets size the produced hypergraph; Collapsed counts base
+	// nets dropped because node removal left them under two pins.
+	Nodes, Nets, Collapsed int
+	Dur                    time.Duration
+}
+
+// EmitDeltaApply records a delta_apply event. Nil-safe no-op when
+// disabled; emitted at every level (delta application is rarer and more
+// load-bearing than run spans).
+func (t *Tracer) EmitDeltaApply(e DeltaApply) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("delta_apply", 0)
+	b = appendStr(b, "id", e.ID)
+	structural := int64(0)
+	if e.Structural {
+		structural = 1
+	}
+	b = appendInt(b, "structural", structural)
+	b = appendInt(b, "nodes", int64(e.Nodes))
+	b = appendInt(b, "nets", int64(e.Nets))
+	b = appendInt(b, "collapsed", int64(e.Collapsed))
+	b = appendInt(b, "dur_us", e.Dur.Microseconds())
+	t.close(b)
+	t.mu.Unlock()
 }
 
 // EmitRunStart records a run_start event. Nil-safe no-op when disabled.

@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"testing"
+
+	"prop/internal/hypergraph"
+)
+
+func completeFixture(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	for i := 0; i < 8; i++ {
+		b.AddNode("", 1)
+	}
+	for _, pins := range [][]int{{0, 1, 2}, {1, 2, 3}, {4, 5, 6}, {5, 6, 7}, {3, 4}} {
+		if err := b.AddNet("", 1, pins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestCompleteSidesKeepsAssignedAndPlacesByAttraction(t *testing.T) {
+	h := completeFixture(t)
+	bal := Balance{R1: 0.5, R2: 0.5}
+	sides := []uint8{0, 0, 0, Unassigned, 1, 1, 1, Unassigned}
+	out, err := CompleteSides(h, sides, bal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, s := range sides {
+		if s != Unassigned && out[u] != s {
+			t.Errorf("node %d: assigned side %d changed to %d", u, s, out[u])
+		}
+	}
+	// Node 3 touches nets {0,1,2,3} on side 0 twice and node 4 once; node 7
+	// touches side-1 pins only. Attraction places 3→0, 7→1.
+	if out[3] != 0 || out[7] != 1 {
+		t.Errorf("placed 3→%d 7→%d, want 0,1", out[3], out[7])
+	}
+	if len(out) != h.NumNodes() {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	b, err := NewBisection(h, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bal.FeasibleWithSlack(b.SideWeight(0), h.TotalNodeWeight(), b.MaxNodeWeight()) {
+		t.Errorf("result infeasible: side weights %d/%d", b.SideWeight(0), b.SideWeight(1))
+	}
+}
+
+func TestCompleteSidesDeterministic(t *testing.T) {
+	h := completeFixture(t)
+	bal := Balance{R1: 0.45, R2: 0.55}
+	sides := make([]uint8, h.NumNodes())
+	for i := range sides {
+		sides[i] = Unassigned
+	}
+	a, err := CompleteSides(h, sides, bal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := CompleteSides(h, sides, bal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range a {
+			if a[u] != b[u] {
+				t.Fatalf("run %d differs at node %d", i, u)
+			}
+		}
+	}
+}
+
+func TestCompleteSidesRepairsImbalance(t *testing.T) {
+	h := completeFixture(t)
+	bal := Balance{R1: 0.4, R2: 0.6}
+	// Everything pre-assigned to side 0: projection is infeasible and must
+	// be repaired, not rejected.
+	sides := make([]uint8, h.NumNodes())
+	out, err := CompleteSides(h, sides, bal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBisection(h, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bal.FeasibleWithSlack(b.SideWeight(0), h.TotalNodeWeight(), b.MaxNodeWeight()) {
+		t.Errorf("imbalanced projection not repaired: %d/%d", b.SideWeight(0), b.SideWeight(1))
+	}
+}
+
+func TestCompleteSidesRejectsBadInput(t *testing.T) {
+	h := completeFixture(t)
+	bal := Balance{R1: 0.5, R2: 0.5}
+	if _, err := CompleteSides(h, make([]uint8, 3), bal); err == nil {
+		t.Error("short sides accepted")
+	}
+	bad := make([]uint8, h.NumNodes())
+	bad[2] = 7
+	if _, err := CompleteSides(h, bad, bal); err == nil {
+		t.Error("side value 7 accepted")
+	}
+}

@@ -71,6 +71,15 @@ type Options struct {
 	// the paper's §5 "clustering initial phase".
 	ClusteredStart bool
 
+	// Initial, when non-nil, warm-starts run 0 of an iterative algorithm
+	// from this side assignment instead of a random or clustered one —
+	// the incremental-repartitioning path (see Repartition). Entries may
+	// be 0, 1, or SideUnassigned; unassigned nodes are placed greedily by
+	// connectivity under the balance criterion before the run. Takes
+	// precedence over ClusteredStart; runs 1..Runs−1 remain random, so a
+	// multi-start portfolio still explores beyond the warm start.
+	Initial []uint8
+
 	// Parallel bounds the worker goroutines executing multi-start runs and
 	// recursive k-way subproblems: 0 selects GOMAXPROCS, 1 runs
 	// sequentially. Every run derives its own seed, so the result is
@@ -258,7 +267,13 @@ func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Bal
 		func(ctx context.Context, r int) (runResult, error) {
 			seed := o.Seed + int64(r)
 			var initial []uint8
-			if o.ClusteredStart && r == 0 {
+			if o.Initial != nil && r == 0 {
+				s, err := partition.CompleteSides(h, o.Initial, bal)
+				if err != nil {
+					return runResult{}, err
+				}
+				initial = s
+			} else if o.ClusteredStart && r == 0 {
 				s, err := cluster.ClusteredSides(h, bal, h.NumNodes()/16+2, seed)
 				if err != nil {
 					return runResult{}, err
@@ -328,39 +343,7 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		}
 		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
 	case AlgoPROP:
-		cfg := core.DefaultConfig(bal)
-		if p := o.PROP; p != nil {
-			if p.PInit != 0 {
-				cfg.PInit = p.PInit
-			}
-			if p.PMin != 0 {
-				cfg.PMin = p.PMin
-			}
-			if p.PMax != 0 {
-				cfg.PMax = p.PMax
-			}
-			if p.GLo != 0 {
-				cfg.GLo = p.GLo
-			}
-			if p.GUp != 0 {
-				cfg.GUp = p.GUp
-			}
-			if p.Refinements != 0 {
-				cfg.Refinements = p.Refinements
-			}
-			if p.TopK != 0 {
-				cfg.TopK = p.TopK
-			}
-			if p.DeterministicInit {
-				cfg.Init = core.InitDeterministic
-			}
-			if p.RefineWorkers != 0 {
-				cfg.Workers = p.RefineWorkers
-			}
-		}
-		cfg.Tracer = o.Tracer
-		cfg.TraceRun = run
-		r, err := core.Partition(b, cfg)
+		r, err := core.Partition(b, propConfig(bal, o, run))
 		if err != nil {
 			return runResult{}, err
 		}
@@ -370,6 +353,45 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		}, nil
 	}
 	return runResult{}, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
+}
+
+// propConfig materializes the core PROP configuration Options selects:
+// the paper defaults overlaid with any PROPParams overrides, tagged with
+// the caller's tracer and run index.
+func propConfig(bal partition.Balance, o Options, run int) core.Config {
+	cfg := core.DefaultConfig(bal)
+	if p := o.PROP; p != nil {
+		if p.PInit != 0 {
+			cfg.PInit = p.PInit
+		}
+		if p.PMin != 0 {
+			cfg.PMin = p.PMin
+		}
+		if p.PMax != 0 {
+			cfg.PMax = p.PMax
+		}
+		if p.GLo != 0 {
+			cfg.GLo = p.GLo
+		}
+		if p.GUp != 0 {
+			cfg.GUp = p.GUp
+		}
+		if p.Refinements != 0 {
+			cfg.Refinements = p.Refinements
+		}
+		if p.TopK != 0 {
+			cfg.TopK = p.TopK
+		}
+		if p.DeterministicInit {
+			cfg.Init = core.InitDeterministic
+		}
+		if p.RefineWorkers != 0 {
+			cfg.Workers = p.RefineWorkers
+		}
+	}
+	cfg.Tracer = o.Tracer
+	cfg.TraceRun = run
+	return cfg
 }
 
 // KWayResult is a recursive k-way partition.
@@ -405,6 +427,9 @@ func KWayCtx(ctx context.Context, n *Netlist, k int, o Options) (KWayResult, err
 		oo := o
 		oo.Seed = seed
 		oo.R1, oo.R2 = b.R1, b.R2
+		// Warm starts are sized for the full netlist; recursive
+		// subproblems renumber nodes, so they always start cold.
+		oo.Initial = nil
 		runs := oo.Runs
 		if runs < 1 {
 			runs = 1

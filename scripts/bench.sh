@@ -42,4 +42,10 @@ go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|Benchma
 echo "== hot-path study (BENCH_hotpath.json) =="
 go run ./cmd/bench -hotpath BENCH_hotpath.json -runs 3 -seed 7 -v
 
+echo "== incremental warm-vs-cold study (BENCH_incremental.json) =="
+# ECO repartitioning: 1%/5%/10% perturbations per circuit, warm-start
+# chain vs from-scratch multi-start. Committed so the time and cut
+# ratios are diffable; the acceptance bar lives on the industry2 5% row.
+go run ./cmd/bench -incremental BENCH_incremental.json -seed 1 -v
+
 echo "bench: done"

@@ -43,4 +43,33 @@ if ! cmp -s "$tracedir/cut.txt" "$tracedir/cut_untraced.txt"; then
 	exit 1
 fi
 
+echo "== fuzz smoke =="
+# Short native-fuzz runs over the netlist readers: enough to replay the
+# corpus and shake the obvious parser panics without stalling CI.
+for target in FuzzReadHGR FuzzReadJSON FuzzReadNetAre; do
+	go test -run=NONE -fuzz="^${target}\$" -fuzztime=10s ./internal/hgio
+done
+
+echo "== warm-start smoke =="
+# Incremental golden check: partition, perturb with a delta, repartition
+# warm from the saved sides, and verify the warm assignment stands on its
+# own. PROP's prefix-rollback passes never end worse than their starting
+# cut, so a crash, a broken projection, or an infeasible completion is
+# what this would catch.
+go run ./cmd/propart -suite balu -runs 2 -par 1 -out "$tracedir/balu.sides" -q >/dev/null
+cat >"$tracedir/eco.json" <<'EOF'
+{"add_nodes":[{"name":"eco0","weight":1},{"name":"eco1","weight":2}],
+ "remove_nodes":[3,11],
+ "add_nets":[{"name":"econet0","cost":1,"pins":[0,1,801]},
+             {"name":"econet1","cost":2,"pins":[2,802]}],
+ "recost":[{"net":5,"cost":3}]}
+EOF
+go run ./cmd/propart -suite balu -runs 2 -par 1 -q \
+	-warm "$tracedir/balu.sides" -delta "$tracedir/eco.json" \
+	-out "$tracedir/balu_warm.sides" >"$tracedir/warm_cut.txt"
+if ! [ -s "$tracedir/warm_cut.txt" ] || ! [ -s "$tracedir/balu_warm.sides" ]; then
+	echo "warm-start smoke: no output produced" >&2
+	exit 1
+fi
+
 echo "ci: all checks passed"
