@@ -287,3 +287,24 @@ func BenchmarkHarnessQuick(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPassEngine times one full FM-bucket partition run on the largest
+// suite circuit from a fixed random start — the canonical workload of the
+// shared locked-move pass engine. scripts/bench.sh compares its per-op time
+// against the fm_pass_baseline_ns recorded in BENCH_hotpath.json and fails
+// when the engine regresses by more than 5%.
+func BenchmarkPassEngine(b *testing.B) {
+	c := circuit(b, "industry2")
+	bal := partition.Exact5050()
+	sides := partition.RandomSides(c.H, bal, rand.New(rand.NewSource(7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bis, err := partition.NewBisection(c.H, sides)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fm.Partition(bis, fm.Config{Balance: bal, Selector: fm.Bucket}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -76,6 +76,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Carry the pinned pass-engine baseline forward from any existing
+		// report: it is a fixed pre-refactor reference, not a re-measured
+		// quantity.
+		if old, err := os.Open(*hotpath); err == nil {
+			if prev, err := bench.ReadHotpath(old); err == nil {
+				rep.FMPassBaselineNS = prev.FMPassBaselineNS
+			}
+			old.Close()
+		}
 		f, err := os.Create(*hotpath)
 		if err != nil {
 			fatal(err)

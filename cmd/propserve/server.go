@@ -138,6 +138,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	m.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.Handle("GET /metrics", s.reg)
 	m.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
@@ -221,7 +222,11 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 
 	var err error
 	if v := q.Get("algo"); v != "" {
-		req.opts.Algorithm = prop.Algorithm(v)
+		a := prop.Algorithm(v)
+		if !a.Valid() {
+			return nil, fmt.Errorf("unknown algo %q (GET /v1/algorithms lists the supported set)", v)
+		}
+		req.opts.Algorithm = a
 	}
 	geti := func(name string, dst *int) {
 		if err != nil {
@@ -830,6 +835,13 @@ func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	s.log.Info("repartition", "cut_cost", res.CutCost, "cut_nets", res.CutNets,
 		"structural", mp.Structural, "elapsed_ms", resp.ElapsedMS, "run_id", runID)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAlgorithms serves the algorithm feature matrix: which methods the
+// server accepts for ?algo= and what each inherits from the shared
+// move-engine layer.
+func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": prop.AlgorithmInfos()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -152,7 +152,7 @@ func TestPartitionEndpointErrors(t *testing.T) {
 		{"bad runs", "/v1/partition?runs=0", hgr, http.StatusBadRequest},
 		{"bad runs syntax", "/v1/partition?runs=abc", hgr, http.StatusBadRequest},
 		{"bad k", "/v1/partition?k=1", hgr, http.StatusBadRequest},
-		{"unknown algo", "/v1/partition?algo=nosuch", hgr, http.StatusUnprocessableEntity},
+		{"unknown algo", "/v1/partition?algo=nosuch", hgr, http.StatusBadRequest},
 		{"odd k rejected by engine", "/v1/partition?k=6", hgr, http.StatusUnprocessableEntity},
 	}
 	for _, c := range cases {
@@ -161,6 +161,34 @@ func TestPartitionEndpointErrors(t *testing.T) {
 		if resp.StatusCode != c.want {
 			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
 		}
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body := decodeBody[map[string][]map[string]any](t, resp)
+	algos := body["algorithms"]
+	if len(algos) != len(prop.Algorithms()) {
+		t.Fatalf("%d algorithms listed, want %d", len(algos), len(prop.Algorithms()))
+	}
+	moveEngines := 0
+	for _, a := range algos {
+		if a["name"] == "" || a["description"] == "" {
+			t.Errorf("incomplete entry %v", a)
+		}
+		if me, _ := a["move_engine"].(bool); me {
+			moveEngines++
+		}
+	}
+	if moveEngines != 6 {
+		t.Errorf("%d move-engine algorithms, want 6 (prop, fm, fm-tree, la, kl, sk)", moveEngines)
 	}
 }
 

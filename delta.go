@@ -10,6 +10,7 @@ import (
 	"prop/internal/delta"
 	"prop/internal/obs"
 	"prop/internal/partition"
+	"prop/internal/refine"
 	"prop/internal/warm"
 )
 
@@ -146,14 +147,16 @@ func RepartitionCtx(ctx context.Context, base *Netlist, prevSides []uint8, d *De
 	if err != nil {
 		return nil, Result{}, err
 	}
-	if o.Algorithm == "" || o.Algorithm == AlgoPROP {
+	if partner, ok := polishPartner(o.Algorithm); ok {
 		bal, err := o.balance()
 		if err != nil {
 			return nil, Result{}, err
 		}
 		polishStart := time.Now()
 		// Trace-tag polish stages with the run index past the portfolio.
-		p, err := warm.Polish(edited.h, res.Sides, res.CutCost, res.CutNets, propConfig(bal, o, res.Runs))
+		p, err := warm.PolishWith(edited.h, res.Sides, res.CutCost, res.CutNets,
+			propConfig(bal, o, res.Runs),
+			refine.Options{Algorithm: partner, Balance: bal, LADepth: o.LADepth})
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -163,4 +166,27 @@ func RepartitionCtx(ctx context.Context, base *Netlist, prevSides []uint8, d *De
 		res.Elapsed += time.Since(polishStart)
 	}
 	return edited, res, nil
+}
+
+// polishPartner maps the requested algorithm to the engine alternated with
+// deterministic-init PROP during the Repartition polish fixpoint. Every
+// locked-move algorithm polishes — the warm start makes its passes cheap —
+// with itself as the partner so the final sides are a local optimum of the
+// move system the caller asked for; PROP keeps the historical FM-tree
+// partner. Non-move algorithms (spectral, placement, annealing, ...) have
+// no locked-move polish notion and return ok = false.
+func polishPartner(a Algorithm) (string, bool) {
+	switch a {
+	case "", AlgoPROP, AlgoFMTree:
+		return "fm-tree", true
+	case AlgoFM:
+		return "fm", true
+	case AlgoLA:
+		return "la", true
+	case AlgoKL:
+		return "kl", true
+	case AlgoSK:
+		return "sk", true
+	}
+	return "", false
 }

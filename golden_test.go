@@ -88,6 +88,59 @@ func check(t *testing.T, n *prop.Netlist, algo prop.Algorithm, runs int, seed in
 	if cost, _, err := prop.Verify(n, res.Sides, prop.Options{}); err != nil || cost != res.CutCost {
 		t.Errorf("%s: independent recount %g (err %v) vs reported %g", algo, cost, err, res.CutCost)
 	}
+	// The portfolio reduction must reproduce the sequential best-of
+	// bit-for-bit at any worker count.
+	par, err := prop.Partition(n, prop.Options{Algorithm: algo, Runs: runs, Seed: seed, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg := (golden{par.CutCost, par.BestRun, sideHash(par.Sides)}); pg != want {
+		t.Errorf("%s Parallel=4: got {cost:%g best:%d hash:%#x}, want {cost:%g best:%d hash:%#x}",
+			algo, pg.cost, pg.bestRun, pg.hash, want.cost, want.bestRun, want.hash)
+	}
+}
+
+// TestGoldenCutsLASK pins LA and SK multi-start results across the
+// move-engine unification, the same way the PROP/FM goldens pin theirs.
+// SK's exact pair scan is quadratic per step, so its goldens run only on
+// the small circuits.
+func TestGoldenCutsLASK(t *testing.T) {
+	cases := []struct {
+		circuit string
+		la      golden
+		sk      *golden
+	}{
+		{"balu", golden{56, 2, 0x86df674c393dbe83}, &golden{52, 0, 0xfe460ae3a9b93a54}},
+		{"struct", golden{65, 2, 0x2ffcf6b524ce9570}, &golden{89, 0, 0x4873e6d3b1c068ef}},
+		{"p2", golden{150, 2, 0x67e8ad96d734b66d}, nil},
+		{"industry2", golden{706, 1, 0x7e02436e812665c}, nil},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.circuit, func(t *testing.T) {
+			if testing.Short() && tc.circuit == "industry2" {
+				t.Skip("short mode")
+			}
+			n, err := prop.Benchmark(tc.circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, n, prop.AlgoLA, 3, 7, tc.la)
+			if tc.sk != nil {
+				check(t, n, prop.AlgoSK, 3, 7, *tc.sk)
+			}
+		})
+	}
+}
+
+// TestGoldenCutsLASKGenerated mirrors TestGoldenCutsGenerated for LA/SK.
+func TestGoldenCutsLASKGenerated(t *testing.T) {
+	n, err := prop.Generate(prop.GenParams{Nodes: 600, Nets: 660, Pins: 2300, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, n, prop.AlgoLA, 5, 11, golden{50, 2, 0x29d615c6f6e8e5b4})
+	check(t, n, prop.AlgoSK, 5, 11, golden{62, 3, 0xa8dffa790c0eb9db})
 }
 
 // TestGoldenTracingInvariant pins the observation-only contract of the

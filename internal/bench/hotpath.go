@@ -49,10 +49,25 @@ type HotpathCircuit struct {
 
 // HotpathReport is the full study.
 type HotpathReport struct {
-	GoMaxProcs int              `json:"gomaxprocs"`
-	GoVersion  string           `json:"go_version"`
-	Seed       int64            `json:"seed"`
-	Circuits   []HotpathCircuit `json:"circuits"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Seed       int64  `json:"seed"`
+	// FMPassBaselineNS is the pinned pre-refactor ns/op of
+	// BenchmarkPassEngine (a full FM-bucket industry2 run). It is a fixed
+	// reference, not a measurement of this report's machine state:
+	// scripts/bench.sh fails when the unified pass engine regresses more
+	// than 5% against it, and cmd/bench carries it forward verbatim when
+	// regenerating the report.
+	FMPassBaselineNS int64            `json:"fm_pass_baseline_ns,omitempty"`
+	Circuits         []HotpathCircuit `json:"circuits"`
+}
+
+// ReadHotpath parses a previously written report (for carrying pinned
+// fields forward across regenerations).
+func ReadHotpath(r io.Reader) (HotpathReport, error) {
+	var rep HotpathReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
 }
 
 // DefaultHotpathCircuits is the study's circuit set: the three largest

@@ -7,6 +7,7 @@ import (
 
 	"prop/internal/ds"
 	"prop/internal/engine"
+	"prop/internal/moves"
 	"prop/internal/obs"
 	"prop/internal/partition"
 )
@@ -38,36 +39,21 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	e := newPassEngine(b, cfg)
-	traced := cfg.Tracer.PassEnabled()
-	passes, moves := 0, 0
 	var passCuts []float64
 	var refineBusy, refineWall time.Duration
-	var passStart time.Time
-	if traced {
-		passStart = time.Now()
-	}
-	for {
-		gmax, m := e.runPass()
-		passes++
-		moves += m
-		passCuts = append(passCuts, b.CutCost())
-		refineBusy += time.Duration(e.ps.sweepBusyNS.Load())
-		refineWall += time.Duration(e.ps.sweepWallNS)
-		if traced {
-			now := time.Now()
-			e.emitPass(passes-1, b.CutCost(), gmax, now.Sub(passStart))
-			passStart = now
-		}
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
-		}
-	}
+	out := moves.Run(e.loop(), cfg.MaxPasses, cfg.Tracer, cfg.TraceRun,
+		func(gmax float64, m, kept int) {
+			e.ps.moves, e.ps.kept = m, kept
+			passCuts = append(passCuts, b.CutCost())
+			refineBusy += time.Duration(e.ps.sweepBusyNS.Load())
+			refineWall += time.Duration(e.ps.sweepWallNS)
+		})
 	return Result{
 		Sides:         b.Sides(),
 		CutCost:       b.CutCost(),
 		CutNets:       b.CutNets(),
-		Passes:        passes,
-		Moves:         moves,
+		Passes:        out.Passes,
+		Moves:         out.Moves,
 		PassCuts:      passCuts,
 		RefineBusy:    refineBusy,
 		RefineWall:    refineWall,
@@ -105,19 +91,17 @@ type passEngine struct {
 	nbrScratch []bool
 	nbrBuf     []int32
 	topBuf     []int
-	log        partition.PassLog
+	heaps      [2]*ds.GainHeap
+	l          *moves.Loop
 
 	// workers is the resolved refinement-sweep worker count (engine
 	// semantics: Config.Workers ≤ 0 selects GOMAXPROCS).
 	workers int
 
-	// ps carries the current pass's observability counters; traced and
-	// traceMoves latch the tracer level so hot loops test one bool; pass
-	// is the 0-based index of the pass being executed.
-	ps         passStats
-	traced     bool
-	traceMoves bool
-	pass       int
+	// ps carries the current pass's observability counters; traced
+	// latches the tracer level so hot loops test one bool.
+	ps     passStats
+	traced bool
 
 	// Dirty-net refinement state (§3.4 economics applied to the refine
 	// fixpoint): after the first full sweep of an iteration, only nets with
@@ -143,35 +127,56 @@ func newPassEngine(b *partition.Bisection, cfg Config) *passEngine {
 		dirtyNet:   make([]bool, b.H.NumNets()),
 		dirtyNode:  make([]bool, n),
 		traced:     cfg.Tracer.PassEnabled(),
-		traceMoves: cfg.Tracer.MoveEnabled(),
 	}
 }
 
-// emitPass sends the just-completed pass's trace event. The nil-tracer
-// fast path is a single predicated branch — no closures, no allocations
-// (pinned by TestEmitPassNilTracerZeroAllocs).
+// loop lazily binds the engine to its shared pass loop (tests construct
+// engines directly and call runPass).
+func (e *passEngine) loop() *moves.Loop {
+	if e.l == nil {
+		e.l = &moves.Loop{
+			B: e.b, Bal: e.cfg.Balance, Pol: e,
+			Tracer: e.cfg.Tracer, TraceRun: e.cfg.TraceRun,
+		}
+	}
+	return e.l
+}
+
+// emitPass sends a pass trace event through the same decoration path the
+// shared driver uses. The nil-tracer fast path is a single predicated
+// branch — no closures, no allocations (pinned by
+// TestEmitPassNilTracerZeroAllocs). Production passes are emitted by
+// moves.Run (driver fields) + FillPass (PROP counters); this helper keeps
+// the combined construction benchmarkable in isolation.
 func (e *passEngine) emitPass(pass int, cut, gmax float64, dur time.Duration) {
 	tr := e.cfg.Tracer
 	if !tr.PassEnabled() {
 		return
 	}
-	tr.EmitPass(obs.Pass{
-		Algo:        "prop",
-		Run:         e.cfg.TraceRun,
-		Pass:        pass,
-		Cut:         cut,
-		Gmax:        gmax,
-		Moves:       e.ps.moves,
-		Kept:        e.ps.kept,
-		Locked:      e.ps.moves, // every virtual move locks exactly one node
-		DirtyNets:   e.ps.dirtyNets,
-		SweptNodes:  e.ps.swept,
-		RefineIters: e.ps.refineIters,
-		Workers:     e.workers,
-		SweepBusy:   time.Duration(e.ps.sweepBusyNS.Load()),
-		SweepWall:   time.Duration(e.ps.sweepWallNS),
-		Dur:         dur,
-	})
+	ev := obs.Pass{
+		Algo:   "prop",
+		Run:    e.cfg.TraceRun,
+		Pass:   pass,
+		Cut:    cut,
+		Gmax:   gmax,
+		Moves:  e.ps.moves,
+		Kept:   e.ps.kept,
+		Locked: e.ps.moves, // every virtual move locks exactly one node
+		Dur:    dur,
+	}
+	e.FillPass(&ev)
+	tr.EmitPass(ev)
+}
+
+// FillPass implements moves.PassFiller: decorate the driver's pass event
+// with PROP's refinement counters.
+func (e *passEngine) FillPass(ev *obs.Pass) {
+	ev.DirtyNets = e.ps.dirtyNets
+	ev.SweptNodes = e.ps.swept
+	ev.RefineIters = e.ps.refineIters
+	ev.Workers = e.workers
+	ev.SweepBusy = time.Duration(e.ps.sweepBusyNS.Load())
+	ev.SweepWall = time.Duration(e.ps.sweepWallNS)
 }
 
 // seedProbabilities implements step 3 of Fig. 2.
@@ -356,43 +361,42 @@ func (e *passEngine) applyProbabilities(last bool) {
 	}
 }
 
+// runPass executes one pass (test/benchmark hook; production passes run
+// through moves.Run).
 func (e *passEngine) runPass() (float64, int) {
-	h := e.b.H
-	n := h.NumNodes()
+	gmax, steps, _ := e.loop().RunPass()
+	return gmax, steps
+}
+
+// Algo implements moves.NodePolicy.
+func (e *passEngine) Algo() string { return "prop" }
+
+// Key implements moves.NodePolicy: selection orders by probabilistic gain.
+func (e *passEngine) Key(u int) float64 { return e.gain[u] }
+
+// BeginPass implements moves.NodePolicy — steps 3–4 of Fig. 2: reset the
+// pass counters and locks, seed probabilities, run the gain↔probability
+// refinement, then fill one gain heap per side for selection.
+func (e *passEngine) BeginPass() [2]moves.Container {
+	n := e.b.H.NumNodes()
 	e.ps.reset()
 	e.calc.ResetLocks()
 	e.seedProbabilities()
 	e.refine()
 
-	trees := [2]*ds.GainHeap{ds.NewGainHeap(n), ds.NewGainHeap(n)}
+	e.heaps = [2]*ds.GainHeap{ds.NewGainHeap(n), ds.NewGainHeap(n)}
 	for u := 0; u < n; u++ {
-		trees[e.b.Side(u)].Insert(u, e.gain[u])
+		e.heaps[e.b.Side(u)].Insert(u, e.gain[u])
 	}
-	e.log.Reset()
+	return [2]moves.Container{moves.WrapHeap(e.heaps[0]), moves.WrapHeap(e.heaps[1])}
+}
 
-	// Steps 5–8: move and lock until no node can move within balance.
-	for trees[0].Len()+trees[1].Len() > 0 {
-		u, ok := e.selectNext(trees)
-		if !ok {
-			break
-		}
-		s := e.b.Side(u)
-		trees[s].Delete(u)
-		imm := e.calc.MoveLock(u)
-		e.log.Record(u, imm)
-		if e.traceMoves {
-			e.cfg.Tracer.EmitMove(obs.Move{Run: e.cfg.TraceRun, Pass: e.pass, Node: u, Gain: imm})
-		}
-		e.updateAfterMove(u, trees)
-	}
-
-	// Steps 9–10: keep the maximum-prefix-immediate-gain subset.
-	p, gmax := e.log.BestPrefix()
-	e.log.RollbackBeyond(e.b, p)
-	e.ps.moves = e.log.Len()
-	e.ps.kept = p
-	e.pass++
-	return gmax, e.log.Len()
+// MoveLock implements moves.NodePolicy — steps 7–8 of Fig. 2: realize the
+// move, lock u, then propagate the probability updates of §3.4.
+func (e *passEngine) MoveLock(u int) float64 {
+	imm := e.calc.MoveLock(u)
+	e.updateAfterMove(u)
+	return imm
 }
 
 // updateAfterMove implements §3.4: recompute gains (and hence
@@ -407,7 +411,7 @@ func (e *passEngine) runPass() (float64, int) {
 // ("the benefit of doing such a complete updating is minimal at best and
 // it is very time consuming"). Structural transitions (net entering the
 // cutset or collapsing onto one side) are always propagated.
-func (e *passEngine) updateAfterMove(u int, trees [2]*ds.GainHeap) {
+func (e *passEngine) updateAfterMove(u int) {
 	const eps = 1e-7
 	h := e.b.H
 	t := e.b.Side(u) // u already moved: t is its new side
@@ -432,63 +436,24 @@ func (e *passEngine) updateAfterMove(u int, trees [2]*ds.GainHeap) {
 	}
 	for _, v := range e.nbrBuf {
 		e.nbrScratch[v] = false
-		e.refreshNode(int(v), trees)
+		e.refreshNode(int(v))
 	}
 	if e.cfg.TopK > 0 {
 		for s := 0; s < 2; s++ {
-			e.topBuf = trees[s].TopK(e.cfg.TopK, e.topBuf[:0])
+			e.topBuf = e.heaps[s].TopK(e.cfg.TopK, e.topBuf[:0])
 			for _, v := range e.topBuf {
-				e.refreshNode(v, trees)
+				e.refreshNode(v)
 			}
 		}
 	}
 }
 
-func (e *passEngine) refreshNode(v int, trees [2]*ds.GainHeap) {
+func (e *passEngine) refreshNode(v int) {
 	g := e.calc.Gain(v)
 	if g == e.gain[v] {
 		return
 	}
 	e.gain[v] = g
 	e.calc.SetP(v, e.cfg.Probability(g))
-	trees[e.b.Side(v)].Insert(v, g) // reinsert: in-place keyed update
-}
-
-// selectNext picks the unlocked node with the best probabilistic gain whose
-// move keeps balance; if the global best violates balance the best node of
-// the other subset is taken (step 6 of Fig. 2).
-func (e *passEngine) selectNext(trees [2]*ds.GainHeap) (int, bool) {
-	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
-	pick := func(t *ds.GainHeap) (int, float64, bool) {
-		best, bg, found := -1, 0.0, false
-		t.TopDown(func(u int, g float64) bool {
-			if feas(u) {
-				best, bg, found = u, g, true
-				return false
-			}
-			return true
-		})
-		return best, bg, found
-	}
-	var u0, u1 int
-	var g0, g1 float64
-	var ok0, ok1 bool
-	if e.b.CanMoveFrom(0, e.cfg.Balance) {
-		u0, g0, ok0 = pick(trees[0])
-	}
-	if e.b.CanMoveFrom(1, e.cfg.Balance) {
-		u1, g1, ok1 = pick(trees[1])
-	}
-	switch {
-	case ok0 && ok1:
-		if g0 >= g1 {
-			return u0, true
-		}
-		return u1, true
-	case ok0:
-		return u0, true
-	case ok1:
-		return u1, true
-	}
-	return -1, false
+	e.heaps[e.b.Side(v)].Insert(v, g) // reinsert: in-place keyed update
 }

@@ -8,14 +8,17 @@
 // rows: the classic bucket array (FM-bucket, Θ(1) updates, unit net costs
 // only) and a balanced AVL tree (FM-tree, Θ(log n) updates, arbitrary net
 // costs).
+//
+// The pass protocol itself — selection, locking, prefix-max rollback,
+// convergence, tracing — lives in the shared engine (internal/moves);
+// this package is the NodePolicy supplying FM's delta-gain maintenance.
 package fm
 
 import (
 	"fmt"
-	"math"
-	"time"
 
 	"prop/internal/ds"
+	"prop/internal/moves"
 	"prop/internal/obs"
 	"prop/internal/partition"
 )
@@ -65,68 +68,6 @@ type Result struct {
 	Moves   int // total virtual moves across passes
 }
 
-// gainKeeper abstracts the two selection structures over float gains.
-type gainKeeper interface {
-	insert(u int, g float64)
-	remove(u int)
-	update(u int, g float64)
-	// firstFeasible returns the best-gain node accepted by ok.
-	firstFeasible(ok func(u int) bool) (int, bool)
-	len() int
-}
-
-// treeKeeper stamps every (re)insertion so equal gains order most-recent
-// first, matching the bucket structure's LIFO tie-break.
-type treeKeeper struct {
-	t     *ds.AVLTree
-	clock int64
-}
-
-func newTreeKeeper(n int) *treeKeeper { return &treeKeeper{t: ds.NewAVLTree(n)} }
-func (k *treeKeeper) insert(u int, g float64) {
-	k.clock++
-	k.t.SetStamp(u, k.clock)
-	k.t.Insert(u, g)
-}
-func (k *treeKeeper) remove(u int) { k.t.Delete(u) }
-func (k *treeKeeper) update(u int, g float64) {
-	k.t.Delete(u)
-	k.insert(u, g)
-}
-func (k *treeKeeper) len() int { return k.t.Len() }
-func (k *treeKeeper) firstFeasible(ok func(int) bool) (int, bool) {
-	best, found := -1, false
-	k.t.TopDown(func(u int, _ float64) bool {
-		if ok(u) {
-			best, found = u, true
-			return false
-		}
-		return true
-	})
-	return best, found
-}
-
-type bucketKeeper struct{ b *ds.Buckets }
-
-func newBucketKeeper(n, maxGain int) *bucketKeeper { return &bucketKeeper{ds.NewBuckets(n, maxGain)} }
-func (k *bucketKeeper) insert(u int, g float64)    { k.b.Insert(u, roundGain(g)) }
-func (k *bucketKeeper) remove(u int)               { k.b.Remove(u) }
-func (k *bucketKeeper) update(u int, g float64)    { k.b.Update(u, roundGain(g)) }
-func (k *bucketKeeper) len() int                   { return k.b.Len() }
-func (k *bucketKeeper) firstFeasible(ok func(int) bool) (int, bool) {
-	best, found := -1, false
-	k.b.TopDown(func(u, _ int) bool {
-		if ok(u) {
-			best, found = u, true
-			return false
-		}
-		return true
-	})
-	return best, found
-}
-
-func roundGain(g float64) int { return int(math.Round(g)) }
-
 // Partition runs FM from the given initial side assignment and returns the
 // locally optimal result. The initial slice is not modified.
 func Partition(b *partition.Bisection, cfg Config) (Result, error) {
@@ -144,65 +85,59 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 		gain:   make([]float64, n),
 		locked: make([]bool, n),
 	}
-	passes := 0
-	totalMoves := 0
-	traced := cfg.Tracer.PassEnabled()
-	var passStart time.Time
-	if traced {
-		passStart = time.Now()
-	}
-	for {
-		gmax, moves := eng.runPass()
-		passes++
-		totalMoves += moves
-		if traced {
-			now := time.Now()
-			cfg.Tracer.EmitPass(obs.Pass{
-				Algo: "fm", Run: cfg.TraceRun, Pass: passes - 1,
-				Cut: b.CutCost(), Gmax: gmax,
-				Moves: moves, Kept: eng.lastKept, Locked: moves,
-				Dur: now.Sub(passStart),
-			})
-			passStart = now
-		}
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
-		}
-	}
+	out := moves.Run(eng.loop(), cfg.MaxPasses, cfg.Tracer, cfg.TraceRun, nil)
 	return Result{
 		Sides:   b.Sides(),
 		CutCost: b.CutCost(),
 		CutNets: b.CutNets(),
-		Passes:  passes,
-		Moves:   totalMoves,
+		Passes:  out.Passes,
+		Moves:   out.Moves,
 	}, nil
 }
 
+// engine is FM's NodePolicy: Eqn.-1 gains maintained by the classic FM
+// delta rules, selected from a bucket array or an AVL tree.
 type engine struct {
 	b      *partition.Bisection
 	cfg    Config
 	gain   []float64
 	locked []bool
-	log    partition.PassLog
-	// lastKept is the kept maximum-prefix length of the most recent pass
-	// (observability only).
-	lastKept int
+	keep   [2]moves.Container
+	l      *moves.Loop
 	// selfCheck (tests only) verifies after every move that the maintained
 	// delta gains equal freshly computed Eqn.-1 gains.
 	selfCheck bool
 	checkErr  error
 }
 
-func (e *engine) newKeeper(n, maxGain int) gainKeeper {
-	if e.cfg.Selector == Bucket {
-		return newBucketKeeper(n, maxGain)
+// loop lazily binds the policy to its pass loop (tests construct engine
+// literals and call runPass directly).
+func (e *engine) loop() *moves.Loop {
+	if e.l == nil {
+		e.l = &moves.Loop{
+			B: e.b, Bal: e.cfg.Balance, Pol: e,
+			Tracer: e.cfg.Tracer, TraceRun: e.cfg.TraceRun,
+		}
 	}
-	return newTreeKeeper(n)
+	return e.l
 }
 
-// runPass performs one full FM pass and returns the realized G_max and the
-// number of virtual moves made.
+// runPass executes one pass (test hook; production passes run through
+// moves.Run). It returns the realized G_max and the virtual move count.
 func (e *engine) runPass() (float64, int) {
+	gmax, steps, _ := e.loop().RunPass()
+	return gmax, steps
+}
+
+// Algo implements moves.NodePolicy.
+func (e *engine) Algo() string { return "fm" }
+
+// Key implements moves.NodePolicy.
+func (e *engine) Key(u int) float64 { return e.gain[u] }
+
+// BeginPass implements moves.NodePolicy: unlock everything, compute fresh
+// Eqn.-1 gains, and fill one container per side.
+func (e *engine) BeginPass() [2]moves.Container {
 	h := e.b.H
 	n := h.NumNodes()
 	maxDeg := 0
@@ -211,71 +146,44 @@ func (e *engine) runPass() (float64, int) {
 			maxDeg = d
 		}
 	}
-	keep := [2]gainKeeper{e.newKeeper(n, maxDeg), e.newKeeper(n, maxDeg)}
+	e.keep = [2]moves.Container{e.newContainer(n, maxDeg), e.newContainer(n, maxDeg)}
 	for u := 0; u < n; u++ {
 		e.locked[u] = false
 		e.gain[u] = e.b.Gain(u)
-		keep[e.b.Side(u)].insert(u, e.gain[u])
+		e.keep[e.b.Side(u)].Insert(u, e.gain[u])
 	}
-	e.log.Reset()
+	return e.keep
+}
 
-	for keep[0].len()+keep[1].len() > 0 {
-		u, ok := e.selectNext(keep)
-		if !ok {
-			break
-		}
-		s := e.b.Side(u)
-		keep[s].remove(u)
-		e.locked[u] = true
-		e.updateNeighborGains(u, keep)
-		imm := e.b.Move(u)
-		e.log.Record(u, imm)
-		if e.selfCheck && e.checkErr == nil {
-			for v := 0; v < n; v++ {
-				if !e.locked[v] && e.gain[v] != e.b.Gain(v) {
-					e.checkErr = fmt.Errorf("fm: node %d maintained gain %g, fresh gain %g after moving %d",
-						v, e.gain[v], e.b.Gain(v), u)
-					break
-				}
+func (e *engine) newContainer(n, maxGain int) moves.Container {
+	if e.cfg.Selector == Bucket {
+		return moves.WrapBuckets(ds.NewBuckets(n, maxGain))
+	}
+	return moves.WrapTree(ds.NewAVLTree(n))
+}
+
+// MoveLock implements moves.NodePolicy: lock u, apply the delta rules to
+// its unlocked neighbors (before the move, so pin counts describe the
+// pre-move state), then realize the move.
+func (e *engine) MoveLock(u int) float64 {
+	e.locked[u] = true
+	e.updateNeighborGains(u)
+	imm := e.b.Move(u)
+	if e.selfCheck && e.checkErr == nil {
+		for v := 0; v < e.b.H.NumNodes(); v++ {
+			if !e.locked[v] && e.gain[v] != e.b.Gain(v) {
+				e.checkErr = fmt.Errorf("fm: node %d maintained gain %g, fresh gain %g after moving %d",
+					v, e.gain[v], e.b.Gain(v), u)
+				break
 			}
 		}
 	}
-	p, gmax := e.log.BestPrefix()
-	e.log.RollbackBeyond(e.b, p)
-	e.lastKept = p
-	return gmax, e.log.Len()
-}
-
-// selectNext chooses the unlocked node with maximum gain whose move keeps
-// balance; if the overall best violates balance, the best node of the other
-// subset is taken (paper §2).
-func (e *engine) selectNext(keep [2]gainKeeper) (int, bool) {
-	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
-	var u0, u1 int
-	var ok0, ok1 bool
-	if e.b.CanMoveFrom(0, e.cfg.Balance) {
-		u0, ok0 = keep[0].firstFeasible(feas)
-	}
-	if e.b.CanMoveFrom(1, e.cfg.Balance) {
-		u1, ok1 = keep[1].firstFeasible(feas)
-	}
-	switch {
-	case ok0 && ok1:
-		if e.gain[u0] >= e.gain[u1] {
-			return u0, true
-		}
-		return u1, true
-	case ok0:
-		return u0, true
-	case ok1:
-		return u1, true
-	}
-	return -1, false
+	return imm
 }
 
 // updateNeighborGains applies the classic FM delta rules for moving u,
 // BEFORE the move itself is applied to the bisection.
-func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
+func (e *engine) updateNeighborGains(u int) {
 	h := e.b.H
 	s := e.b.Side(u)
 	t := 1 - s
@@ -288,14 +196,14 @@ func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
 			// Net was uncut: moving u makes every other pin want to follow.
 			for _, v := range h.Net(nt) {
 				if v != u32 && !e.locked[v] {
-					e.bump(int(v), +c, keep)
+					e.bump(int(v), +c)
 				}
 			}
 		} else if tc == 1 {
 			// The lone pin on t loses its incentive to come back.
 			for _, v := range h.Net(nt) {
 				if v != u32 && e.b.Side(int(v)) == t && !e.locked[v] {
-					e.bump(int(v), -c, keep)
+					e.bump(int(v), -c)
 				}
 			}
 		}
@@ -304,21 +212,21 @@ func (e *engine) updateNeighborGains(u int, keep [2]gainKeeper) {
 			// Net becomes uncut on t: other pins no longer gain by moving.
 			for _, v := range h.Net(nt) {
 				if v != u32 && !e.locked[v] {
-					e.bump(int(v), -c, keep)
+					e.bump(int(v), -c)
 				}
 			}
 		} else if fc == 1 {
 			// The lone remaining pin on s can now free the net.
 			for _, v := range h.Net(nt) {
 				if v != u32 && e.b.Side(int(v)) == s && !e.locked[v] {
-					e.bump(int(v), +c, keep)
+					e.bump(int(v), +c)
 				}
 			}
 		}
 	}
 }
 
-func (e *engine) bump(v int, delta float64, keep [2]gainKeeper) {
+func (e *engine) bump(v int, delta float64) {
 	e.gain[v] += delta
-	keep[e.b.Side(v)].update(v, e.gain[v])
+	e.keep[e.b.Side(v)].Update(v, e.gain[v])
 }

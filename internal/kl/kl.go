@@ -4,13 +4,19 @@
 // to a weighted graph; each pass virtually swaps locked pairs (a, b)
 // maximizing D(a) + D(b) − 2·w(a,b) and keeps the maximum-prefix-gain
 // subset of swaps. Pair swaps preserve side sizes exactly, so KL maintains
-// perfect balance for unit weights.
+// perfect balance for unit node weights; for weighted netlists a swap moves
+// weight w(b) − w(a) between the sides, so Config.Balance (when set)
+// rejects swaps that would leave either side outside the criterion.
 //
 // Selecting the best pair exactly costs Θ(n²) per step; this implementation
 // uses the standard candidate-list optimization, scanning only the top
 // Candidates nodes of each side by D value, which is exact whenever the
 // best pair's members rank within the list (w ≥ 0 bounds the correction
 // term) and a high-quality heuristic otherwise.
+//
+// The pass protocol (locking, prefix-max rollback, convergence, tracing)
+// runs on the shared engine (internal/moves); this package is the
+// PairPolicy supplying D-value maintenance over the clique expansion.
 package kl
 
 import (
@@ -18,6 +24,8 @@ import (
 	"sort"
 
 	"prop/internal/hypergraph"
+	"prop/internal/moves"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -27,6 +35,17 @@ type Config struct {
 	Candidates int
 	// MaxPasses bounds improvement passes; 0 = run until no improvement.
 	MaxPasses int
+	// Balance, when non-zero, is the (r1, r2) criterion swaps must keep
+	// both sides inside (with the classic single-cell slack). The zero
+	// value keeps the historical unconstrained behavior, which is exact
+	// for unit node weights (swaps preserve side sizes) but can drift on
+	// weighted netlists.
+	Balance partition.Balance
+
+	// Tracer, when non-nil, receives one event per pass. Observation-only.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // Result reports the outcome.
@@ -48,134 +67,192 @@ func Partition(h *hypergraph.Hypergraph, initial []uint8, cfg Config) (Result, e
 	if cfg.Candidates == 0 {
 		cfg.Candidates = 32
 	}
-	g := hypergraph.CliqueExpand(h)
-	side := append([]uint8(nil), initial...)
-
-	// D values: external minus internal weighted connectivity.
-	d := make([]float64, n)
-	computeD := func() {
-		for u := 0; u < n; u++ {
-			var ext, int_ float64
-			for _, e := range g.Adj[u] {
-				if side[e.To] == side[u] {
-					int_ += e.Weight
-				} else {
-					ext += e.Weight
-				}
-			}
-			d[u] = ext - int_
+	if cfg.Balance != (partition.Balance{}) {
+		if err := cfg.Balance.Validate(); err != nil {
+			return Result{}, err
 		}
 	}
-
-	locked := make([]bool, n)
-	type swap struct {
-		a, b int
-		gain float64
+	e := &engine{
+		h:      h,
+		g:      hypergraph.CliqueExpand(h),
+		cfg:    cfg,
+		side:   append([]uint8(nil), initial...),
+		d:      make([]float64, n),
+		locked: make([]bool, n),
+		maxW:   1,
 	}
-	passes, totalSwaps := 0, 0
-	for {
-		computeD()
-		for i := range locked {
-			locked[i] = false
-		}
-		var log []swap
-		for {
-			a, b, gain, ok := bestPair(g, side, d, locked, cfg.Candidates)
-			if !ok {
-				break
-			}
-			log = append(log, swap{a, b, gain})
-			locked[a], locked[b] = true, true
-			// Update D values of unlocked neighbors: u leaving its side
-			// raises D of its old-side neighbors and lowers D of its
-			// new-side ones by 2·w each.
-			for _, u := range [2]int{a, b} {
-				for _, e := range g.Adj[u] {
-					w := e.To
-					if locked[w] {
-						continue
-					}
-					if side[w] == side[u] {
-						d[w] += 2 * e.Weight
-					} else {
-						d[w] -= 2 * e.Weight
-					}
-				}
-			}
-			side[a], side[b] = side[b], side[a]
-		}
-		// Undo all virtual swaps, then redo the best prefix.
-		for i := len(log) - 1; i >= 0; i-- {
-			side[log[i].a], side[log[i].b] = side[log[i].b], side[log[i].a]
-		}
-		bestP, gmax := 0, 0.0
-		sum := 0.0
-		for i, s := range log {
-			sum += s.gain
-			if sum > gmax+1e-12 {
-				gmax = sum
-				bestP = i + 1
-			}
-		}
-		for i := 0; i < bestP; i++ {
-			side[log[i].a], side[log[i].b] = side[log[i].b], side[log[i].a]
-		}
-		passes++
-		totalSwaps += bestP
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
+	for u := 0; u < n; u++ {
+		w := h.NodeWeight(u)
+		e.total += w
+		e.sideWeight[e.side[u]] += w
+		if w > e.maxW {
+			e.maxW = w
 		}
 	}
+	loop := &moves.PairLoop{Pol: e, Tracer: cfg.Tracer, TraceRun: cfg.TraceRun}
+	out := moves.Run(loop, cfg.MaxPasses, cfg.Tracer, cfg.TraceRun, nil)
 
-	b, err := partition.NewBisection(h, side)
+	b, err := partition.NewBisection(h, e.side)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{
-		Sides:   side,
+		Sides:   e.side,
 		CutCost: b.CutCost(),
 		CutNets: b.CutNets(),
-		Passes:  passes,
-		Swaps:   totalSwaps,
+		Passes:  out.Passes,
+		Swaps:   out.Kept,
 	}, nil
 }
 
-// bestPair scans the top-Candidates unlocked nodes of each side by D value
-// and returns the pair maximizing D(a)+D(b)−2·w(a,b).
-func bestPair(g *hypergraph.Graph, side []uint8, d []float64, locked []bool, candidates int) (int, int, float64, bool) {
-	var s0, s1 []int
-	for u := range side {
-		if locked[u] {
+// engine is KL's PairPolicy: D values (external minus internal weighted
+// connectivity) over the clique-expanded graph.
+type engine struct {
+	h          *hypergraph.Hypergraph
+	g          *hypergraph.Graph
+	cfg        Config
+	side       []uint8
+	d          []float64
+	locked     []bool
+	sideWeight [2]int64
+	total      int64
+	maxW       int64
+}
+
+// Algo implements moves.PairPolicy.
+func (e *engine) Algo() string { return "kl" }
+
+// Cut implements moves.PairPolicy: the hypergraph cut of the current
+// sides, recounted on demand (traced passes only — KL maintains no
+// incremental hypergraph cut).
+func (e *engine) Cut() float64 {
+	var cost float64
+	for nt := 0; nt < e.h.NumNets(); nt++ {
+		pins := e.h.Net(nt)
+		if len(pins) == 0 {
 			continue
 		}
-		if side[u] == 0 {
+		first := e.side[pins[0]]
+		for _, v := range pins[1:] {
+			if e.side[v] != first {
+				cost += e.h.NetCost(nt)
+				break
+			}
+		}
+	}
+	return cost
+}
+
+// BeginPass implements moves.PairPolicy: recompute all D values and
+// unlock everything.
+func (e *engine) BeginPass() {
+	for u := range e.d {
+		var ext, int_ float64
+		for _, ed := range e.g.Adj[u] {
+			if e.side[ed.To] == e.side[u] {
+				int_ += ed.Weight
+			} else {
+				ext += ed.Weight
+			}
+		}
+		e.d[u] = ext - int_
+	}
+	for i := range e.locked {
+		e.locked[i] = false
+	}
+}
+
+// Swap implements moves.PairPolicy: lock the pair, update unlocked
+// neighbors' D values (u leaving its side raises D of its old-side
+// neighbors and lowers D of its new-side ones by 2·w each), then exchange
+// the sides.
+func (e *engine) Swap(a, b int) float64 {
+	gain := e.d[a] + e.d[b] - 2*edgeWeight(e.g, a, b)
+	e.locked[a], e.locked[b] = true, true
+	for _, u := range [2]int{a, b} {
+		for _, ed := range e.g.Adj[u] {
+			w := ed.To
+			if e.locked[w] {
+				continue
+			}
+			if e.side[w] == e.side[u] {
+				e.d[w] += 2 * ed.Weight
+			} else {
+				e.d[w] -= 2 * ed.Weight
+			}
+		}
+	}
+	e.exchange(a, b)
+	return gain
+}
+
+// Unswap implements moves.PairPolicy (rollback; D values are stale after
+// a pass ends and are rebuilt by the next BeginPass).
+func (e *engine) Unswap(a, b int) { e.exchange(a, b) }
+
+func (e *engine) exchange(a, b int) {
+	wa, wb := e.h.NodeWeight(a), e.h.NodeWeight(b)
+	e.sideWeight[e.side[a]] += wb - wa
+	e.sideWeight[e.side[b]] += wa - wb
+	e.side[a], e.side[b] = e.side[b], e.side[a]
+}
+
+// swapFits reports whether swapping (a, b) keeps both sides within the
+// configured balance criterion (always true when no criterion is set, and
+// for equal-weight pairs, which leave side weights unchanged).
+func (e *engine) swapFits(a, b int) bool {
+	if e.cfg.Balance == (partition.Balance{}) {
+		return true
+	}
+	wa, wb := e.h.NodeWeight(a), e.h.NodeWeight(b)
+	if wa == wb {
+		return true
+	}
+	w0 := e.sideWeight[e.side[a]] + wb - wa
+	w1 := e.sideWeight[e.side[b]] + wa - wb
+	return e.cfg.Balance.FeasibleWithSlack(w0, e.total, e.maxW) &&
+		e.cfg.Balance.FeasibleWithSlack(w1, e.total, e.maxW)
+}
+
+// BestPair implements moves.PairPolicy: scan the top-Candidates unlocked
+// nodes of each side by D value and return the balance-feasible pair
+// maximizing D(a)+D(b)−2·w(a,b).
+func (e *engine) BestPair() (int, int, bool) {
+	var s0, s1 []int
+	for u := range e.side {
+		if e.locked[u] {
+			continue
+		}
+		if e.side[u] == 0 {
 			s0 = append(s0, u)
 		} else {
 			s1 = append(s1, u)
 		}
 	}
 	if len(s0) == 0 || len(s1) == 0 {
-		return 0, 0, 0, false
+		return 0, 0, false
 	}
 	top := func(s []int) []int {
-		sort.Slice(s, func(i, j int) bool { return d[s[i]] > d[s[j]] })
-		if len(s) > candidates {
-			s = s[:candidates]
+		sort.Slice(s, func(i, j int) bool { return e.d[s[i]] > e.d[s[j]] })
+		if len(s) > e.cfg.Candidates {
+			s = s[:e.cfg.Candidates]
 		}
 		return s
 	}
 	s0, s1 = top(s0), top(s1)
 	bestA, bestB, bestG := -1, -1, 0.0
 	for _, a := range s0 {
-		// Edge weights from a to candidate b's.
 		for _, b := range s1 {
-			w := edgeWeight(g, a, b)
-			if gn := d[a] + d[b] - 2*w; bestA < 0 || gn > bestG {
+			if !e.swapFits(a, b) {
+				continue
+			}
+			w := edgeWeight(e.g, a, b)
+			if gn := e.d[a] + e.d[b] - 2*w; bestA < 0 || gn > bestG {
 				bestA, bestB, bestG = a, b, gn
 			}
 		}
 	}
-	return bestA, bestB, bestG, bestA >= 0
+	return bestA, bestB, bestA >= 0
 }
 
 // edgeWeight returns w(a,b) by binary search in a's sorted adjacency.

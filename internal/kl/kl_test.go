@@ -95,3 +95,92 @@ func TestKLImproves(t *testing.T) {
 		t.Error("no swaps made from a random start")
 	}
 }
+
+// weightedCase builds a small netlist with heterogeneous node weights
+// (1..8) and a weight-feasible random start, returning everything the
+// balance assertions need.
+func weightedCase(t *testing.T, seed int64) (h *hypergraph.Hypergraph, initial []uint8, bal partition.Balance, total, maxW int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := hypergraph.NewBuilder()
+	const n = 40
+	maxW = 1
+	for u := 0; u < n; u++ {
+		w := int64(1 + rng.Intn(8))
+		b.AddNode("", w)
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for e := 0; e < 60; e++ {
+		a, c := rng.Intn(n), rng.Intn(n)
+		if a == c {
+			continue
+		}
+		if err := b.AddNet("", 1, a, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h = b.MustBuild()
+	bal = partition.Exact5050()
+	initial = partition.RandomSides(h, bal, rng)
+	return h, initial, bal, total, maxW
+}
+
+func side0Weight(h *hypergraph.Hypergraph, sides []uint8) int64 {
+	var w0 int64
+	for u, s := range sides {
+		if s == 0 {
+			w0 += h.NodeWeight(u)
+		}
+	}
+	return w0
+}
+
+// TestKLWeightedBalance: on weighted netlists KL's equal-cardinality swaps
+// are not equal-weight swaps — without a balance criterion the side weights
+// drift. Config.Balance must gate every swap so the final assignment stays
+// within the criterion's slack window; the unconstrained run documents the
+// legacy drift this guards against.
+func TestKLWeightedBalance(t *testing.T) {
+	h, initial, bal, total, maxW := weightedCase(t, 1)
+
+	free, err := kl.Partition(h, initial, kl.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0 := side0Weight(h, free.Sides); bal.FeasibleWithSlack(w0, total, maxW) {
+		t.Fatalf("unconstrained KL stayed balanced (w0=%d/%d); pick a seed that exhibits the drift", w0, total)
+	}
+
+	res, err := kl.Partition(h, initial, kl.Config{Balance: bal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w0 := side0Weight(h, res.Sides); !bal.FeasibleWithSlack(w0, total, maxW) {
+		t.Errorf("balanced KL broke the criterion: side-0 weight %d of %d (maxW %d)", w0, total, maxW)
+	}
+	b0, err := partition.NewBisection(h, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutCost > b0.CutCost() {
+		t.Errorf("cut worsened under balance gating: %g -> %g", b0.CutCost(), res.CutCost)
+	}
+}
+
+// TestKLWeightedBalanceSeeds sweeps seeds to make sure the gate holds from
+// many feasible starts, not just the documented one.
+func TestKLWeightedBalanceSeeds(t *testing.T) {
+	for seed := int64(2); seed <= 10; seed++ {
+		h, initial, bal, total, maxW := weightedCase(t, seed)
+		res, err := kl.Partition(h, initial, kl.Config{Balance: bal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w0 := side0Weight(h, res.Sides); !bal.FeasibleWithSlack(w0, total, maxW) {
+			t.Errorf("seed %d: side-0 weight %d of %d (maxW %d) infeasible", seed, w0, total, maxW)
+		}
+	}
+}

@@ -8,6 +8,12 @@
 //
 // A net's cost is paid once when it spans at least two parts, matching
 // multiway.EvaluateKWay and the paper's k-way cutset definition (§1).
+//
+// Pass-level convergence, prefix-max rollback bookkeeping and tracing run
+// on the shared engine (internal/moves); this package implements
+// moves.PassRunner natively because its move candidates are (node,
+// target-part) pairs rather than the two per-side containers of the
+// bipartitioning loop.
 package kwaydirect
 
 import (
@@ -16,6 +22,9 @@ import (
 	"math/rand"
 
 	"prop/internal/hypergraph"
+	"prop/internal/moves"
+	"prop/internal/obs"
+	"prop/internal/partition"
 )
 
 // Balance bounds each part's weight fraction: R1 ≤ w(part)/W ≤ R2 with
@@ -44,12 +53,7 @@ func (b Balance) Validate(k int) error {
 // bounds returns the inclusive weight range of one part, widened by the
 // single-cell tolerance the 2-way engines also use.
 func (b Balance) bounds(total, maxW int64) (lo, hi int64) {
-	lo = int64(b.R1*float64(total)) - maxW
-	hi = int64(b.R2*float64(total)) + maxW
-	if lo < 0 {
-		lo = 0
-	}
-	return lo, hi
+	return partition.PartWindow(b.R1, b.R2, total, maxW)
 }
 
 // Config controls a run.
@@ -58,6 +62,12 @@ type Config struct {
 	Balance Balance // zero value selects DefaultBalance(K)
 	// MaxPasses bounds improvement passes; 0 = until no improvement.
 	MaxPasses int
+
+	// Tracer, when non-nil, receives one event per pass (and per move at
+	// move-level verbosity). Observation-only.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // Result reports the outcome.
@@ -261,21 +271,13 @@ func Partition(h *hypergraph.Hypergraph, initial []int, cfg Config) (Result, err
 	e := &engine{s: s, cfg: cfg,
 		locked:  make([]bool, h.NumNodes()),
 		scratch: make([]bool, h.NumNodes())}
-	passes, moves := 0, 0
-	for {
-		gmax, m := e.runPass()
-		passes++
-		moves += m
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
-		}
-	}
+	out := moves.Run(e, cfg.MaxPasses, cfg.Tracer, cfg.TraceRun, nil)
 	return Result{
 		Parts:   s.Parts(),
 		CutCost: s.CutCost(),
 		CutNets: s.CutNets(),
-		Passes:  passes,
-		Moves:   moves,
+		Passes:  out.Passes,
+		Moves:   out.Kept,
 	}, nil
 }
 
@@ -285,12 +287,16 @@ type engine struct {
 	locked  []bool
 	scratch []bool
 	nbrBuf  []int32
+	log     moves.PassLog
+	from    []int // origin part of the i-th logged move (rollback data)
+	pass    int
 }
 
-type moveRec struct {
-	u, from int
-	imm     float64
-}
+// Algo implements moves.PassRunner.
+func (e *engine) Algo() string { return "kway" }
+
+// Cut implements moves.PassRunner.
+func (e *engine) Cut() float64 { return e.s.CutCost() }
 
 // heapEntry is a lazily invalidated candidate: stale entries (older stamp,
 // locked node, infeasible target) are discarded or refreshed at pop time.
@@ -315,12 +321,12 @@ func (h *candHeap) Pop() any {
 	return x
 }
 
-// runPass virtually moves and locks each node once (to its best feasible
-// target at selection time), then keeps the maximum-prefix subset. The
-// candidate pool is a lazily invalidated max-heap: each node carries its
-// best (gain, target) pair, refreshed when a neighbor moves or when its
-// cached target becomes balance-infeasible.
-func (e *engine) runPass() (float64, int) {
+// RunPass implements moves.PassRunner: virtually move and lock each node
+// once (to its best feasible target at selection time), then keep the
+// maximum-prefix subset. The candidate pool is a lazily invalidated
+// max-heap: each node carries its best (gain, target) pair, refreshed when
+// a neighbor moves or when its cached target becomes balance-infeasible.
+func (e *engine) RunPass() (float64, int, int) {
 	h := e.s.H
 	n := h.NumNodes()
 	for i := range e.locked {
@@ -368,7 +374,9 @@ func (e *engine) runPass() (float64, int) {
 		push(u)
 	}
 
-	var log []moveRec
+	e.log.Reset()
+	e.from = e.from[:0]
+	traceMoves := e.cfg.Tracer.MoveEnabled()
 	for pool.Len() > 0 {
 		entry := heap.Pop(&pool).(heapEntry)
 		u := entry.u
@@ -384,7 +392,11 @@ func (e *engine) runPass() (float64, int) {
 		from := e.s.Part(u)
 		imm := e.s.Move(u, entry.target)
 		e.locked[u] = true
-		log = append(log, moveRec{u, from, imm})
+		e.log.Record(u, imm)
+		e.from = append(e.from, from)
+		if traceMoves {
+			e.cfg.Tracer.EmitMove(obs.Move{Run: e.cfg.TraceRun, Pass: e.pass, Node: u, Gain: imm})
+		}
 		e.nbrBuf = h.Neighbors(u, e.nbrBuf[:0], e.scratch)
 		for _, v := range e.nbrBuf {
 			if !e.locked[v] {
@@ -393,16 +405,10 @@ func (e *engine) runPass() (float64, int) {
 		}
 	}
 
-	bestP, gmax, sum := 0, 0.0, 0.0
-	for i, r := range log {
-		sum += r.imm
-		if sum > gmax+1e-12 {
-			gmax = sum
-			bestP = i + 1
-		}
-	}
-	for i := len(log) - 1; i >= bestP; i-- {
-		e.s.Move(log[i].u, log[i].from)
-	}
-	return gmax, bestP
+	p, gmax := e.log.BestPrefix()
+	e.log.RollbackWith(p, func(i, node int) {
+		e.s.Move(node, e.from[i])
+	})
+	e.pass++
+	return gmax, e.log.Len(), p
 }

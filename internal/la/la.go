@@ -9,12 +9,17 @@
 // The paper notes LA's memory blow-up for bucket structures; here vectors
 // are encoded into a single ordered key and kept in the shared AVL tree, so
 // the implementation is Θ(m) space like PROP while preserving LA semantics.
+// The pass protocol runs on the shared engine (internal/moves); this
+// package is the NodePolicy supplying vector computation and the
+// relevant-net update filter.
 package la
 
 import (
 	"fmt"
 
 	"prop/internal/ds"
+	"prop/internal/moves"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -23,6 +28,11 @@ type Config struct {
 	K         int // lookahead depth; 1 degenerates to FM's gain (k=2..4 typical)
 	Balance   partition.Balance
 	MaxPasses int // 0 = run until no improving pass
+
+	// Tracer, when non-nil, receives one event per pass. Observation-only.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // Result reports the outcome of a run.
@@ -43,24 +53,17 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	e := newEngine(b, cfg)
-	passes, moves := 0, 0
-	for {
-		gmax, m := e.runPass()
-		passes++
-		moves += m
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
-		}
-	}
+	out := moves.Run(e.loop(), cfg.MaxPasses, cfg.Tracer, cfg.TraceRun, nil)
 	return Result{
 		Sides:   b.Sides(),
 		CutCost: b.CutCost(),
 		CutNets: b.CutNets(),
-		Passes:  passes,
-		Moves:   moves,
+		Passes:  out.Passes,
+		Moves:   out.Moves,
 	}, nil
 }
 
+// engine is LA's NodePolicy.
 type engine struct {
 	b      *partition.Bisection
 	cfg    Config
@@ -73,8 +76,8 @@ type engine struct {
 	maxDeg     int
 	nbrScratch []bool
 	nbrBuf     []int
-	clock      int64
-	log        partition.PassLog
+	trees      [2]moves.Container
+	l          *moves.Loop
 	// updateAll (tests only) disables the relevant-net filter so the
 	// exactness of the filter can be checked against full recomputation.
 	updateAll bool
@@ -106,6 +109,25 @@ func newEngine(b *partition.Bisection, cfg Config) *engine {
 	}
 	e.base = float64(2*e.maxDeg + 3)
 	return e
+}
+
+// loop lazily binds the policy to its pass loop (tests construct engines
+// directly and call runPass).
+func (e *engine) loop() *moves.Loop {
+	if e.l == nil {
+		e.l = &moves.Loop{
+			B: e.b, Bal: e.cfg.Balance, Pol: e,
+			Tracer: e.cfg.Tracer, TraceRun: e.cfg.TraceRun,
+		}
+	}
+	return e.l
+}
+
+// runPass executes one pass (test hook; production passes run through
+// moves.Run).
+func (e *engine) runPass() (float64, int) {
+	gmax, steps, _ := e.loop().RunPass()
+	return gmax, steps
 }
 
 // computeVec fills vec[u] from the current pass state.
@@ -156,80 +178,84 @@ func (e *engine) computeVec(u int) {
 	e.key[u] = key
 }
 
-func (e *engine) runPass() (float64, int) {
-	h := e.b.H
-	n := h.NumNodes()
+// Algo implements moves.NodePolicy.
+func (e *engine) Algo() string { return "la" }
+
+// Key implements moves.NodePolicy.
+func (e *engine) Key(u int) float64 { return e.key[u] }
+
+// BeginPass implements moves.NodePolicy: clear the binding counters,
+// recompute every vector and fill one AVL container per side.
+func (e *engine) BeginPass() [2]moves.Container {
+	n := e.b.H.NumNodes()
 	for s := 0; s < 2; s++ {
 		for i := range e.lockedPins[s] {
 			e.lockedPins[s][i] = 0
 		}
 	}
-	trees := [2]*ds.AVLTree{ds.NewAVLTree(n), ds.NewAVLTree(n)}
+	e.trees = [2]moves.Container{
+		moves.WrapTree(ds.NewAVLTree(n)),
+		moves.WrapTree(ds.NewAVLTree(n)),
+	}
 	for u := 0; u < n; u++ {
 		e.locked[u] = false
 		e.computeVec(u)
-		e.insert(trees[e.b.Side(u)], u)
+		e.trees[e.b.Side(u)].Insert(u, e.key[u])
 	}
-	e.log.Reset()
+	return e.trees
+}
 
-	for trees[0].Len()+trees[1].Len() > 0 {
-		u, ok := e.selectNext(trees)
-		if !ok {
-			break
+// MoveLock implements moves.NodePolicy: move u, bump its nets' binding
+// counters on its new side, then recompute the vectors of unlocked pins
+// of the affected relevant nets.
+func (e *engine) MoveLock(u int) float64 {
+	h := e.b.H
+	s := e.b.Side(u)
+	e.locked[u] = true
+	imm := e.b.Move(u)
+	// u is now locked on side 1−s.
+	for _, nt := range h.NetsOf(u) {
+		e.lockedPins[1-s][nt]++
+	}
+	// Recompute vectors of unlocked pins of the affected nets — but
+	// only nets whose contribution profile can actually change: a net
+	// whose unlocked pin counts exceed K on both sides (or that was
+	// already locked there) contributes to no vector level, so moving
+	// one of its pins is invisible to LA-K. This keeps per-move cost
+	// bounded on circuits with large hub nets without changing any
+	// gain vector.
+	e.nbrBuf = e.nbrBuf[:0]
+	u32 := int32(u)
+	for _, nt := range h.NetsOf(u) {
+		if !e.updateAll && !e.relevantNet(int(nt), 1-s) {
+			continue
 		}
-		s := e.b.Side(u)
-		trees[s].Delete(u)
-		e.locked[u] = true
-		imm := e.b.Move(u)
-		// u is now locked on side 1−s.
-		for _, nt := range h.NetsOf(u) {
-			e.lockedPins[1-s][nt]++
+		for _, v := range h.Net(int(nt)) {
+			if v != u32 && !e.locked[v] && !e.nbrScratch[v] {
+				e.nbrScratch[v] = true
+				e.nbrBuf = append(e.nbrBuf, int(v))
+			}
 		}
-		e.log.Record(u, imm)
-		// Recompute vectors of unlocked pins of the affected nets — but
-		// only nets whose contribution profile can actually change: a net
-		// whose unlocked pin counts exceed K on both sides (or that was
-		// already locked there) contributes to no vector level, so moving
-		// one of its pins is invisible to LA-K. This keeps per-move cost
-		// bounded on circuits with large hub nets without changing any
-		// gain vector.
-		e.nbrBuf = e.nbrBuf[:0]
-		u32 := int32(u)
-		for _, nt := range h.NetsOf(u) {
-			if !e.updateAll && !e.relevantNet(int(nt), 1-s) {
+	}
+	for _, v := range e.nbrBuf {
+		e.nbrScratch[v] = false
+		e.computeVec(v)
+		e.trees[e.b.Side(v)].Update(v, e.key[v])
+	}
+	if e.selfCheck && e.checkErr == nil {
+		for v := 0; v < e.b.H.NumNodes(); v++ {
+			if e.locked[v] {
 				continue
 			}
-			for _, v := range h.Net(int(nt)) {
-				if v != u32 && !e.locked[v] && !e.nbrScratch[v] {
-					e.nbrScratch[v] = true
-					e.nbrBuf = append(e.nbrBuf, int(v))
-				}
-			}
-		}
-		for _, v := range e.nbrBuf {
-			e.nbrScratch[v] = false
-			tv := trees[e.b.Side(v)]
-			tv.Delete(v)
+			old := e.key[v]
 			e.computeVec(v)
-			e.insert(tv, v)
-		}
-		if e.selfCheck && e.checkErr == nil {
-			for v := 0; v < n; v++ {
-				if e.locked[v] {
-					continue
-				}
-				old := e.key[v]
-				e.computeVec(v)
-				if e.key[v] != old {
-					e.checkErr = fmt.Errorf("la: node %d has stale key %g, fresh %g after moving %d", v, old, e.key[v], u)
-					break
-				}
+			if e.key[v] != old {
+				e.checkErr = fmt.Errorf("la: node %d has stale key %g, fresh %g after moving %d", v, old, e.key[v], u)
+				break
 			}
 		}
 	}
-	p, gmax := e.log.BestPrefix()
-	e.log.RollbackBeyond(e.b, p)
-	return gmax, e.log.Len()
+	return imm
 }
 
 // VectorsWithLocks computes the LA-k gain vectors of every unlocked node
@@ -272,47 +298,4 @@ func (e *engine) relevantNet(nt int, t uint8) bool {
 	// The move may have placed the first lock on side t, killing terms
 	// that existed before it.
 	return e.lockedPins[t][nt] == 1 && int32(e.b.PinCount(t, nt)) <= k+3
-}
-
-// insert stamps the node so equal keys order most-recently-updated first
-// (the LIFO tie-break of the classic FM bucket structure).
-func (e *engine) insert(t *ds.AVLTree, u int) {
-	e.clock++
-	t.SetStamp(u, e.clock)
-	t.Insert(u, e.key[u])
-}
-
-func (e *engine) selectNext(trees [2]*ds.AVLTree) (int, bool) {
-	feas := func(u int) bool { return e.b.CanMove(u, e.cfg.Balance) }
-	pick := func(t *ds.AVLTree) (int, bool) {
-		best, found := -1, false
-		t.TopDown(func(u int, _ float64) bool {
-			if feas(u) {
-				best, found = u, true
-				return false
-			}
-			return true
-		})
-		return best, found
-	}
-	var u0, u1 int
-	var ok0, ok1 bool
-	if e.b.CanMoveFrom(0, e.cfg.Balance) {
-		u0, ok0 = pick(trees[0])
-	}
-	if e.b.CanMoveFrom(1, e.cfg.Balance) {
-		u1, ok1 = pick(trees[1])
-	}
-	switch {
-	case ok0 && ok1:
-		if e.key[u0] >= e.key[u1] {
-			return u0, true
-		}
-		return u1, true
-	case ok0:
-		return u0, true
-	case ok1:
-		return u1, true
-	}
-	return -1, false
 }

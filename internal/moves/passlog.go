@@ -1,9 +1,13 @@
-package partition
+package moves
+
+import "prop/internal/partition"
 
 // PassLog records the virtual moves of one pass. At pass end, BestPrefix
 // finds the maximum prefix sum G_max of the immediate gains; moves beyond
-// that prefix are undone with RollbackBeyond. This is the shared KL/FM/LA/
-// PROP pass protocol (steps 7, 9–10 of Fig. 2 in the paper).
+// that prefix are undone with RollbackBeyond (bisection moves) or
+// RollbackWith (arbitrary undo, e.g. pair swaps or k-way moves). This is
+// the shared KL/FM/LA/PROP pass protocol (steps 7, 9–10 of Fig. 2 in the
+// paper).
 type PassLog struct {
 	nodes []int
 	gains []float64
@@ -31,7 +35,7 @@ func (l *PassLog) BestPrefix() (p int, gmax float64) {
 	var sum float64
 	for i, g := range l.gains {
 		sum += g
-		if sum > gmax+1e-12 {
+		if sum > gmax+EpsGain {
 			gmax = sum
 			p = i + 1
 		}
@@ -41,9 +45,19 @@ func (l *PassLog) BestPrefix() (p int, gmax float64) {
 
 // RollbackBeyond undoes all moves after the first p, restoring b to the
 // state corresponding to prefix p. Moves are undone in reverse order.
-func (l *PassLog) RollbackBeyond(b *Bisection, p int) {
+func (l *PassLog) RollbackBeyond(b *partition.Bisection, p int) {
 	for i := len(l.nodes) - 1; i >= p; i-- {
 		b.Move(l.nodes[i])
+	}
+}
+
+// RollbackWith undoes all moves after the first p through the caller's
+// undo function, invoked in reverse record order with the record index and
+// node. Engines whose inverse move is not a bisection toggle (pair swaps,
+// k-way reassignment) use this instead of RollbackBeyond.
+func (l *PassLog) RollbackWith(p int, undo func(i, node int)) {
+	for i := len(l.nodes) - 1; i >= p; i-- {
+		undo(i, l.nodes[i])
 	}
 }
 

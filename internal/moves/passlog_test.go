@@ -1,0 +1,85 @@
+package moves_test
+
+import (
+	"testing"
+
+	"prop/internal/hypergraph"
+	"prop/internal/moves"
+	"prop/internal/partition"
+)
+
+func tinyH(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(6)
+	for _, net := range [][]int{{0, 1}, {1, 2, 3}, {3, 4}, {4, 5}, {0, 5}, {2, 5}} {
+		if err := b.AddNet("", 1, net...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestPassLogPrefixAndRollback: BestPrefix picks the max-prefix point and
+// RollbackBeyond restores the matching state.
+func TestPassLogPrefixAndRollback(t *testing.T) {
+	h := tinyH(t)
+	b, err := partition.NewBisection(h, []uint8{0, 0, 0, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log moves.PassLog
+	costs := []float64{b.CutCost()}
+	order := []int{0, 3, 1, 4, 2, 5}
+	for _, u := range order {
+		g := b.Move(u)
+		log.Record(u, g)
+		costs = append(costs, b.CutCost())
+	}
+	p, gmax := log.BestPrefix()
+	if want := costs[0] - costs[p]; gmax != want {
+		t.Errorf("gmax = %g, cut delta at prefix %d = %g", gmax, p, want)
+	}
+	for i, c := range costs {
+		if c < costs[p] && i <= len(order) {
+			t.Errorf("prefix %d (cut %g) not minimal: prefix %d has cut %g", p, costs[p], i, c)
+		}
+	}
+	log.RollbackBeyond(b, p)
+	if b.CutCost() != costs[p] {
+		t.Errorf("after rollback cut = %g, want %g", b.CutCost(), costs[p])
+	}
+	if err := b.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPassLogEmpty: no moves -> prefix 0, gain 0.
+func TestPassLogEmpty(t *testing.T) {
+	var log moves.PassLog
+	if p, g := log.BestPrefix(); p != 0 || g != 0 {
+		t.Errorf("BestPrefix of empty log = (%d,%g)", p, g)
+	}
+}
+
+// TestPassLogRollbackWith: the generic undo path visits exactly the moves
+// beyond the prefix, newest first, with their original log indices.
+func TestPassLogRollbackWith(t *testing.T) {
+	var log moves.PassLog
+	for i, g := range []float64{2, -1, 3, -5, 1} {
+		log.Record(10+i, g)
+	}
+	p, gmax := log.BestPrefix()
+	if p != 3 || gmax != 4 {
+		t.Fatalf("BestPrefix = (%d,%g), want (3,4)", p, gmax)
+	}
+	var gotI []int
+	var gotN []int
+	log.RollbackWith(p, func(i, node int) {
+		gotI = append(gotI, i)
+		gotN = append(gotN, node)
+	})
+	if len(gotI) != 2 || gotI[0] != 4 || gotI[1] != 3 || gotN[0] != 14 || gotN[1] != 13 {
+		t.Errorf("RollbackWith visited indices %v nodes %v, want [4 3] [14 13]", gotI, gotN)
+	}
+}

@@ -11,24 +11,24 @@ import (
 	"math/rand"
 
 	"prop/internal/cluster"
-	"prop/internal/core"
-	"prop/internal/fm"
 	"prop/internal/hypergraph"
 	"prop/internal/partition"
+	"prop/internal/refine"
 )
 
 // Refiner improves a side assignment on one hierarchy level in place and
 // returns the refined sides and cut cost.
 type Refiner func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error)
 
-// PROPRefiner refines with the paper's PROP engine.
-func PROPRefiner() Refiner {
+// AlgoRefiner refines with any locked-move engine by name (see
+// refine.Algorithms). laDepth configures "la" (0 selects 2). Note the
+// coarse levels carry weighted nets, so "fm" (bucket selector) only works
+// on hierarchies of unit-cost nets; "fm-tree" is the safe FM choice.
+func AlgoRefiner(algo string, laDepth int) Refiner {
 	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
-		b, err := partition.NewBisection(h, sides)
-		if err != nil {
-			return nil, 0, err
-		}
-		res, err := core.Partition(b, core.DefaultConfig(bal))
+		res, err := refine.Bipartition(h, sides, refine.Options{
+			Algorithm: algo, Balance: bal, LADepth: laDepth,
+		})
 		if err != nil {
 			return nil, 0, err
 		}
@@ -36,20 +36,11 @@ func PROPRefiner() Refiner {
 	}
 }
 
+// PROPRefiner refines with the paper's PROP engine.
+func PROPRefiner() Refiner { return AlgoRefiner("prop", 0) }
+
 // FMRefiner refines with FM (tree selector, so weighted coarse nets work).
-func FMRefiner() Refiner {
-	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
-		b, err := partition.NewBisection(h, sides)
-		if err != nil {
-			return nil, 0, err
-		}
-		res, err := fm.Partition(b, fm.Config{Balance: bal, Selector: fm.Tree})
-		if err != nil {
-			return nil, 0, err
-		}
-		return res.Sides, res.CutCost, nil
-	}
-}
+func FMRefiner() Refiner { return AlgoRefiner("fm-tree", 0) }
 
 // Config controls the V-cycle.
 type Config struct {

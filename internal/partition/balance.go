@@ -1,8 +1,8 @@
 // Package partition provides the shared 2-way partition state used by every
 // iterative-improvement partitioner in this repository: side assignments,
-// incremental cut maintenance over the hypergraph, (r1, r2) balance
-// criteria, and the pass log implementing the classic "virtual moves +
-// maximum prefix gain rollback" protocol of KL/FM/LA/PROP.
+// incremental cut maintenance over the hypergraph, and (r1, r2) balance
+// criteria. The pass protocol itself (virtual moves + maximum prefix gain
+// rollback) lives in internal/moves.
 package partition
 
 import (
@@ -77,6 +77,21 @@ func (b Balance) FeasibleWithSlack(sw, w, slack int64) bool {
 // String implements fmt.Stringer ("50-50%", "45-55%", or the raw bounds).
 func (b Balance) String() string {
 	return fmt.Sprintf("%.0f-%.0f%%", b.R1*100, b.R2*100)
+}
+
+// PartWindow returns the inclusive weight range [lo, hi] one part of a
+// k-way partition may occupy under fractional bounds r1 ≤ w(part)/total ≤ r2,
+// widened by the single-cell slack the 2-way engines also use (slack = the
+// maximum node weight). The fractions are truncated, not rounded — the
+// historical semantics of the direct k-way engine, preserved here so the
+// shared helper is a drop-in for its per-move feasibility test.
+func PartWindow(r1, r2 float64, total, slack int64) (lo, hi int64) {
+	lo = int64(r1*float64(total)) - slack
+	hi = int64(r2*float64(total)) + slack
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
 }
 
 // RandomSides returns a random side assignment satisfying bal: nodes are

@@ -142,48 +142,6 @@ func TestRandomSidesBalanced(t *testing.T) {
 	}
 }
 
-// TestPassLogPrefixAndRollback: BestPrefix picks the max-prefix point and
-// RollbackBeyond restores the matching state.
-func TestPassLogPrefixAndRollback(t *testing.T) {
-	h := tinyH(t)
-	b, err := partition.NewBisection(h, []uint8{0, 0, 0, 1, 1, 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var log partition.PassLog
-	costs := []float64{b.CutCost()}
-	order := []int{0, 3, 1, 4, 2, 5}
-	for _, u := range order {
-		g := b.Move(u)
-		log.Record(u, g)
-		costs = append(costs, b.CutCost())
-	}
-	p, gmax := log.BestPrefix()
-	if want := costs[0] - costs[p]; gmax != want {
-		t.Errorf("gmax = %g, cut delta at prefix %d = %g", gmax, p, want)
-	}
-	for i, c := range costs {
-		if c < costs[p] && i <= len(order) {
-			t.Errorf("prefix %d (cut %g) not minimal: prefix %d has cut %g", p, costs[p], i, c)
-		}
-	}
-	log.RollbackBeyond(b, p)
-	if b.CutCost() != costs[p] {
-		t.Errorf("after rollback cut = %g, want %g", b.CutCost(), costs[p])
-	}
-	if err := b.Verify(); err != nil {
-		t.Error(err)
-	}
-}
-
-// TestPassLogEmpty: no moves -> prefix 0, gain 0.
-func TestPassLogEmpty(t *testing.T) {
-	var log partition.PassLog
-	if p, g := log.BestPrefix(); p != 0 || g != 0 {
-		t.Errorf("BestPrefix of empty log = (%d,%g)", p, g)
-	}
-}
-
 // TestNewBisectionRejectsBadInput covers the error paths.
 func TestNewBisectionRejectsBadInput(t *testing.T) {
 	h := tinyH(t)

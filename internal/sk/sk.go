@@ -8,6 +8,10 @@
 // where gain(·) is the Eqn.-1 deterministic gain: a net containing both
 // endpoints keeps its side pin counts under the swap, so its cut state
 // cannot change and both single-node terms must be cancelled.
+//
+// The pass protocol (locking, prefix-max rollback, convergence, tracing)
+// runs on the shared engine (internal/moves); this package is the
+// PairPolicy supplying candidate generation and gain maintenance.
 package sk
 
 import (
@@ -15,6 +19,8 @@ import (
 	"sort"
 
 	"prop/internal/hypergraph"
+	"prop/internal/moves"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -25,6 +31,11 @@ type Config struct {
 	Candidates int
 	// MaxPasses bounds improvement passes; 0 = run until no improvement.
 	MaxPasses int
+
+	// Tracer, when non-nil, receives one event per pass. Observation-only.
+	Tracer *obs.Tracer
+	// TraceRun labels emitted events with this multi-start run index.
+	TraceRun int
 }
 
 // Result reports the outcome.
@@ -50,24 +61,18 @@ func Partition(h *hypergraph.Hypergraph, initial []uint8, cfg Config) (Result, e
 	}
 	e := &engine{b: b, cfg: cfg, locked: make([]bool, h.NumNodes()),
 		gain: make([]float64, h.NumNodes()), scratch: make([]bool, h.NumNodes())}
-	passes, swaps := 0, 0
-	for {
-		gmax, s := e.runPass()
-		passes++
-		swaps += s
-		if gmax <= 1e-12 || (cfg.MaxPasses > 0 && passes >= cfg.MaxPasses) {
-			break
-		}
-	}
+	loop := &moves.PairLoop{Pol: e, Tracer: cfg.Tracer, TraceRun: cfg.TraceRun}
+	out := moves.Run(loop, cfg.MaxPasses, cfg.Tracer, cfg.TraceRun, nil)
 	return Result{
 		Sides:   b.Sides(),
 		CutCost: b.CutCost(),
 		CutNets: b.CutNets(),
-		Passes:  passes,
-		Swaps:   swaps,
+		Passes:  out.Passes,
+		Swaps:   out.Kept,
 	}, nil
 }
 
+// engine is SK's PairPolicy.
 type engine struct {
 	b       *partition.Bisection
 	cfg     Config
@@ -75,6 +80,44 @@ type engine struct {
 	gain    []float64
 	scratch []bool
 	nbrBuf  []int32
+}
+
+// Algo implements moves.PairPolicy.
+func (e *engine) Algo() string { return "sk" }
+
+// Cut implements moves.PairPolicy.
+func (e *engine) Cut() float64 { return e.b.CutCost() }
+
+// BeginPass implements moves.PairPolicy: unlock everything and compute
+// fresh Eqn.-1 gains.
+func (e *engine) BeginPass() {
+	for u := 0; u < e.b.H.NumNodes(); u++ {
+		e.locked[u] = false
+		e.gain[u] = e.b.Gain(u)
+	}
+}
+
+// Swap implements moves.PairPolicy: realize both moves, lock the pair and
+// refresh the gains of the unlocked neighbors of both endpoints.
+func (e *engine) Swap(a, bn int) float64 {
+	h := e.b.H
+	imm := e.b.Move(a) + e.b.Move(bn)
+	e.locked[a], e.locked[bn] = true, true
+	for _, u := range [2]int{a, bn} {
+		e.nbrBuf = h.Neighbors(u, e.nbrBuf[:0], e.scratch)
+		for _, v := range e.nbrBuf {
+			if !e.locked[v] {
+				e.gain[v] = e.b.Gain(int(v))
+			}
+		}
+	}
+	return imm
+}
+
+// Unswap implements moves.PairPolicy (rollback: toggling both sides back).
+func (e *engine) Unswap(a, bn int) {
+	e.b.Move(a)
+	e.b.Move(bn)
 }
 
 // netGain is node u's Eqn.-1 contribution from net e.
@@ -121,56 +164,9 @@ func containsSorted(s []int32, x int32) bool {
 	return lo < len(s) && s[lo] == x
 }
 
-type swapRec struct {
-	a, b int
-	imm  float64
-}
-
-func (e *engine) runPass() (float64, int) {
-	h := e.b.H
-	n := h.NumNodes()
-	for u := 0; u < n; u++ {
-		e.locked[u] = false
-		e.gain[u] = e.b.Gain(u)
-	}
-	var log []swapRec
-	for {
-		a, bn, ok := e.bestPair()
-		if !ok {
-			break
-		}
-		imm := e.b.Move(a) + e.b.Move(bn)
-		e.locked[a], e.locked[bn] = true, true
-		log = append(log, swapRec{a, bn, imm})
-		// Refresh gains of the unlocked neighbors of both endpoints.
-		for _, u := range [2]int{a, bn} {
-			e.nbrBuf = h.Neighbors(u, e.nbrBuf[:0], e.scratch)
-			for _, v := range e.nbrBuf {
-				if !e.locked[v] {
-					e.gain[v] = e.b.Gain(int(v))
-				}
-			}
-		}
-	}
-	// Maximum prefix of immediate swap gains; undo the rest.
-	bestP, gmax, sum := 0, 0.0, 0.0
-	for i, s := range log {
-		sum += s.imm
-		if sum > gmax+1e-12 {
-			gmax = sum
-			bestP = i + 1
-		}
-	}
-	for i := len(log) - 1; i >= bestP; i-- {
-		e.b.Move(log[i].a)
-		e.b.Move(log[i].b)
-	}
-	return gmax, bestP
-}
-
-// bestPair scans the top-Candidates unlocked nodes per side by individual
-// gain and maximizes the corrected pair gain.
-func (e *engine) bestPair() (int, int, bool) {
+// BestPair implements moves.PairPolicy: scan the top-Candidates unlocked
+// nodes per side by individual gain and maximize the corrected pair gain.
+func (e *engine) BestPair() (int, int, bool) {
 	var s0, s1 []int
 	for u := range e.locked {
 		if e.locked[u] {

@@ -16,9 +16,9 @@ package warm
 
 import (
 	"prop/internal/core"
-	"prop/internal/fm"
 	"prop/internal/hypergraph"
 	"prop/internal/partition"
+	"prop/internal/refine"
 )
 
 // maxPolishRounds bounds the FM/PROP alternation; in practice the chain
@@ -44,11 +44,9 @@ func Chain(h *hypergraph.Hypergraph, initial []uint8, cfg core.Config) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
-	b, err := partition.NewBisection(h, completed)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := core.Partition(b, cfg)
+	res, err := refine.Bipartition(h, completed, refine.Options{
+		Algorithm: "prop", Balance: cfg.Balance, PROP: &cfg,
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -65,23 +63,27 @@ func Chain(h *hypergraph.Hypergraph, initial []uint8, cfg core.Config) (Result, 
 // keeping the best state seen. cut/cutNets describe sides, so callers
 // that already ran an engine don't pay a recount.
 func Polish(h *hypergraph.Hypergraph, sides []uint8, cut float64, cutNets int, cfg core.Config) (Result, error) {
+	return PolishWith(h, sides, cut, cutNets, cfg,
+		refine.Options{Algorithm: "fm-tree", Balance: cfg.Balance})
+}
+
+// PolishWith is Polish with an explicit partner engine: each round runs
+// partner from the best sides, then deterministic-init PROP from the
+// partner's result, until neither lowers the cut. The partner is any
+// locked-move engine (see refine.Algorithms); Repartition selects the
+// algorithm the caller partitioned with, so polish escapes local minima in
+// the same move system that produced them.
+func PolishWith(h *hypergraph.Hypergraph, sides []uint8, cut float64, cutNets int, cfg core.Config, partner refine.Options) (Result, error) {
 	best := Result{Sides: sides, CutCost: cut, CutNets: cutNets}
 	propCfg := cfg
 	propCfg.Init = core.InitDeterministic
+	propOpt := refine.Options{Algorithm: "prop", Balance: cfg.Balance, PROP: &propCfg}
 	for round := 0; round < maxPolishRounds; round++ {
-		fb, err := partition.NewBisection(h, best.Sides)
+		pRes, err := refine.Bipartition(h, best.Sides, partner)
 		if err != nil {
 			return Result{}, err
 		}
-		fmRes, err := fm.Partition(fb, fm.Config{Balance: cfg.Balance, Selector: fm.Tree})
-		if err != nil {
-			return Result{}, err
-		}
-		pb, err := partition.NewBisection(h, fmRes.Sides)
-		if err != nil {
-			return Result{}, err
-		}
-		propRes, err := core.Partition(pb, propCfg)
+		propRes, err := refine.Bipartition(h, pRes.Sides, propOpt)
 		if err != nil {
 			return Result{}, err
 		}
@@ -89,8 +91,8 @@ func Polish(h *hypergraph.Hypergraph, sides []uint8, cut float64, cutNets int, c
 		switch {
 		case propRes.CutCost < best.CutCost:
 			best.Sides, best.CutCost, best.CutNets = propRes.Sides, propRes.CutCost, propRes.CutNets
-		case fmRes.CutCost < best.CutCost:
-			best.Sides, best.CutCost, best.CutNets = fmRes.Sides, fmRes.CutCost, fmRes.CutNets
+		case pRes.CutCost < best.CutCost:
+			best.Sides, best.CutCost, best.CutNets = pRes.Sides, pRes.CutCost, pRes.CutNets
 		default:
 			return best, nil
 		}

@@ -10,16 +10,13 @@ import (
 	"prop/internal/cluster"
 	"prop/internal/core"
 	"prop/internal/engine"
-	"prop/internal/fm"
 	"prop/internal/hypergraph"
-	"prop/internal/kl"
 	"prop/internal/kwaydirect"
-	"prop/internal/la"
 	"prop/internal/multilevel"
 	"prop/internal/multiway"
 	"prop/internal/partition"
 	"prop/internal/placement"
-	"prop/internal/sk"
+	"prop/internal/refine"
 	"prop/internal/spectral"
 	"prop/internal/window"
 )
@@ -48,6 +45,53 @@ const (
 func Algorithms() []Algorithm {
 	return []Algorithm{AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK,
 		AlgoSA, AlgoMLPROP, AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow}
+}
+
+// Valid reports whether a is one of Algorithms() (the empty string, which
+// selects AlgoPROP, is not).
+func (a Algorithm) Valid() bool {
+	for _, k := range Algorithms() {
+		if a == k {
+			return true
+		}
+	}
+	return false
+}
+
+// AlgorithmInfo describes one algorithm for discovery surfaces (the
+// propserve GET /v1/algorithms endpoint and the CLI listing).
+type AlgorithmInfo struct {
+	Name        Algorithm `json:"name"`
+	Description string    `json:"description"`
+	// MoveEngine marks algorithms running on the shared locked-move pass
+	// engine (internal/moves): these uniformly inherit balance-gated
+	// best-first selection, prefix-max rollback, pass-level convergence,
+	// and per-pass trace events.
+	MoveEngine bool `json:"move_engine"`
+	// MultiStart marks algorithms that honor Options.Runs.
+	MultiStart bool `json:"multi_start"`
+	// Deterministic marks algorithms whose single run is a pure function
+	// of the netlist and Options.Seed.
+	Deterministic bool `json:"deterministic"`
+}
+
+// AlgorithmInfos returns the feature matrix of every implemented
+// algorithm, in Algorithms() order.
+func AlgorithmInfos() []AlgorithmInfo {
+	return []AlgorithmInfo{
+		{AlgoPROP, "probability-based gains (the paper's contribution)", true, true, true},
+		{AlgoFM, "Fiduccia–Mattheyses, bucket selector (unit net costs)", true, true, true},
+		{AlgoFMTree, "Fiduccia–Mattheyses, AVL selector (any net costs)", true, true, true},
+		{AlgoLA, "Krishnamurthy lookahead gain vectors (Options.LADepth)", true, true, true},
+		{AlgoKL, "Kernighan–Lin pair swaps on the clique expansion", true, true, true},
+		{AlgoSK, "Schweikert–Kernighan netlist pair swaps", true, true, true},
+		{AlgoSA, "simulated annealing (Sechen-style schedule)", false, true, true},
+		{AlgoMLPROP, "multilevel V-cycle with PROP refinement", false, false, true},
+		{AlgoEIG1, "spectral Fiedler bisection", false, false, true},
+		{AlgoMELO, "multiple-eigenvector linear ordering", false, false, true},
+		{AlgoParaboli, "analytical placement bisection", false, false, true},
+		{AlgoWindow, "vertex-ordering clustering + FM", false, false, true},
+	}
 }
 
 // Options controls Partition.
@@ -297,62 +341,35 @@ func multiStart(ctx context.Context, h *hypergraph.Hypergraph, bal partition.Bal
 }
 
 func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial []uint8, seed int64, run int) (runResult, error) {
-	switch o.Algorithm {
-	case AlgoKL:
-		r, err := kl.Partition(h, initial, kl.Config{})
-		if err != nil {
-			return runResult{}, err
-		}
-		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
-	case AlgoSK:
-		r, err := sk.Partition(h, initial, sk.Config{})
-		if err != nil {
-			return runResult{}, err
-		}
-		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
-	case AlgoSA:
+	if o.Algorithm == AlgoSA {
 		r, err := anneal.Partition(h, initial, anneal.Config{Balance: bal, Seed: seed})
 		if err != nil {
 			return runResult{}, err
 		}
 		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Temperatures}, nil
 	}
-	b, err := partition.NewBisection(h, initial)
+	// Every other iterative algorithm is a locked-move engine dispatched
+	// through the shared move-engine layer, so each inherits balance-aware
+	// selection and per-pass tracing uniformly.
+	ro := refine.Options{
+		Algorithm: string(o.Algorithm),
+		Balance:   bal,
+		LADepth:   o.LADepth,
+		Tracer:    o.Tracer,
+		TraceRun:  run,
+	}
+	if o.Algorithm == AlgoPROP {
+		cfg := propConfig(bal, o, run)
+		ro.PROP = &cfg
+	}
+	r, err := refine.Bipartition(h, initial, ro)
 	if err != nil {
 		return runResult{}, err
 	}
-	switch o.Algorithm {
-	case AlgoFM, AlgoFMTree:
-		sel := fm.Bucket
-		if o.Algorithm == AlgoFMTree {
-			sel = fm.Tree
-		}
-		r, err := fm.Partition(b, fm.Config{Balance: bal, Selector: sel, Tracer: o.Tracer, TraceRun: run})
-		if err != nil {
-			return runResult{}, err
-		}
-		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
-	case AlgoLA:
-		k := o.LADepth
-		if k == 0 {
-			k = 2
-		}
-		r, err := la.Partition(b, la.Config{K: k, Balance: bal})
-		if err != nil {
-			return runResult{}, err
-		}
-		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes}, nil
-	case AlgoPROP:
-		r, err := core.Partition(b, propConfig(bal, o, run))
-		if err != nil {
-			return runResult{}, err
-		}
-		return runResult{
-			sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes,
-			refineBusy: r.RefineBusy, refineWall: r.RefineWall, refineWorkers: r.RefineWorkers,
-		}, nil
-	}
-	return runResult{}, fmt.Errorf("prop: unknown algorithm %q", o.Algorithm)
+	return runResult{
+		sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes,
+		refineBusy: r.RefineBusy, refineWall: r.RefineWall, refineWorkers: r.RefineWorkers,
+	}, nil
 }
 
 // propConfig materializes the core PROP configuration Options selects:

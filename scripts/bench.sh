@@ -35,6 +35,31 @@ if [ "$procs" -le 1 ] && [ "$allow_serial" -eq 0 ]; then
 	exit 1
 fi
 
+echo "== pass-engine smoke (vs fm_pass_baseline_ns) =="
+# The unified move engine must stay within 5% of the hand-inlined FM
+# pass loop it replaced. The baseline is pinned in BENCH_hotpath.json
+# (fm_pass_baseline_ns, measured at the unification commit) and carried
+# forward by cmd/bench -hotpath, so this compares against the original
+# loop, not a drifting previous run.
+baseline=$(sed -n 's/.*"fm_pass_baseline_ns": *\([0-9]*\).*/\1/p' BENCH_hotpath.json)
+if [ -z "$baseline" ]; then
+	echo "bench.sh: fm_pass_baseline_ns missing from BENCH_hotpath.json" >&2
+	exit 1
+fi
+smoke=$(go test -run=NONE -bench '^BenchmarkPassEngine$' -benchtime=10x -count=3 .)
+echo "$smoke"
+echo "$smoke" | awk -v base="$baseline" '
+	/^BenchmarkPassEngine/ { if (n == 0 || $3 < got) got = $3; n++ }
+	END {
+		if (n == 0) { print "bench.sh: BenchmarkPassEngine produced no samples" > "/dev/stderr"; exit 1 }
+		limit = base * 1.05
+		printf "pass-engine smoke: %.0f ns/op (best of %d), baseline %d, limit %.0f\n", got, n, base, limit
+		if (got > limit) {
+			print "bench.sh: unified FM pass is more than 5% slower than the pre-unification baseline" > "/dev/stderr"
+			exit 1
+		}
+	}'
+
 echo "== core microbenchmarks =="
 go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|BenchmarkPassFlat|BenchmarkEmitPass' \
 	-benchmem ./internal/core

@@ -20,6 +20,21 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== move-engine dupe guard =="
+# The locked-move pass protocol (prefix-max rollback, convergence
+# epsilon) lives in internal/moves and nowhere else. A copy of its
+# comparison idioms in another package means the dedup regressed —
+# point the offender at moves.PassLog / moves.Run instead.
+dupes=$(grep -rn --include='*.go' \
+	--exclude='*_test.go' --exclude-dir=moves \
+	-E 'sum > gmax|gmax *\+ *1e-12|gmax *<= *1e-12|> *gmax *\+ *moves\.EpsGain' \
+	. || true)
+if [ -n "$dupes" ]; then
+	echo "pass-loop logic reimplemented outside internal/moves:" >&2
+	echo "$dupes" >&2
+	exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
