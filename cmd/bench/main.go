@@ -33,6 +33,7 @@ func main() {
 		balSweep   = flag.Bool("balance", false, "print only the balance-window sweep")
 		hotpath    = flag.String("hotpath", "", "run the hot-path timing study and write the JSON report to this file")
 		increment  = flag.String("incremental", "", "run the warm-vs-cold ECO repartitioning study and write the JSON report to this file")
+		flowStudy  = flag.String("flow", "", "run the PROP vs PROP+flow polish study on the golden circuits and write the JSON report to this file")
 		trace      = flag.String("trace", "", "with -hotpath, write the traced series' JSONL events to this file (default: discard)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the requested work to this file")
 		maxNodes   = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
@@ -123,6 +124,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("incremental report written to %s\n", *increment)
+		return
+	}
+
+	if *flowStudy != "" {
+		r := *runs
+		if r == 0 {
+			r = 3
+		}
+		var progress *os.File
+		if *verbose {
+			progress = os.Stderr
+		}
+		rep, err := bench.RunFlow(bench.DefaultFlowCircuits(), r, *seed, progress)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*flowStudy)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteFlow(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flow report written to %s\n", *flowStudy)
 		return
 	}
 

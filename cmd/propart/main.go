@@ -44,7 +44,7 @@ func main() {
 		suite    = flag.String("suite", "", "synthesize a Table-1 suite circuit by name instead of -in")
 		are      = flag.String("are", "", ".are module-area file (netare format)")
 		format   = flag.String("format", "hgr", "input format: hgr, netare, json")
-		algo     = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, eig1, melo, paraboli, window")
+		algo     = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, sk, flow, sa, ml-prop, eig1, melo, paraboli, window")
 		laK      = flag.Int("la", 2, "lookahead depth for -algo la")
 		r1       = flag.Float64("r1", 0.5, "lower balance bound")
 		r2       = flag.Float64("r2", 0.5, "upper balance bound")

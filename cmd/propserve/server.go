@@ -292,6 +292,11 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	if req.k < 2 {
 		return nil, fmt.Errorf("bad k %d: want ≥ 2", req.k)
 	}
+	if req.opts.Algorithm == prop.AlgoFlow && req.k != 2 {
+		// The corridor max-flow stage refines bisections; fail fast before
+		// the body is read instead of deep inside the k-way recursion.
+		return nil, fmt.Errorf("algo %q supports k=2 only (got k=%d)", prop.AlgoFlow, req.k)
+	}
 	if req.opts.Runs < 1 || req.opts.Runs > 10000 {
 		return nil, fmt.Errorf("bad runs %d: want 1..10000", req.opts.Runs)
 	}

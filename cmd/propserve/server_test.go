@@ -179,6 +179,7 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 		t.Fatalf("%d algorithms listed, want %d", len(algos), len(prop.Algorithms()))
 	}
 	moveEngines := 0
+	seenFlow := false
 	for _, a := range algos {
 		if a["name"] == "" || a["description"] == "" {
 			t.Errorf("incomplete entry %v", a)
@@ -186,9 +187,64 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 		if me, _ := a["move_engine"].(bool); me {
 			moveEngines++
 		}
+		if a["name"] == "flow" {
+			seenFlow = true
+			if me, _ := a["move_engine"].(bool); me {
+				t.Error("flow advertised as a move engine")
+			}
+			if ms, _ := a["multi_start"].(bool); !ms {
+				t.Error("flow not advertised as multi-start")
+			}
+		}
 	}
 	if moveEngines != 6 {
 		t.Errorf("%d move-engine algorithms, want 6 (prop, fm, fm-tree, la, kl, sk)", moveEngines)
+	}
+	if !seenFlow {
+		t.Error("flow missing from the advertised feature matrix")
+	}
+}
+
+// TestPartitionEndpointFlow serves ?algo=flow and checks the polish
+// contract over the wire: for identical runs/seed, flow's cut is never
+// worse than PROP's.
+func TestPartitionEndpointFlow(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	flowResp := postHGR(t, ts.URL+"/v1/partition?algo=flow&runs=2&seed=3", hgr)
+	if flowResp.StatusCode != http.StatusOK {
+		t.Fatalf("flow status %d", flowResp.StatusCode)
+	}
+	fr := decodeBody[partitionResponse](t, flowResp)
+	if fr.Algorithm != "flow" || fr.K != 2 || len(fr.Sides) != 120 {
+		t.Errorf("flow response meta = %+v", fr)
+	}
+	propResp := postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=2&seed=3", hgr)
+	if propResp.StatusCode != http.StatusOK {
+		t.Fatalf("prop status %d", propResp.StatusCode)
+	}
+	pr := decodeBody[partitionResponse](t, propResp)
+	if fr.CutCost > pr.CutCost {
+		t.Errorf("flow cut %g worse than PROP cut %g on the same portfolio", fr.CutCost, pr.CutCost)
+	}
+}
+
+// TestPartitionEndpointFlowKWayRejected pins the early 400 for ?algo=flow
+// with k > 2: the query check must fire before the netlist body is even
+// parsed, so an unreadable body still yields the flow-specific error.
+func TestPartitionEndpointFlowKWayRejected(t *testing.T) {
+	ts := newTestServer(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=flow&k=4", "not a netlist")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "flow") || !strings.Contains(string(body), "k=2") {
+		t.Errorf("error body %q does not name the flow k=2 restriction", body)
 	}
 }
 

@@ -34,6 +34,12 @@ var schema = map[string]map[string]string{
 		"ts_us": "number", "ev": "string", "run": "number",
 		"pass": "number", "node": "number", "gain": "number",
 	},
+	"flow": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"round": "number", "boundary": "number", "corridor": "number",
+		"nets": "number", "flow": "number", "cut_before": "number",
+		"cut_after": "number", "adopted": "number", "dur_us": "number",
+	},
 	"delta_apply": {
 		"ts_us": "number", "ev": "string", "run": "number",
 		"structural": "number", "nodes": "number", "nets": "number",

@@ -98,6 +98,11 @@ func (o Options) Fingerprint() uint64 {
 			put(1)
 		}
 	}
+	if p := o.Flow; p != nil {
+		put(uint64(p.Radius))
+		put(math.Float64bits(p.MaxFrac))
+		put(uint64(p.Rounds))
+	}
 	return f.Sum64()
 }
 
@@ -156,7 +161,8 @@ func RepartitionCtx(ctx context.Context, base *Netlist, prevSides []uint8, d *De
 		// Trace-tag polish stages with the run index past the portfolio.
 		p, err := warm.PolishWith(edited.h, res.Sides, res.CutCost, res.CutNets,
 			propConfig(bal, o, res.Runs),
-			refine.Options{Algorithm: partner, Balance: bal, LADepth: o.LADepth})
+			refine.Options{Algorithm: partner, Balance: bal, LADepth: o.LADepth,
+				Flow: flowParams(o)})
 		if err != nil {
 			return nil, Result{}, err
 		}
@@ -187,6 +193,10 @@ func polishPartner(a Algorithm) (string, bool) {
 		return "kl", true
 	case AlgoSK:
 		return "sk", true
+	case AlgoFlow:
+		// AlgoFlow already polishes with the corridor max-flow stage during
+		// its runs; the warm fixpoint keeps the same partner.
+		return "flow", true
 	}
 	return "", false
 }

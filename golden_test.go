@@ -143,6 +143,59 @@ func TestGoldenCutsLASKGenerated(t *testing.T) {
 	check(t, n, prop.AlgoSK, 5, 11, golden{62, 3, 0xa8dffa790c0eb9db})
 }
 
+// TestGoldenCutsFlow pins the PROP→flow composite (corridor max-flow
+// polish) the same way the other engines pin theirs, and additionally
+// asserts the polish contract against the PROP goldens above: flow's cut is
+// never worse, and strictly better on most circuits. check() also covers
+// Parallel=1 vs 4 bit-identity and the balance window via prop.Verify.
+func TestGoldenCutsFlow(t *testing.T) {
+	cases := []struct {
+		circuit string
+		flow    golden
+		prop    float64 // the PROP golden cost on the same runs/seed
+	}{
+		{"balu", golden{50, 0, 0x1cbb4377981c0924}, 51},
+		{"struct", golden{39, 0, 0x932108ed1bfa955a}, 44},
+		{"p2", golden{112, 1, 0x63556f45eca600e3}, 123},
+		{"industry2", golden{510, 1, 0x3bd3d5ea89a430e0}, 553},
+	}
+	improved := 0
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.circuit, func(t *testing.T) {
+			if testing.Short() && tc.circuit == "industry2" {
+				t.Skip("short mode")
+			}
+			n, err := prop.Benchmark(tc.circuit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, n, prop.AlgoFlow, 3, 7, tc.flow)
+			if tc.flow.cost > tc.prop {
+				t.Errorf("flow cut %g worse than PROP's %g", tc.flow.cost, tc.prop)
+			}
+		})
+		if tc.flow.cost < tc.prop {
+			improved++
+		}
+	}
+	if improved < 3 {
+		t.Errorf("flow strictly improved only %d/%d benchmark circuits, want ≥ 3", improved, len(cases))
+	}
+}
+
+// TestGoldenCutsFlowGenerated mirrors TestGoldenCutsGenerated: on this
+// instance PROP's portfolio already finds a cut the corridor stage cannot
+// beat, so the polish must return it unchanged (identical hash to the PROP
+// golden) — the "never worsens" half of the flow contract.
+func TestGoldenCutsFlowGenerated(t *testing.T) {
+	n, err := prop.Generate(prop.GenParams{Nodes: 600, Nets: 660, Pins: 2300, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, n, prop.AlgoFlow, 5, 11, golden{48, 4, 0xf732c54e9365b36e})
+}
+
 // TestGoldenTracingInvariant pins the observation-only contract of the
 // tracing subsystem: attaching a tracer — even at move granularity, even
 // under a parallel portfolio — must not change the cut, the winning run,

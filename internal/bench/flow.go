@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"prop/internal/core"
+	"prop/internal/gen"
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+	"prop/internal/refine"
+	"prop/internal/warm"
+)
+
+// The flow study measures what the corridor max-flow polish stage
+// (internal/flow) buys over plain PROP on the golden circuits: both sides
+// run the identical multi-start portfolio (same seeds, same initial
+// assignments), the flow side additionally polishing every run with the
+// PROP→flow rotation of warm.PolishWith. Because each flow run starts from
+// its PROP run's exact result and only ever adopts strictly better cuts,
+// FlowCut ≤ PropCut holds per circuit by construction — the report
+// quantifies how often the inequality is strict and what it costs in wall
+// clock. scripts/bench.sh writes the report to BENCH_flow.json; the
+// acceptance bar is "never worse, strictly better on ≥ 3 of the 5 golden
+// circuits".
+
+// FlowRecord is one circuit's PROP-vs-PROP+flow measurement.
+type FlowRecord struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Nets  int    `json:"nets"`
+	// PropCut/PropMillis: best-of-runs PROP portfolio and its wall time.
+	PropCut    float64 `json:"prop_cut"`
+	PropMillis float64 `json:"prop_millis"`
+	// FlowCut/FlowMillis: the same portfolio with every run polished by
+	// the corridor max-flow stage (the AlgoFlow composite).
+	FlowCut    float64 `json:"flow_cut"`
+	FlowMillis float64 `json:"flow_millis"`
+	// Improvement = PropCut − FlowCut (≥ 0 by construction);
+	// ImprovementPct is it as a percentage of PropCut.
+	Improvement    float64 `json:"improvement"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	// TimeRatio = FlowMillis/PropMillis.
+	TimeRatio float64 `json:"time_ratio"`
+}
+
+// FlowReport is the full study.
+type FlowReport struct {
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Seed       int64        `json:"seed"`
+	Runs       int          `json:"runs"`
+	Records    []FlowRecord `json:"records"`
+	// Improved counts circuits with Improvement > 0.
+	Improved int `json:"improved"`
+}
+
+// DefaultFlowCircuits are the five golden circuits of the quality suite:
+// four Table-1 instances plus the generated window-model circuit the golden
+// tests also pin ("generated").
+func DefaultFlowCircuits() []string {
+	return []string{"balu", "struct", "p2", "industry2", "generated"}
+}
+
+// flowStudyCircuit resolves a study circuit name: suite names come from the
+// Table-1 synthesizer, "generated" is the golden tests' 600-node instance.
+func flowStudyCircuit(name string) (*hypergraph.Hypergraph, error) {
+	if name == "generated" {
+		return gen.Generate(gen.Params{Nodes: 600, Nets: 660, Pins: 2300, Seed: 41})
+	}
+	for _, s := range gen.Table1() {
+		if s.Name == name {
+			c, err := gen.SuiteCircuit(s)
+			if err != nil {
+				return nil, err
+			}
+			return c.H, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown flow circuit %q", name)
+}
+
+// RunFlow measures PROP vs PROP+flow on each named circuit. runs and seed
+// shape both portfolios identically, so the flow side's per-run starting
+// points match the PROP side's exactly.
+func RunFlow(names []string, runs int, seed int64, progress io.Writer) (FlowReport, error) {
+	rep := FlowReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Seed:       seed,
+		Runs:       runs,
+	}
+	bal := partition.Exact5050()
+	cfg := core.DefaultConfig(bal)
+	for _, name := range names {
+		h, err := flowStudyCircuit(name)
+		if err != nil {
+			return rep, err
+		}
+		propStart := time.Now()
+		propCut := 0.0
+		for r := 0; r < runs; r++ {
+			b, err := randomStart(h, bal, seed+int64(r))
+			if err != nil {
+				return rep, err
+			}
+			res, err := core.Partition(b, cfg)
+			if err != nil {
+				return rep, fmt.Errorf("bench: flow %s prop run %d: %w", name, r, err)
+			}
+			if r == 0 || res.CutCost < propCut {
+				propCut = res.CutCost
+			}
+		}
+		propDur := time.Since(propStart)
+
+		flowStart := time.Now()
+		flowCut := 0.0
+		for r := 0; r < runs; r++ {
+			b, err := randomStart(h, bal, seed+int64(r))
+			if err != nil {
+				return rep, err
+			}
+			res, err := core.Partition(b, cfg)
+			if err != nil {
+				return rep, fmt.Errorf("bench: flow %s base run %d: %w", name, r, err)
+			}
+			p, err := warm.PolishWith(h, res.Sides, res.CutCost, res.CutNets, cfg,
+				refine.Options{Algorithm: "flow", Balance: bal})
+			if err != nil {
+				return rep, fmt.Errorf("bench: flow %s polish run %d: %w", name, r, err)
+			}
+			if r == 0 || p.CutCost < flowCut {
+				flowCut = p.CutCost
+			}
+		}
+		flowDur := time.Since(flowStart)
+
+		rec := FlowRecord{
+			Name: name, Nodes: h.NumNodes(), Nets: h.NumNets(),
+			PropCut: propCut, PropMillis: millis(propDur),
+			FlowCut: flowCut, FlowMillis: millis(flowDur),
+			Improvement: propCut - flowCut,
+		}
+		if propCut > 0 {
+			rec.ImprovementPct = rec.Improvement / propCut * 100
+		}
+		if propDur > 0 {
+			rec.TimeRatio = float64(flowDur) / float64(propDur)
+		}
+		if rec.Improvement > 0 {
+			rep.Improved++
+		}
+		rep.Records = append(rep.Records, rec)
+		if progress != nil {
+			fmt.Fprintf(progress, "flow %-10s: prop %g in %.0fms | prop+flow %g in %.0fms (−%.1f%%, time ×%.2f)\n",
+				name, propCut, rec.PropMillis, flowCut, rec.FlowMillis, rec.ImprovementPct, rec.TimeRatio)
+		}
+	}
+	return rep, nil
+}
+
+// WriteFlow emits the report as indented JSON.
+func WriteFlow(w io.Writer, rep FlowReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,73 @@
+package flow
+
+import "prop/internal/partition"
+
+// corridor is the movable region of one flow round: the nodes within BFS
+// radius of the cut, capped per side so a round cannot defect more than the
+// configured weight fraction. Everything outside is frozen exterior and
+// collapses into the super-source (side 0) or super-sink (side 1).
+type corridor struct {
+	nodes []int32 // corridor nodes in deterministic BFS order
+	pos   []int32 // node -> index into nodes, -1 for exterior
+	// weight[s] is the corridor weight contributed by side s; boundary
+	// counts the cut-adjacent seeds.
+	weight   [2]int64
+	boundary int
+}
+
+// extractCorridor BFS-expands from the boundary (nodes on cut nets) up to
+// radius hops, admitting a node only while its side's corridor weight stays
+// within sideCap. Seeds and frontier expansion visit nodes in ascending ID
+// order and nets in CSR order, so the corridor — and everything downstream
+// of it — is deterministic.
+func extractCorridor(b *partition.Bisection, radius int, sideCap int64) corridor {
+	h := b.H
+	n := h.NumNodes()
+	c := corridor{pos: make([]int32, n)}
+	for i := range c.pos {
+		c.pos[i] = -1
+	}
+	admit := func(u int32) bool {
+		s := b.Side(int(u))
+		w := h.NodeWeight(int(u))
+		if c.weight[s]+w > sideCap {
+			return false
+		}
+		c.pos[u] = int32(len(c.nodes))
+		c.nodes = append(c.nodes, u)
+		c.weight[s] += w
+		return true
+	}
+	// Seed: nodes incident to at least one cut net, ascending ID.
+	for u := 0; u < n; u++ {
+		for _, e := range h.NetsOf(u) {
+			if b.IsCut(int(e)) {
+				c.boundary++
+				admit(int32(u))
+				break
+			}
+		}
+	}
+	// BFS over the pin graph, one ring per radius step. Huge nets are not
+	// expanded (maxExpandNet) — they would drag unrelated regions in.
+	frontier := c.nodes
+	seenNet := make([]bool, h.NumNets())
+	for depth := 0; depth < radius && len(frontier) > 0; depth++ {
+		ringStart := len(c.nodes)
+		for _, u := range frontier {
+			for _, e := range h.NetsOf(int(u)) {
+				if seenNet[e] || len(h.Net(int(e))) > maxExpandNet {
+					continue
+				}
+				seenNet[e] = true
+				for _, v := range h.Net(int(e)) {
+					if c.pos[v] < 0 {
+						admit(v)
+					}
+				}
+			}
+		}
+		frontier = c.nodes[ringStart:]
+	}
+	return c
+}

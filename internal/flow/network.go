@@ -1,0 +1,114 @@
+package flow
+
+import (
+	"math"
+
+	"prop/internal/partition"
+)
+
+// infCap is the "uncuttable" arc capacity. Every source→sink path crosses
+// a bridge arc, so the max flow is bounded by the bridge capacity sum and
+// infinite arcs never saturate.
+const infCap = int64(math.MaxInt64 / 8)
+
+// costScale is the fixed-point multiplier for fractional net costs.
+const costScale = float64(1 << 20)
+
+// modeledNet is one hyperedge of the corridor hypergraph after Lawler
+// expansion: vertices in/out joined by a bridge arc of capacity = net cost;
+// each pin p gets infinite arcs p→in and out→p, so the bridge is saturated
+// exactly when the net has pins on both sides of the s-t cut.
+type modeledNet struct {
+	e          int32
+	in, out    int32
+	ext0, ext1 bool // pins in the frozen side-0 / side-1 exterior
+}
+
+// network is the directed flow network of one corridor: vertex 0 is the
+// super-source (side-0 exterior), vertex 1 the super-sink (side-1
+// exterior), vertices 2..2+|corridor| the corridor nodes in corridor
+// order, then two vertices per modeled net. Capacities are int64 at a
+// fixed-point scale (1 when every modeled cost is integral).
+type network struct {
+	arcs  [][]arc
+	nets  []modeledNet
+	scale float64
+	nodeV int // corridor node i is vertex nodeV + i (== 2)
+}
+
+type arc struct {
+	to  int32
+	rev int32 // index of the reverse arc in arcs[to]
+	cap int64
+}
+
+func (g *network) addArc(u, v int32, c int64) {
+	g.arcs[u] = append(g.arcs[u], arc{to: v, rev: int32(len(g.arcs[v])), cap: c})
+	g.arcs[v] = append(g.arcs[v], arc{to: u, rev: int32(len(g.arcs[u]) - 1), cap: 0})
+}
+
+// buildNetwork expands the corridor hypergraph into the flow network.
+// Nets are discovered by scanning corridor nodes in order and their nets in
+// CSR order, so vertex numbering and arc order are deterministic. Nets with
+// pins on both exteriors are cut under every corridor assignment and are
+// left out as a constant; nets without corridor pins are untouchable and
+// never reached.
+func buildNetwork(b *partition.Bisection, c corridor) *network {
+	h := b.H
+	g := &network{scale: 1, nodeV: 2}
+	seen := make([]bool, h.NumNets())
+	integral := true
+	for _, u := range c.nodes {
+		for _, e := range h.NetsOf(int(u)) {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			var ext0, ext1 bool
+			for _, v := range h.Net(int(e)) {
+				if c.pos[v] >= 0 {
+					continue
+				}
+				if b.Side(int(v)) == 0 {
+					ext0 = true
+				} else {
+					ext1 = true
+				}
+			}
+			if ext0 && ext1 {
+				continue // permanently cut: constant term, not modeled
+			}
+			g.nets = append(g.nets, modeledNet{e: e, ext0: ext0, ext1: ext1})
+			if cost := h.NetCost(int(e)); cost != math.Trunc(cost) {
+				integral = false
+			}
+		}
+	}
+	if !integral {
+		g.scale = costScale
+	}
+	base := int32(g.nodeV + len(c.nodes))
+	for j := range g.nets {
+		g.nets[j].in = base + int32(2*j)
+		g.nets[j].out = base + int32(2*j) + 1
+	}
+	g.arcs = make([][]arc, int(base)+2*len(g.nets))
+	for j := range g.nets {
+		m := &g.nets[j]
+		capE := int64(h.NetCost(int(m.e))*g.scale + 0.5)
+		g.addArc(m.in, m.out, capE)
+		if m.ext0 {
+			g.addArc(0, m.in, infCap)
+		}
+		if m.ext1 {
+			g.addArc(m.out, 1, infCap)
+		}
+		for _, v := range h.Net(int(m.e)) {
+			if i := c.pos[v]; i >= 0 {
+				g.addArc(int32(g.nodeV)+i, m.in, infCap)
+				g.addArc(m.out, int32(g.nodeV)+i, infCap)
+			}
+		}
+	}
+	return g
+}

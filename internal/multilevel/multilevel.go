@@ -42,6 +42,29 @@ func PROPRefiner() Refiner { return AlgoRefiner("prop", 0) }
 // FMRefiner refines with FM (tree selector, so weighted coarse nets work).
 func FMRefiner() Refiner { return AlgoRefiner("fm-tree", 0) }
 
+// FlowRefiner refines each level with PROP and then polishes the result
+// with the corridor max-flow stage (internal/flow): the move engine
+// converges fast, the exact min-cut step breaks the plateaus it stalls on.
+// Both stages handle weighted nets and nodes, so any hierarchy works.
+func FlowRefiner() Refiner {
+	prop := AlgoRefiner("prop", 0)
+	flow := AlgoRefiner("flow", 0)
+	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
+		refined, cut, err := prop(h, sides, bal)
+		if err != nil {
+			return nil, 0, err
+		}
+		polished, pcut, err := flow(h, refined, bal)
+		if err != nil {
+			return nil, 0, err
+		}
+		if pcut < cut {
+			return polished, pcut, nil
+		}
+		return refined, cut, nil
+	}
+}
+
 // Config controls the V-cycle.
 type Config struct {
 	Balance partition.Balance

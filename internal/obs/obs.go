@@ -28,7 +28,13 @@
 //	             dirty_nets, swept, refine_iters, workers,
 //	             sweep_busy_us, sweep_wall_us, dur_us
 //	move         pass, node, gain
+//	flow         id?, round, boundary, corridor, nets, flow,
+//	             cut_before, cut_after, adopted (0/1), dur_us
 //	delta_apply  id?, structural (0/1), nodes, nets, collapsed, dur_us
+//
+// flow is one corridor max-flow round of the flow-based boundary
+// refinement stage (internal/flow) — the flow analogue of a pass event,
+// emitted at LevelPass.
 //
 // delta_apply spans the application of a netlist delta (incremental
 // repartitioning); its run field is always 0 — delta application happens
@@ -178,6 +184,52 @@ type Move struct {
 	Pass int
 	Node int
 	Gain float64 // immediate (deterministic) gain realized by the move
+}
+
+// FlowRound is one corridor max-flow round of the flow-based refinement
+// stage: corridor extraction, Lawler expansion, Dinic max flow, and the
+// adoption decision (LevelPass).
+type FlowRound struct {
+	ID    string
+	Run   int
+	Round int // 0-based round index within one refine call
+
+	Boundary int // nodes on cut nets seeding the corridor BFS
+	Corridor int // corridor nodes extracted
+	Nets     int // hyperedges modeled in the Lawler network
+
+	FlowValue float64 // Dinic max-flow value, in net-cost units
+	CutBefore float64 // total cut cost entering the round
+	CutAfter  float64 // total cut cost after the adoption decision
+	Adopted   bool    // whether the flow cut was strictly better and kept
+
+	Dur time.Duration
+}
+
+// EmitFlowRound records a flow event. Callers should guard with
+// PassEnabled; EmitFlowRound itself is also nil-safe.
+func (t *Tracer) EmitFlowRound(e FlowRound) {
+	if t == nil || t.level < LevelPass {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("flow", e.Run)
+	b = appendStr(b, "id", e.ID)
+	b = appendInt(b, "round", int64(e.Round))
+	b = appendInt(b, "boundary", int64(e.Boundary))
+	b = appendInt(b, "corridor", int64(e.Corridor))
+	b = appendInt(b, "nets", int64(e.Nets))
+	b = appendFloat(b, "flow", e.FlowValue)
+	b = appendFloat(b, "cut_before", e.CutBefore)
+	b = appendFloat(b, "cut_after", e.CutAfter)
+	adopted := int64(0)
+	if e.Adopted {
+		adopted = 1
+	}
+	b = appendInt(b, "adopted", adopted)
+	b = appendInt(b, "dur_us", e.Dur.Microseconds())
+	t.close(b)
+	t.mu.Unlock()
 }
 
 // DeltaApply spans one netlist-delta application — the construction step

@@ -1,10 +1,10 @@
-// Package refine dispatches the locked-move bipartitioning family — PROP,
-// FM (bucket and tree selectors), LA, KL and SK — behind one uniform call.
-// Every engine here runs on the shared pass protocol of internal/moves, so
-// callers that only need "improve these sides with algorithm X" (the
-// multi-start portfolio, the multilevel V-cycle, the warm-start polish
-// chain, the recursive k-way cutter) pick by name instead of wiring each
-// package's configuration separately.
+// Package refine dispatches the iterative bipartitioning family — the
+// locked-move engines PROP, FM (bucket and tree selectors), LA, KL and SK,
+// plus the corridor max-flow polisher — behind one uniform call. Callers
+// that only need "improve these sides with algorithm X" (the multi-start
+// portfolio, the multilevel V-cycle, the warm-start polish chain, the
+// recursive k-way cutter) pick by name instead of wiring each package's
+// configuration separately.
 package refine
 
 import (
@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"prop/internal/core"
+	"prop/internal/flow"
 	"prop/internal/fm"
 	"prop/internal/hypergraph"
 	"prop/internal/kl"
@@ -24,7 +25,7 @@ import (
 // Options selects and configures one locked-move engine run.
 type Options struct {
 	// Algorithm is one of Algorithms(): "prop", "fm", "fm-tree", "la",
-	// "kl", "sk".
+	// "kl", "sk", "flow".
 	Algorithm string
 	Balance   partition.Balance
 	// LADepth is the lookahead depth for "la" (0 selects 2).
@@ -35,6 +36,9 @@ type Options struct {
 	// (the caller then owns its Balance, Tracer and MaxPasses); nil
 	// selects core.DefaultConfig(Balance) tagged with the fields below.
 	PROP *core.Config
+	// Flow, when non-nil, tunes the "flow" corridor max-flow polisher; nil
+	// selects flow's defaults.
+	Flow *flow.Params
 
 	// Tracer, when non-nil, receives per-pass trace events from whichever
 	// engine runs. Observation-only.
@@ -61,7 +65,7 @@ type Result struct {
 
 // Algorithms lists the dispatchable algorithms in canonical order.
 func Algorithms() []string {
-	return []string{"prop", "fm", "fm-tree", "la", "kl", "sk"}
+	return []string{"prop", "fm", "fm-tree", "la", "kl", "sk", "flow"}
 }
 
 // Bipartition runs the selected engine from the given initial sides (not
@@ -88,6 +92,20 @@ func Bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, 
 		}
 		return Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets,
 			Passes: r.Passes, Moves: r.Swaps}, nil
+	case "flow":
+		var fp flow.Params
+		if o.Flow != nil {
+			fp = *o.Flow
+		}
+		r, err := flow.Refine(h, initial, flow.Config{
+			Balance: o.Balance, Params: fp,
+			Tracer: o.Tracer, TraceRun: o.TraceRun,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets,
+			Passes: r.Rounds, Moves: r.Adopted}, nil
 	}
 	b, err := partition.NewBisection(h, initial)
 	if err != nil {

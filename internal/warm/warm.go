@@ -9,7 +9,10 @@
 // direction: PROP's probabilistic gains encode lookahead FM lacks, FM's
 // strict gain ordering realizes swaps PROP's probability ranking defers,
 // and deterministic-init PROP explores a different basin than blind-init
-// PROP from the same sides. Every stage is deterministic and starts from
+// PROP from the same sides. PolishWith generalizes the partner slot —
+// the flow engine (internal/flow) plugs in the same way, pairing PROP
+// with exact corridor min cuts instead of FM. Every stage is
+// deterministic and starts from
 // the previous stage's exact sides, so the whole chain is a pure function
 // of its inputs — bit-identical at any worker count.
 package warm

@@ -10,6 +10,7 @@ import (
 	"prop/internal/cluster"
 	"prop/internal/core"
 	"prop/internal/engine"
+	"prop/internal/flow"
 	"prop/internal/hypergraph"
 	"prop/internal/kwaydirect"
 	"prop/internal/multilevel"
@@ -18,6 +19,7 @@ import (
 	"prop/internal/placement"
 	"prop/internal/refine"
 	"prop/internal/spectral"
+	"prop/internal/warm"
 	"prop/internal/window"
 )
 
@@ -39,12 +41,13 @@ const (
 	AlgoSK       Algorithm = "sk"       // Schweikert–Kernighan netlist pair swaps
 	AlgoSA       Algorithm = "sa"       // simulated annealing (Sechen-style)
 	AlgoMLPROP   Algorithm = "ml-prop"  // multilevel V-cycle with PROP refinement (§5)
+	AlgoFlow     Algorithm = "flow"     // PROP + corridor max-flow/min-cut polish
 )
 
 // Algorithms lists every implemented algorithm.
 func Algorithms() []Algorithm {
 	return []Algorithm{AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK,
-		AlgoSA, AlgoMLPROP, AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow}
+		AlgoFlow, AlgoSA, AlgoMLPROP, AlgoEIG1, AlgoMELO, AlgoParaboli, AlgoWindow}
 }
 
 // Valid reports whether a is one of Algorithms() (the empty string, which
@@ -85,6 +88,7 @@ func AlgorithmInfos() []AlgorithmInfo {
 		{AlgoLA, "Krishnamurthy lookahead gain vectors (Options.LADepth)", true, true, true},
 		{AlgoKL, "Kernighan–Lin pair swaps on the clique expansion", true, true, true},
 		{AlgoSK, "Schweikert–Kernighan netlist pair swaps", true, true, true},
+		{AlgoFlow, "PROP polished by corridor max-flow/min-cut rounds", false, true, true},
 		{AlgoSA, "simulated annealing (Sechen-style schedule)", false, true, true},
 		{AlgoMLPROP, "multilevel V-cycle with PROP refinement", false, false, true},
 		{AlgoEIG1, "spectral Fiedler bisection", false, false, true},
@@ -147,6 +151,10 @@ type Options struct {
 
 	// PROP overrides the paper's default PROP parameters when non-nil.
 	PROP *PROPParams
+
+	// Flow overrides the defaults of AlgoFlow's max-flow polish stage when
+	// non-nil.
+	Flow *FlowParams
 }
 
 // RunUpdate reports one completed multi-start run to Options.OnRun.
@@ -179,6 +187,19 @@ type PROPParams struct {
 	// read is pure, so the result is bit-identical for every value; leave
 	// it 0 when multi-start Runs already saturate the cores.
 	RefineWorkers int
+}
+
+// FlowParams exposes the knobs of AlgoFlow's corridor max-flow polish
+// stage (internal/flow; zero values select its defaults).
+type FlowParams struct {
+	// Radius is the corridor BFS depth around the cut boundary (0 → 3).
+	Radius int
+	// MaxFrac caps each side's corridor weight at this fraction of the
+	// total node weight (0 → 0.125).
+	MaxFrac float64
+	// Rounds bounds the extract→flow→adopt rounds per polish call (0 → 8);
+	// polishing also stops at the first non-improving round.
+	Rounds int
 }
 
 // Result is a 2-way partition.
@@ -259,7 +280,7 @@ func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 			return Result{}, err
 		}
 		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
-	case AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK, AlgoSA:
+	case AlgoPROP, AlgoFM, AlgoFMTree, AlgoLA, AlgoKL, AlgoSK, AlgoFlow, AlgoSA:
 		res, err = multiStart(ctx, n.h, bal, o, runs)
 		if err != nil {
 			return Result{}, err
@@ -348,6 +369,30 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		}
 		return runResult{sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Temperatures}, nil
 	}
+	if o.Algorithm == AlgoFlow {
+		// AlgoFlow is the PROP→flow composite: a full PROP run followed by
+		// the warm-polish rotation with the corridor max-flow stage as
+		// partner, so each run's cut is never worse than plain PROP's.
+		cfg := propConfig(bal, o, run)
+		base, err := refine.Bipartition(h, initial, refine.Options{
+			Algorithm: "prop", Balance: bal, PROP: &cfg,
+		})
+		if err != nil {
+			return runResult{}, err
+		}
+		p, err := warm.PolishWith(h, base.Sides, base.CutCost, base.CutNets, cfg,
+			refine.Options{
+				Algorithm: "flow", Balance: bal, Flow: flowParams(o),
+				Tracer: o.Tracer, TraceRun: run,
+			})
+		if err != nil {
+			return runResult{}, err
+		}
+		return runResult{
+			sides: p.Sides, cost: p.CutCost, nets: p.CutNets, passes: base.Passes,
+			refineBusy: base.RefineBusy, refineWall: base.RefineWall, refineWorkers: base.RefineWorkers,
+		}, nil
+	}
 	// Every other iterative algorithm is a locked-move engine dispatched
 	// through the shared move-engine layer, so each inherits balance-aware
 	// selection and per-pass tracing uniformly.
@@ -370,6 +415,14 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 		sides: r.Sides, cost: r.CutCost, nets: r.CutNets, passes: r.Passes,
 		refineBusy: r.RefineBusy, refineWall: r.RefineWall, refineWorkers: r.RefineWorkers,
 	}, nil
+}
+
+// flowParams converts the public FlowParams to internal/flow's Params.
+func flowParams(o Options) *flow.Params {
+	if o.Flow == nil {
+		return nil
+	}
+	return &flow.Params{Radius: o.Flow.Radius, MaxFrac: o.Flow.MaxFrac, Rounds: o.Flow.Rounds}
 }
 
 // propConfig materializes the core PROP configuration Options selects:

@@ -292,8 +292,8 @@ func TestKWayDirect(t *testing.T) {
 // and round-trips through Options.
 func TestAlgorithmsRegistryComplete(t *testing.T) {
 	algos := prop.Algorithms()
-	if len(algos) != 12 {
-		t.Fatalf("%d algorithms registered, want 12", len(algos))
+	if len(algos) != 13 {
+		t.Fatalf("%d algorithms registered, want 13", len(algos))
 	}
 	seen := map[prop.Algorithm]bool{}
 	for _, a := range algos {

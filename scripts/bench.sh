@@ -73,4 +73,16 @@ echo "== incremental warm-vs-cold study (BENCH_incremental.json) =="
 # ratios are diffable; the acceptance bar lives on the industry2 5% row.
 go run ./cmd/bench -incremental BENCH_incremental.json -seed 1 -v
 
+echo "== flow polish study (BENCH_flow.json) =="
+# PROP vs PROP+flow on the five golden circuits with identical portfolios
+# (same seeds and initial assignments). Committed so the quality/time
+# trade-off stays diffable; the acceptance bar is "flow never worsens the
+# best cut and strictly improves ≥ 3 of the 5 circuits".
+go run ./cmd/bench -flow BENCH_flow.json -runs 3 -seed 7 -v
+improved=$(sed -n 's/.*"improved": *\([0-9]*\).*/\1/p' BENCH_flow.json)
+if [ -z "$improved" ] || [ "$improved" -lt 3 ]; then
+	echo "bench.sh: flow polish improved only ${improved:-0}/5 golden circuits (want ≥ 3)" >&2
+	exit 1
+fi
+
 echo "bench: done"

@@ -87,4 +87,23 @@ if ! [ -s "$tracedir/warm_cut.txt" ] || ! [ -s "$tracedir/balu_warm.sides" ]; th
 	exit 1
 fi
 
+echo "== flow smoke =="
+# Corridor max-flow polish: on the same portfolio (runs/seed), AlgoFlow's
+# cut must never be worse than PROP's, and the flow sides must stand up to
+# an independent recount + balance check (-check runs prop.Verify).
+go run ./cmd/propart -suite balu -runs 2 -par 1 -q >"$tracedir/prop_cut.txt"
+go run ./cmd/propart -suite balu -algo flow -runs 2 -par 1 -q \
+	-out "$tracedir/balu_flow.sides" >"$tracedir/flow_cut.txt"
+propcut=$(head -1 "$tracedir/prop_cut.txt")
+flowcut=$(head -1 "$tracedir/flow_cut.txt")
+if [ "$flowcut" -gt "$propcut" ]; then
+	echo "flow smoke: flow cut $flowcut worse than PROP cut $propcut" >&2
+	exit 1
+fi
+go run ./cmd/propart -suite balu -check "$tracedir/balu_flow.sides" >/dev/null
+# A traced flow run must emit schema-valid events (pass + flow kinds).
+go run ./cmd/propart -suite balu -algo flow -runs 2 -par 1 -q \
+	-trace "$tracedir/flow_trace.jsonl" >/dev/null
+go run ./cmd/tracecheck "$tracedir/flow_trace.jsonl"
+
 echo "ci: all checks passed"
