@@ -50,6 +50,7 @@ func main() {
 		r2       = flag.Float64("r2", 0.5, "upper balance bound")
 		runs     = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
 		par      = flag.Int("par", runtime.GOMAXPROCS(0), "worker goroutines for multi-start runs (1 = sequential)")
+		moveWork = flag.Int("move-workers", 0, "parallel round-loop scan workers per run (0 = serial move loop)")
 		k        = flag.Int("k", 2, "number of parts (power of two; 2 = bisection)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output assignment file (default stdout)")
@@ -81,7 +82,7 @@ func main() {
 		Algorithm: prop.Algorithm(*algo),
 		R1:        *r1, R2: *r2,
 		Runs: *runs, Seed: *seed, LADepth: *laK,
-		Parallel: *par,
+		Parallel: *par, MoveWorkers: *moveWork,
 	}
 
 	var tracer *prop.Tracer

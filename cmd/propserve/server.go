@@ -89,6 +89,7 @@ type server struct {
 	mPassHist   *metrics.Histogram  // improvement passes per run
 	mCutImprove *metrics.FloatGauge // (worst-best)/worst ×100 of last portfolio
 	mRefineUtil *metrics.FloatGauge // refinement worker busy/wall ×100
+	mMoveWork   *metrics.Gauge      // effective move_workers of the last request
 	mLatency    *metrics.Latency
 }
 
@@ -118,6 +119,7 @@ func newServer(cfg serverConfig, logger *slog.Logger) *server {
 		mPassHist:   reg.Histogram("passes_per_run", 1, 2, 3, 4, 5, 6, 8, 10, 15, 20),
 		mCutImprove: reg.FloatGauge("cut_improvement_pct"),
 		mRefineUtil: reg.FloatGauge("refine_worker_utilization_pct"),
+		mMoveWork:   reg.Gauge("move_workers"),
 		mLatency:    reg.Latency("partition_latency", 1024),
 	}
 	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
@@ -214,7 +216,7 @@ type partitionResponse struct {
 }
 
 // decodeQuery parses the shared query knobs (algo, runs, seed, k, r1,
-// r2, par, timeout_ms, trace) into a bodyless request.
+// r2, par, move_workers, timeout_ms, trace) into a bodyless request.
 func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	q := r.URL.Query()
 	req := &partitionRequest{k: 2, timeout: s.defTimeout}
@@ -271,6 +273,18 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	if par > 0 && par < req.opts.Parallel {
 		req.opts.Parallel = par
 	}
+	// move_workers selects the synchronous-round parallel move loop inside
+	// each run; unlike par it changes which (bit-identical across positive
+	// values) trajectory runs, so zero is not a valid explicit choice —
+	// omit the parameter for the serial loop.
+	if v := q.Get("move_workers"); v != "" && err == nil {
+		n, e := strconv.Atoi(v)
+		if e != nil || n <= 0 {
+			err = fmt.Errorf("bad move_workers %q: want a positive integer", v)
+		} else {
+			req.opts.MoveWorkers = n
+		}
+	}
 	timeoutMS := 0
 	geti("timeout_ms", &timeoutMS)
 	if timeoutMS > 0 {
@@ -300,6 +314,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	if req.opts.Runs < 1 || req.opts.Runs > 10000 {
 		return nil, fmt.Errorf("bad runs %d: want 1..10000", req.opts.Runs)
 	}
+	s.mMoveWork.Set(int64(req.opts.MoveWorkers))
 	return req, nil
 }
 
@@ -477,10 +492,13 @@ func (s jobState) terminal() bool {
 
 // job is one async partition request.
 type job struct {
-	ID     string             `json:"id"`
-	State  jobState           `json:"state"`
-	Error  string             `json:"error,omitempty"`
-	Result *partitionResponse `json:"result,omitempty"`
+	ID    string   `json:"id"`
+	State jobState `json:"state"`
+	// MoveWorkers is the effective parallel-move-loop worker count the job
+	// runs with (0 = serial move loop).
+	MoveWorkers int                `json:"move_workers"`
+	Error       string             `json:"error,omitempty"`
+	Result      *partitionResponse `json:"result,omitempty"`
 
 	req      *partitionRequest
 	cancel   context.CancelFunc
@@ -541,7 +559,8 @@ func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
 	}
 	js.active++
 	js.next++
-	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending, req: req, cancel: cancel}
+	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending,
+		MoveWorkers: req.opts.MoveWorkers, req: req, cancel: cancel}
 	if req.traced {
 		j.trace = &traceBuf{}
 	}
@@ -564,7 +583,8 @@ func (js *jobStore) snapshot(id string) (job, bool) {
 	}
 	js.mu.Lock()
 	defer js.mu.Unlock()
-	return job{ID: j.ID, State: j.State, Error: j.Error, Result: j.Result}, true
+	return job{ID: j.ID, State: j.State, MoveWorkers: j.MoveWorkers,
+		Error: j.Error, Result: j.Result}, true
 }
 
 // transition updates a job's state under the store lock; from restricts

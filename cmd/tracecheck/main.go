@@ -40,6 +40,12 @@ var schema = map[string]map[string]string{
 		"nets": "number", "flow": "number", "cut_before": "number",
 		"cut_after": "number", "adopted": "number", "dur_us": "number",
 	},
+	"round": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"pass": "number", "round": "number", "proposed": "number",
+		"conflicted": "number", "applied": "number",
+		"busy_us": "number", "wall_us": "number",
+	},
 	"delta_apply": {
 		"ts_us": "number", "ev": "string", "run": "number",
 		"structural": "number", "nodes": "number", "nets": "number",

@@ -79,6 +79,15 @@ type Config struct {
 	// multi-start engines already saturate cores with whole runs.
 	Workers int
 
+	// MoveWorkers selects the pass-loop implementation. 0 (the default)
+	// runs the serial locked-move loop. Any positive value runs the
+	// synchronous-round parallel loop (moves.ParallelLoop) with that many
+	// proposal-scan workers; every positive value yields bit-identical
+	// results, though the round-based trajectory legitimately differs
+	// from the serial loop's (one frontier snapshot per round instead of
+	// per move).
+	MoveWorkers int
+
 	// Tracer, when non-nil, receives per-pass (and, at obs.LevelMove,
 	// per-move) trace events. Tracing is observation-only: it never
 	// changes the computed partition, and a nil Tracer costs one

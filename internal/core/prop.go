@@ -39,9 +39,13 @@ func Partition(b *partition.Bisection, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	e := newPassEngine(b, cfg)
+	runner := moves.PassRunner(e.loop())
+	if cfg.MoveWorkers > 0 {
+		runner = e.parLoop()
+	}
 	var passCuts []float64
 	var refineBusy, refineWall time.Duration
-	out := moves.Run(e.loop(), cfg.MaxPasses, cfg.Tracer, cfg.TraceRun,
+	out := moves.Run(runner, cfg.MaxPasses, cfg.Tracer, cfg.TraceRun,
 		func(gmax float64, m, kept int) {
 			e.ps.moves, e.ps.kept = m, kept
 			passCuts = append(passCuts, b.CutCost())
@@ -93,6 +97,13 @@ type passEngine struct {
 	topBuf     []int
 	heaps      [2]*ds.GainHeap
 	l          *moves.Loop
+	pl         *moves.ParallelLoop
+
+	// roundMode is set when the engine drives the synchronous-round
+	// parallel loop: per-move neighbor maintenance (§3.4) is deferred to
+	// EndRound batches and the selection heaps are never built (rounds
+	// scan the frontier by Key instead).
+	roundMode bool
 
 	// workers is the resolved refinement-sweep worker count (engine
 	// semantics: Config.Workers ≤ 0 selects GOMAXPROCS).
@@ -140,6 +151,20 @@ func (e *passEngine) loop() *moves.Loop {
 		}
 	}
 	return e.l
+}
+
+// parLoop lazily binds the engine to the synchronous-round parallel loop
+// and switches it into round mode (Config.MoveWorkers > 0).
+func (e *passEngine) parLoop() *moves.ParallelLoop {
+	if e.pl == nil {
+		e.roundMode = true
+		e.pl = &moves.ParallelLoop{
+			B: e.b, Bal: e.cfg.Balance, Pol: e,
+			Workers: e.cfg.MoveWorkers,
+			Tracer:  e.cfg.Tracer, TraceRun: e.cfg.TraceRun,
+		}
+	}
+	return e.pl
 }
 
 // emitPass sends a pass trace event through the same decoration path the
@@ -384,6 +409,11 @@ func (e *passEngine) BeginPass() [2]moves.Container {
 	e.seedProbabilities()
 	e.refine()
 
+	if e.roundMode {
+		// The round loop selects by scanning the frontier with Key; the
+		// heaps (and the TopK refresh they serve) are never consulted.
+		return [2]moves.Container{}
+	}
 	e.heaps = [2]*ds.GainHeap{ds.NewGainHeap(n), ds.NewGainHeap(n)}
 	for u := 0; u < n; u++ {
 		e.heaps[e.b.Side(u)].Insert(u, e.gain[u])
@@ -395,7 +425,9 @@ func (e *passEngine) BeginPass() [2]moves.Container {
 // move, lock u, then propagate the probability updates of §3.4.
 func (e *passEngine) MoveLock(u int) float64 {
 	imm := e.calc.MoveLock(u)
-	e.updateAfterMove(u)
+	if !e.roundMode {
+		e.updateAfterMove(u)
+	}
 	return imm
 }
 
@@ -456,4 +488,50 @@ func (e *passEngine) refreshNode(v int) {
 	e.gain[v] = g
 	e.calc.SetP(v, e.cfg.Probability(g))
 	e.heaps[e.b.Side(v)].Insert(v, g) // reinsert: in-place keyed update
+}
+
+// EndRound implements moves.RoundPolicy: the §3.4 neighbor maintenance of
+// updateAfterMove, batched over one round's movers. The parallel loop's
+// conflict rule makes movers within a round net-disjoint, so each mover's
+// nets carry exactly one move — evaluating the per-net relevance filter
+// here sees the same products and pin counts a per-move update would
+// have. The collected neighbor set is swept with the (parallel,
+// deterministic) gain sweep, then probabilities are written in collection
+// order; no TopK refresh, because round selection rescans the frontier
+// with fresh keys anyway.
+func (e *passEngine) EndRound(moved []int) {
+	const eps = 1e-7
+	h := e.b.H
+	e.nbrBuf = e.nbrBuf[:0]
+	for _, u := range moved {
+		t := e.b.Side(u) // u already moved: t is its new side
+		s := 1 - t
+		u32 := int32(u)
+		for _, nt32 := range h.NetsOf(u) {
+			nt := int(nt32)
+			relevant := e.b.PinCount(t, nt) == 1 ||
+				e.b.PinCount(s, nt) == 0 ||
+				e.calc.Prod(s, nt) > eps ||
+				(e.calc.LockedPins(t, nt) == 1 && e.calc.Prod(t, nt) > eps)
+			if !relevant {
+				continue
+			}
+			for _, v := range h.Net(nt) {
+				if v != u32 && !e.calc.Locked[v] && !e.nbrScratch[v] {
+					e.nbrScratch[v] = true
+					e.nbrBuf = append(e.nbrBuf, v)
+					e.dirtyNode[v] = true
+				}
+			}
+		}
+	}
+	if len(e.nbrBuf) == 0 {
+		return
+	}
+	e.sweepGains(e.dirtyNode)
+	for _, v := range e.nbrBuf {
+		e.nbrScratch[v] = false
+		e.dirtyNode[v] = false
+		e.calc.SetP(int(v), e.cfg.Probability(e.gain[v]))
+	}
 }

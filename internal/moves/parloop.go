@@ -1,0 +1,453 @@
+package moves
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prop/internal/obs"
+	"prop/internal/partition"
+)
+
+// Parallel-loop tuning constants. All three are fixed protocol parameters,
+// not worker-dependent knobs: the shard size and per-shard candidate count
+// determine *which* moves get proposed each round, so they must not vary
+// with the worker count (bit-identity at any parallelism depends on it).
+const (
+	// proposalShard is the fixed frontier-slice shard size of the proposal
+	// scan. Workers pull whole shards from an atomic counter; shard
+	// boundaries depend only on the frontier content, never on which worker
+	// scans them.
+	proposalShard = 256
+	// proposalTopC is how many candidates each shard contributes *per
+	// side*, best first by (key desc, node asc). Candidates are kept
+	// side-separated because the apply step alternates sides as the
+	// balance window demands; a single merged list would stall whenever
+	// the top of it sits on the side pinned at its balance bound.
+	proposalTopC = 8
+	// DefaultRoundCap bounds the moves committed per round when
+	// ParallelLoop.RoundCap is zero. A bounded prefix keeps the selection
+	// keys from going too stale before the next proposal scan re-reads
+	// them.
+	DefaultRoundCap = 256
+)
+
+// RoundPolicy is an optional NodePolicy extension for ParallelLoop: when
+// implemented, EndRound is invoked after each round's moves commit, with
+// the nodes moved this round in apply order. Policies whose per-move
+// neighbor maintenance is expensive (PROP's probability refresh) batch it
+// here instead of inside MoveLock — within one round the movers are
+// net-disjoint by the conflict rule, so a batched update sees exactly the
+// state a per-move update would have.
+type RoundPolicy interface {
+	EndRound(moved []int)
+}
+
+// proposal is one candidate move surfaced by the scan phase.
+type proposal struct {
+	node int32
+	key  float64
+}
+
+// better orders proposals by (key desc, node asc) — a total order, since
+// node IDs are unique. Every sort and per-shard selection in this file
+// uses it, so the committed move sequence is a pure function of the scan
+// state, independent of worker count and scheduling.
+func (p proposal) better(q proposal) bool {
+	return p.key > q.key || (p.key == q.key && p.node < q.node)
+}
+
+// ParallelLoop is the synchronous-round parallel variant of Loop: one pass
+// is a sequence of rounds, each scanning the unlocked frontier with
+// Workers goroutines for the best balance-feasible moves, then committing
+// a bounded prefix of non-conflicting proposals serially in (gain, node)
+// order. It implements PassRunner; drive it with Run.
+//
+// The protocol is Gottesbüren-style deterministic parallelism: the scan
+// phase only reads shared state (fixed frontier shards, pure Key/CanMove
+// reads), the per-shard candidates depend only on shard content, and the
+// merge/apply step is serial over a totally ordered proposal list — so the
+// committed move sequence, the PassLog, and hence the final partition are
+// bit-identical at any Workers value. It differs, legitimately, from the
+// serial Loop's trajectory (containerless selection, one frontier snapshot
+// per round instead of per move), which is why the parallel loop has its
+// own golden expectations.
+//
+// Staleness within a round is handled per policy class:
+//
+//   - Policies implementing RoundPolicy (PROP) defer neighbor maintenance
+//     to the round boundary, so keys don't change mid-round but movers
+//     must be net-disjoint for the batched update to be exact. The apply
+//     step enforces the conflict rule: a proposal sharing a net with a
+//     mover already committed this round is skipped (deferred to the next
+//     round's rescan).
+//   - Policies whose MoveLock keeps keys exact per move (FM, LA) need no
+//     disjointness; instead the apply step runs a lazy priority queue:
+//     the head's key is re-read before committing and the entry sinks to
+//     its fresh position when stale, so commits follow exact current
+//     gains — serial greedy order restricted to the round's candidates.
+//
+// In both modes the first proposal of a round always commits, so every
+// round with a non-empty feasible proposal list makes progress and a pass
+// terminates in at most n rounds.
+type ParallelLoop struct {
+	B   *partition.Bisection
+	Bal partition.Balance
+	Pol NodePolicy
+
+	// Workers is the proposal-scan goroutine count; values < 1 select 1.
+	// Any value yields bit-identical results.
+	Workers int
+	// RoundCap bounds the moves committed per round (0 → DefaultRoundCap).
+	RoundCap int
+
+	// Tracer/TraceRun label per-move and per-round events (pass-level
+	// events are emitted by Run).
+	Tracer   *obs.Tracer
+	TraceRun int
+
+	log  PassLog
+	pass int
+	key  func(u int) float64
+	// lazyKeys selects the apply-step staleness discipline (see the type
+	// comment): true for policies whose MoveLock keeps keys exact (no
+	// RoundPolicy), false for round-batched policies needing the
+	// net-disjointness conflict rule.
+	lazyKeys bool
+
+	locked   []bool
+	frontier []int32
+	// netStamp[e] holds the round counter of the last round that moved a
+	// pin of net e; stamp == current round means "conflicted this round".
+	netStamp []int32
+	stamp    int32
+	// cand is the per-shard candidate arena: shard s owns
+	// cand[s*2*proposalTopC : (s+1)*2*proposalTopC] (first half side-0
+	// candidates, second half side-1), so workers never write overlapping
+	// memory and the merged order is assignment-independent.
+	cand []proposal
+	// props[s] is the merged, sorted side-s proposal list of the round.
+	props [2][]proposal
+	moved []int
+}
+
+// Algo implements PassRunner.
+func (l *ParallelLoop) Algo() string { return l.Pol.Algo() }
+
+// Cut implements PassRunner.
+func (l *ParallelLoop) Cut() float64 { return l.B.CutCost() }
+
+// FillPass forwards trace-event decoration to the policy when it
+// implements PassFiller.
+func (l *ParallelLoop) FillPass(ev *obs.Pass) {
+	if f, ok := l.Pol.(PassFiller); ok {
+		f.FillPass(ev)
+	}
+}
+
+func (l *ParallelLoop) init() {
+	if l.locked != nil {
+		return
+	}
+	h := l.B.H
+	l.locked = make([]bool, h.NumNodes())
+	l.frontier = make([]int32, 0, h.NumNodes())
+	l.netStamp = make([]int32, h.NumNets())
+	if l.Workers < 1 {
+		l.Workers = 1
+	}
+	l.key = l.Pol.Key
+	_, isRound := l.Pol.(RoundPolicy)
+	l.lazyKeys = !isRound
+}
+
+// RunPass implements PassRunner: one full pass as synchronous rounds.
+func (l *ParallelLoop) RunPass() (float64, int, int) {
+	l.init()
+	l.Pol.BeginPass() // containers are policy-internal; rounds scan the frontier
+	l.log.Reset()
+	n := l.B.H.NumNodes()
+	l.frontier = l.frontier[:0]
+	for u := 0; u < n; u++ {
+		l.locked[u] = false
+		l.frontier = append(l.frontier, int32(u))
+	}
+	roundPol, _ := l.Pol.(RoundPolicy)
+	traceMoves := l.Tracer.MoveEnabled()
+	traceRounds := l.Tracer.PassEnabled()
+
+	for round := 0; len(l.frontier) > 0; round++ {
+		var roundStart time.Time
+		if traceRounds {
+			roundStart = time.Now()
+		}
+		proposed, busy := l.propose()
+		if proposed == 0 {
+			break
+		}
+		applied, conflicted := l.apply(traceMoves)
+		if applied == 0 {
+			// Every proposal was on a side the balance window blocks (or
+			// net-conflicted); rescanning the same frontier would propose
+			// the same set, so the pass is done.
+			break
+		}
+		if roundPol != nil {
+			roundPol.EndRound(l.moved)
+		}
+		l.compactFrontier()
+		if traceRounds {
+			l.Tracer.EmitRound(obs.Round{
+				Run: l.TraceRun, Pass: l.pass, Round: round,
+				Proposed: proposed, Conflicted: conflicted, Applied: applied,
+				Busy: busy, Wall: time.Since(roundStart),
+			})
+		}
+	}
+
+	p, gmax := l.log.BestPrefix()
+	l.log.RollbackBeyond(l.B, p)
+	l.pass++
+	return gmax, l.log.Len(), p
+}
+
+// propose runs the scan phase: Workers goroutines pull fixed frontier
+// shards from an atomic counter, each shard keeping its proposalTopC best
+// feasible candidates per side in its own arena slot. The phase only reads
+// shared state (bisection weights, policy keys), so concurrent shards are
+// safe and the candidate set is identical for every worker count. The
+// merged per-side lists land in l.props, each sorted by (key desc, node
+// asc); the return is the total proposal count. busy sums per-worker scan
+// time (zero when round tracing is off — timing is observation-only).
+func (l *ParallelLoop) propose() (int, time.Duration) {
+	shards := (len(l.frontier) + proposalShard - 1) / proposalShard
+	if cap(l.cand) < shards*2*proposalTopC {
+		l.cand = make([]proposal, shards*2*proposalTopC)
+	}
+	l.cand = l.cand[:shards*2*proposalTopC]
+
+	var busy atomic.Int64
+	timed := l.Tracer.PassEnabled()
+	workers := l.Workers
+	if workers > shards {
+		workers = shards
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var wstart time.Time
+				if timed {
+					wstart = time.Now()
+				}
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= shards {
+						if timed {
+							busy.Add(time.Since(wstart).Nanoseconds())
+						}
+						return
+					}
+					l.scanShard(s)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		var wstart time.Time
+		if timed {
+			wstart = time.Now()
+		}
+		for s := 0; s < shards; s++ {
+			l.scanShard(s)
+		}
+		if timed {
+			busy.Add(time.Since(wstart).Nanoseconds())
+		}
+	}
+
+	total := 0
+	for sd := 0; sd < 2; sd++ {
+		ps := l.props[sd][:0]
+		for s := 0; s < shards; s++ {
+			half := l.cand[(s*2+sd)*proposalTopC : (s*2+sd+1)*proposalTopC]
+			for _, p := range half {
+				if p.node < 0 {
+					break // slots fill front-to-back; first sentinel ends the half
+				}
+				ps = append(ps, p)
+			}
+		}
+		// The comparator is a total order (unique node IDs), so any correct
+		// sort yields the same permutation — stability is not required.
+		sort.Slice(ps, func(i, j int) bool { return ps[i].better(ps[j]) })
+		l.props[sd] = ps
+		total += len(ps)
+	}
+	return total, time.Duration(busy.Load())
+}
+
+// scanShard fills shard s's candidate slots (proposalTopC per side) with
+// the best feasible frontier nodes of the shard's fixed range, best first;
+// unused slots get node = -1.
+func (l *ParallelLoop) scanShard(s int) {
+	lo := s * proposalShard
+	hi := lo + proposalShard
+	if hi > len(l.frontier) {
+		hi = len(l.frontier)
+	}
+	arena := l.cand[s*2*proposalTopC : (s+1)*2*proposalTopC]
+	var cnt [2]int
+	sides := l.B.SideView()
+	for _, u32 := range l.frontier[lo:hi] {
+		u := int(u32)
+		// No balance filter here: feasibility depends on mid-round side
+		// weights, which only the serial apply step sees. A side blocked
+		// at round start routinely opens up after a commit from the other
+		// side, so its candidates must still be collected.
+		sd := sides[u]
+		cand := arena[int(sd)*proposalTopC : (int(sd)+1)*proposalTopC]
+		p := proposal{node: u32, key: l.key(u)}
+		c := cnt[sd]
+		if c == len(cand) && !p.better(cand[c-1]) {
+			continue
+		}
+		i := c
+		if i == len(cand) {
+			i--
+		}
+		for i > 0 && p.better(cand[i-1]) {
+			cand[i] = cand[i-1]
+			i--
+		}
+		cand[i] = p
+		if c < len(cand) {
+			cnt[sd] = c + 1
+		}
+	}
+	for sd := 0; sd < 2; sd++ {
+		cand := arena[sd*proposalTopC : (sd+1)*proposalTopC]
+		for i := cnt[sd]; i < len(cand); i++ {
+			cand[i].node = -1
+		}
+	}
+}
+
+// apply commits proposals serially from the two per-side sorted lists:
+// each step re-derives which sides the balance criterion admits at the
+// *current* side weights, pops net-conflicted heads (a net shared with an
+// earlier commit this round makes the scan-time key stale), and commits
+// the better feasible head — so commits alternate sides exactly as the
+// balance window demands, the way a serial gain loop would. It stops at
+// the round cap or when no feasible unconflicted proposal remains.
+// Committed nodes are moved and locked through the policy, recorded in
+// the pass log, and their nets stamped. Everything here is a pure
+// function of the proposal lists and the bisection state — no worker
+// count anywhere.
+func (l *ParallelLoop) apply(traceMoves bool) (applied, conflicted int) {
+	l.stamp++
+	roundCap := l.RoundCap
+	if roundCap <= 0 {
+		roundCap = DefaultRoundCap
+	}
+	l.moved = l.moved[:0]
+	h := l.B.H
+	var idx [2]int
+	for applied < roundCap {
+		wLo, wHi := l.B.MoveWeightWindow(l.Bal)
+		// head returns the side's best proposal that is weight-feasible
+		// now; under the conflict rule it also pops net-conflicted entries
+		// for good (their keys are stale; they re-enter via the next
+		// round's scan).
+		head := func(sd int) (proposal, bool) {
+			for idx[sd] < len(l.props[sd]) {
+				p := l.props[sd][idx[sd]]
+				u := int(p.node)
+				if w := h.NodeWeight(u); w < wLo[sd] || w > wHi[sd] {
+					return proposal{}, false // side blocked at current weights
+				}
+				if l.lazyKeys {
+					return p, true
+				}
+				stale := false
+				for _, nt := range h.NetsOf(u) {
+					if l.netStamp[nt] == l.stamp {
+						stale = true
+						break
+					}
+				}
+				if !stale {
+					return p, true
+				}
+				conflicted++
+				idx[sd]++
+			}
+			return proposal{}, false
+		}
+		p0, ok0 := head(0)
+		p1, ok1 := head(1)
+		var pick proposal
+		var sd int
+		switch {
+		case ok0 && (!ok1 || p0.better(p1)):
+			pick, sd = p0, 0
+		case ok1:
+			pick, sd = p1, 1
+		default:
+			return applied, conflicted
+		}
+		u := int(pick.node)
+		if l.lazyKeys {
+			// Lazy priority queue: commits since the scan may have changed
+			// u's key (MoveLock keeps it exact). Re-read it; a stale entry
+			// sinks to its fresh position and the pick repeats, so every
+			// commit uses the exact current key. Each non-commit iteration
+			// freshens one entry, so the loop terminates.
+			if fresh := l.key(u); fresh != pick.key {
+				ps := l.props[sd]
+				i := idx[sd]
+				ps[i].key = fresh
+				p := ps[i]
+				for i+1 < len(ps) && ps[i+1].better(p) {
+					ps[i] = ps[i+1]
+					i++
+				}
+				ps[i] = p
+				conflicted++ // count re-evaluations where the round trace reports conflicts
+				continue
+			}
+		}
+		idx[sd]++
+		imm := l.Pol.MoveLock(u)
+		l.log.Record(u, imm)
+		l.locked[u] = true
+		if !l.lazyKeys {
+			for _, nt := range h.NetsOf(u) {
+				l.netStamp[nt] = l.stamp
+			}
+		}
+		if traceMoves {
+			l.Tracer.EmitMove(obs.Move{Run: l.TraceRun, Pass: l.pass, Node: u, Gain: imm})
+		}
+		l.moved = append(l.moved, u)
+		applied++
+	}
+	return applied, conflicted
+}
+
+// compactFrontier drops locked nodes, preserving ascending order. Shard
+// boundaries shift with it, but they shift identically at every worker
+// count — compaction depends only on which nodes committed.
+func (l *ParallelLoop) compactFrontier() {
+	keep := l.frontier[:0]
+	for _, u := range l.frontier {
+		if !l.locked[u] {
+			keep = append(keep, u)
+		}
+	}
+	l.frontier = keep
+}

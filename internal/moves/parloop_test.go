@@ -1,0 +1,127 @@
+package moves_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"prop/internal/hypergraph"
+	"prop/internal/moves"
+	"prop/internal/obs"
+	"prop/internal/partition"
+)
+
+// fakeRoundPolicy is a minimal RoundPolicy with fixed selection keys, so a
+// test can hand-build exactly the proposal collisions it wants and observe
+// the per-round commit sets.
+type fakeRoundPolicy struct {
+	b      *partition.Bisection
+	keys   []float64
+	rounds [][]int
+}
+
+func (p *fakeRoundPolicy) Algo() string                  { return "fake" }
+func (p *fakeRoundPolicy) BeginPass() [2]moves.Container { return [2]moves.Container{} }
+func (p *fakeRoundPolicy) Key(u int) float64             { return p.keys[u] }
+func (p *fakeRoundPolicy) MoveLock(u int) float64        { return p.b.Move(u) }
+func (p *fakeRoundPolicy) EndRound(moved []int) {
+	p.rounds = append(p.rounds, append([]int(nil), moved...))
+}
+
+// collisionH is four unit-weight nodes and two nets wiring the collision:
+// net A = {0, 2}, net B = {1, 3}. Nodes 0,1 start on side 0; 2,3 on side 1.
+func collisionH(t *testing.T) *hypergraph.Hypergraph {
+	t.Helper()
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(4)
+	for _, net := range [][]int{{0, 2}, {1, 3}} {
+		if err := b.AddNet("", 1, net...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestParallelLoopConflictResolution pins the round protocol's conflict
+// rule on hand-built colliding proposals. Keys are 0:10, 2:9, 1:5, 3:4, so
+// globally the loop wants to commit 0 then 2 — but 0 and 2 share net A, so
+// 2 must be deferred to the next round (a round's movers stay net-disjoint
+// for round-batched policies), and the balance window (exact 50-50, unit
+// weights) forces the second commit of round 0 to come from side 1 anyway.
+// Expected rounds: [0 3] then [2 1].
+func TestParallelLoopConflictResolution(t *testing.T) {
+	h := collisionH(t)
+	run := func(workers int) (*fakeRoundPolicy, []obs.Round, *partition.Bisection) {
+		b, err := partition.NewBisection(h, []uint8{0, 0, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		pol := &fakeRoundPolicy{b: b, keys: []float64{10, 5, 9, 4}}
+		l := &moves.ParallelLoop{
+			B: b, Bal: partition.Exact5050(), Pol: pol,
+			Workers: workers,
+			Tracer:  obs.New(&buf, obs.LevelPass),
+		}
+		l.RunPass()
+		var rounds []obs.Round
+		dec := json.NewDecoder(&buf)
+		for dec.More() {
+			var ev struct {
+				Ev         string `json:"ev"`
+				Round      int    `json:"round"`
+				Proposed   int    `json:"proposed"`
+				Conflicted int    `json:"conflicted"`
+				Applied    int    `json:"applied"`
+			}
+			if err := dec.Decode(&ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Ev == "round" {
+				rounds = append(rounds, obs.Round{
+					Round: ev.Round, Proposed: ev.Proposed,
+					Conflicted: ev.Conflicted, Applied: ev.Applied,
+				})
+			}
+		}
+		return pol, rounds, b
+	}
+
+	pol, events, b := run(1)
+	wantRounds := [][]int{{0, 3}, {2, 1}}
+	if !reflect.DeepEqual(pol.rounds, wantRounds) {
+		t.Fatalf("round commit sets %v, want %v", pol.rounds, wantRounds)
+	}
+	// Round 0 sees all four proposals but defers both colliders: node 2
+	// conflicts with node 0 on net A, node 1 with node 3 on net B.
+	if len(events) != 2 {
+		t.Fatalf("got %d round events, want 2", len(events))
+	}
+	if e := events[0]; e.Proposed != 4 || e.Conflicted != 2 || e.Applied != 2 {
+		t.Errorf("round 0 event proposed/conflicted/applied = %d/%d/%d, want 4/2/2",
+			e.Proposed, e.Conflicted, e.Applied)
+	}
+	if e := events[1]; e.Conflicted != 0 || e.Applied != 2 {
+		t.Errorf("round 1 event conflicted/applied = %d/%d, want 0/2", e.Conflicted, e.Applied)
+	}
+	// Rollback keeps the best prefix (the two uncutting moves of round 0),
+	// so the final partition is 0↔3 swapped with cut 0.
+	if got, want := b.Sides(), []uint8{1, 0, 1, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("final sides %v, want %v", got, want)
+	}
+	if b.CutCost() != 0 {
+		t.Errorf("final cut %g, want 0", b.CutCost())
+	}
+
+	// The same collision resolves identically at any worker count.
+	for _, w := range []int{2, 4, 8} {
+		pw, _, bw := run(w)
+		if !reflect.DeepEqual(pw.rounds, pol.rounds) {
+			t.Errorf("workers=%d round commit sets %v, want %v", w, pw.rounds, pol.rounds)
+		}
+		if !reflect.DeepEqual(bw.Sides(), b.Sides()) {
+			t.Errorf("workers=%d final sides differ from workers=1", w)
+		}
+	}
+}

@@ -25,10 +25,18 @@ type Refiner func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance
 // coarse levels carry weighted nets, so "fm" (bucket selector) only works
 // on hierarchies of unit-cost nets; "fm-tree" is the safe FM choice.
 func AlgoRefiner(algo string, laDepth int) Refiner {
+	return AlgoRefinerOpts(refine.Options{Algorithm: algo, LADepth: laDepth})
+}
+
+// AlgoRefinerOpts refines with any locked-move engine configured by a full
+// refine.Options template; the per-level balance overwrites o.Balance.
+// This is how non-default knobs (MoveWorkers, MaxPasses, an explicit PROP
+// config) reach every level of the V-cycle.
+func AlgoRefinerOpts(o refine.Options) Refiner {
 	return func(h *hypergraph.Hypergraph, sides []uint8, bal partition.Balance) ([]uint8, float64, error) {
-		res, err := refine.Bipartition(h, sides, refine.Options{
-			Algorithm: algo, Balance: bal, LADepth: laDepth,
-		})
+		o := o
+		o.Balance = bal
+		res, err := refine.Bipartition(h, sides, o)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -72,9 +80,14 @@ type Config struct {
 	CoarsestNodes int
 	// InitialRuns is the multi-start count at the coarsest level (0 → 10).
 	InitialRuns int
-	// Refine is the per-level engine (nil → PROPRefiner).
+	// Refine is the per-level engine (nil → PROPRefiner, or a
+	// MoveWorkers-configured PROP refiner when MoveWorkers > 0).
 	Refine Refiner
-	Seed   int64
+	// MoveWorkers, when positive and Refine is nil, runs the default PROP
+	// refiner on the synchronous-round parallel move loop with that many
+	// proposal-scan workers (bit-identical at any positive value).
+	MoveWorkers int
+	Seed        int64
 }
 
 // Result reports the outcome.
@@ -101,7 +114,13 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 		cfg.InitialRuns = 10
 	}
 	if cfg.Refine == nil {
-		cfg.Refine = PROPRefiner()
+		if cfg.MoveWorkers > 0 {
+			cfg.Refine = AlgoRefinerOpts(refine.Options{
+				Algorithm: "prop", MoveWorkers: cfg.MoveWorkers,
+			})
+		} else {
+			cfg.Refine = PROPRefiner()
+		}
 	}
 	levels, err := cluster.CoarsenSteps(h, cfg.CoarsestNodes, cfg.Seed)
 	if err != nil {

@@ -17,7 +17,8 @@
 // One JSON object per line. Every event carries:
 //
 //	ts_us   int     microseconds since the tracer was created (monotonic)
-//	ev      string  event kind: run_start | run_end | pass | move
+//	ev      string  event kind: run_start | run_end | pass | move |
+//	                flow | round | delta_apply
 //	run     int     0-based multi-start run index
 //
 // Kind-specific fields:
@@ -30,11 +31,19 @@
 //	move         pass, node, gain
 //	flow         id?, round, boundary, corridor, nets, flow,
 //	             cut_before, cut_after, adopted (0/1), dur_us
+//	round        pass, round, proposed, conflicted, applied,
+//	             busy_us, wall_us
 //	delta_apply  id?, structural (0/1), nodes, nets, collapsed, dur_us
 //
 // flow is one corridor max-flow round of the flow-based boundary
 // refinement stage (internal/flow) — the flow analogue of a pass event,
 // emitted at LevelPass.
+//
+// round is one synchronous propose/apply round of the parallel move loop
+// (moves.ParallelLoop), emitted at LevelPass: how many moves the scan
+// phase proposed, how many the serial apply step skipped as conflicted,
+// how many committed, plus summed per-worker scan busy time and the
+// round's wall clock.
 //
 // delta_apply spans the application of a netlist delta (incremental
 // repartitioning); its run field is always 0 — delta application happens
@@ -228,6 +237,44 @@ func (t *Tracer) EmitFlowRound(e FlowRound) {
 	}
 	b = appendInt(b, "adopted", adopted)
 	b = appendInt(b, "dur_us", e.Dur.Microseconds())
+	t.close(b)
+	t.mu.Unlock()
+}
+
+// Round is one synchronous propose/apply round of the parallel move loop
+// (LevelPass). Proposed counts candidates surfaced by the scan phase,
+// Conflicted the proposals the serial apply step skipped (shared net with
+// an earlier commit this round, or balance no longer admits the move),
+// Applied the moves committed. Busy sums per-worker scan time; Wall is
+// the round's wall clock.
+type Round struct {
+	Run   int
+	Pass  int
+	Round int // 0-based round index within the pass
+
+	Proposed   int
+	Conflicted int
+	Applied    int
+
+	Busy time.Duration
+	Wall time.Duration
+}
+
+// EmitRound records a round event. Callers should guard with PassEnabled;
+// EmitRound itself is also nil-safe.
+func (t *Tracer) EmitRound(e Round) {
+	if t == nil || t.level < LevelPass {
+		return
+	}
+	t.mu.Lock()
+	b := t.open("round", e.Run)
+	b = appendInt(b, "pass", int64(e.Pass))
+	b = appendInt(b, "round", int64(e.Round))
+	b = appendInt(b, "proposed", int64(e.Proposed))
+	b = appendInt(b, "conflicted", int64(e.Conflicted))
+	b = appendInt(b, "applied", int64(e.Applied))
+	b = appendInt(b, "busy_us", e.Busy.Microseconds())
+	b = appendInt(b, "wall_us", e.Wall.Microseconds())
 	t.close(b)
 	t.mu.Unlock()
 }

@@ -40,6 +40,15 @@ type Options struct {
 	// selects flow's defaults.
 	Flow *flow.Params
 
+	// MoveWorkers, when positive, runs the node engines ("prop", "fm",
+	// "fm-tree", "la") on the synchronous-round parallel move loop with
+	// that many proposal-scan workers — bit-identical at any positive
+	// value. 0 keeps the serial loop. The pair-swap engines ("kl", "sk")
+	// and the flow polisher have no node-move loop and ignore it. For
+	// "prop" with an explicit PROP config, the config's own MoveWorkers
+	// wins when set.
+	MoveWorkers int
+
 	// Tracer, when non-nil, receives per-pass trace events from whichever
 	// engine runs. Observation-only.
 	Tracer *obs.Tracer
@@ -119,7 +128,8 @@ func Bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, 
 		}
 		r, err := fm.Partition(b, fm.Config{
 			Balance: o.Balance, Selector: sel, MaxPasses: o.MaxPasses,
-			Tracer: o.Tracer, TraceRun: o.TraceRun,
+			MoveWorkers: o.MoveWorkers,
+			Tracer:      o.Tracer, TraceRun: o.TraceRun,
 		})
 		if err != nil {
 			return Result{}, err
@@ -133,7 +143,8 @@ func Bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, 
 		}
 		r, err := la.Partition(b, la.Config{
 			K: k, Balance: o.Balance, MaxPasses: o.MaxPasses,
-			Tracer: o.Tracer, TraceRun: o.TraceRun,
+			MoveWorkers: o.MoveWorkers,
+			Tracer:      o.Tracer, TraceRun: o.TraceRun,
 		})
 		if err != nil {
 			return Result{}, err
@@ -144,9 +155,13 @@ func Bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, 
 		var cfg core.Config
 		if o.PROP != nil {
 			cfg = *o.PROP
+			if cfg.MoveWorkers == 0 {
+				cfg.MoveWorkers = o.MoveWorkers
+			}
 		} else {
 			cfg = core.DefaultConfig(o.Balance)
 			cfg.MaxPasses = o.MaxPasses
+			cfg.MoveWorkers = o.MoveWorkers
 			cfg.Tracer = o.Tracer
 			cfg.TraceRun = o.TraceRun
 		}

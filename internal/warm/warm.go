@@ -67,7 +67,8 @@ func Chain(h *hypergraph.Hypergraph, initial []uint8, cfg core.Config) (Result, 
 // that already ran an engine don't pay a recount.
 func Polish(h *hypergraph.Hypergraph, sides []uint8, cut float64, cutNets int, cfg core.Config) (Result, error) {
 	return PolishWith(h, sides, cut, cutNets, cfg,
-		refine.Options{Algorithm: "fm-tree", Balance: cfg.Balance})
+		refine.Options{Algorithm: "fm-tree", Balance: cfg.Balance,
+			MoveWorkers: cfg.MoveWorkers})
 }
 
 // PolishWith is Polish with an explicit partner engine: each round runs

@@ -1,0 +1,89 @@
+package prop_test
+
+import (
+	"io"
+	"testing"
+
+	"prop"
+)
+
+// TestParallelLoopWorkerInvariance is the ISSUE-7 acceptance matrix: for
+// every node-policy engine on the golden circuits, the synchronous-round
+// parallel move loop must produce bit-identical results — cut cost, winning
+// run, and every side bit — at any worker count. MoveWorkers=1 is the
+// reference; 2, 4 and 8 must reproduce it exactly.
+func TestParallelLoopWorkerInvariance(t *testing.T) {
+	algos := []prop.Algorithm{prop.AlgoPROP, prop.AlgoFM, prop.AlgoLA, prop.AlgoSK}
+	for _, circuit := range []string{"balu", "struct"} {
+		n, err := prop.Benchmark(circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range algos {
+			algo := algo
+			t.Run(circuit+"/"+string(algo), func(t *testing.T) {
+				base, err := prop.Partition(n, prop.Options{
+					Algorithm: algo, Runs: 3, Seed: 7, MoveWorkers: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := golden{base.CutCost, base.BestRun, sideHash(base.Sides)}
+				if cost, _, err := prop.Verify(n, base.Sides, prop.Options{}); err != nil || cost != base.CutCost {
+					t.Fatalf("verify: recount %g (err %v) vs reported %g", cost, err, base.CutCost)
+				}
+				for _, w := range []int{2, 4, 8} {
+					res, err := prop.Partition(n, prop.Options{
+						Algorithm: algo, Runs: 3, Seed: 7, MoveWorkers: w,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := golden{res.CutCost, res.BestRun, sideHash(res.Sides)}
+					if got != want {
+						t.Errorf("MoveWorkers=%d: got {cost:%g best:%d hash:%#x}, want {cost:%g best:%d hash:%#x}",
+							w, got.cost, got.bestRun, got.hash, want.cost, want.bestRun, want.hash)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelLoopTracingInvariant extends the observation-only tracing
+// contract to the parallel move loop: move-level tracing of a MoveWorkers
+// run must not perturb a single side bit relative to the untraced run.
+func TestParallelLoopTracingInvariant(t *testing.T) {
+	n, err := prop.Benchmark("struct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []prop.Algorithm{prop.AlgoPROP, prop.AlgoFM} {
+		res, err := prop.Partition(n, prop.Options{
+			Algorithm: algo, Runs: 3, Seed: 7, MoveWorkers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := golden{res.CutCost, res.BestRun, sideHash(res.Sides)}
+		tr := prop.NewTracer(io.Discard, prop.TraceMoves)
+		traced, err := prop.Partition(n, prop.Options{
+			Algorithm: algo, Runs: 3, Seed: 7, MoveWorkers: 4,
+			Tracer: tr, TraceID: "parloop",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := golden{traced.CutCost, traced.BestRun, sideHash(traced.Sides)}
+		if got != want {
+			t.Errorf("%s traced: got {cost:%g best:%d hash:%#x}, want {cost:%g best:%d hash:%#x}",
+				algo, got.cost, got.bestRun, got.hash, want.cost, want.bestRun, want.hash)
+		}
+		if tr.Events() == 0 {
+			t.Errorf("%s: tracer saw no events", algo)
+		}
+		if err := tr.Err(); err != nil {
+			t.Errorf("%s: tracer error: %v", algo, err)
+		}
+	}
+}

@@ -135,6 +135,16 @@ type Options struct {
 	// sequential best-of tie-break).
 	Parallel int
 
+	// MoveWorkers, when positive, runs each node-engine pass (AlgoPROP,
+	// AlgoFM, AlgoFMTree, AlgoLA, and the PROP stages of AlgoFlow and
+	// AlgoMLPROP) on the synchronous-round parallel move loop with that
+	// many proposal-scan workers, parallelizing a single run's move loop
+	// across cores. Results are bit-identical for every positive value;
+	// 0 (the default) keeps the serial loop, whose trajectory the round
+	// protocol legitimately differs from. The pair-swap engines (AlgoKL,
+	// AlgoSK) have no node-move loop and ignore it.
+	MoveWorkers int
+
 	// OnRun, when non-nil, observes every completed multi-start run.
 	// Calls are serialized but arrive in completion order, which under
 	// Parallel > 1 need not be run order.
@@ -275,7 +285,9 @@ func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 		}
 		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
 	case AlgoMLPROP:
-		r, err := multilevel.Partition(n.h, multilevel.Config{Balance: bal, Seed: o.Seed})
+		r, err := multilevel.Partition(n.h, multilevel.Config{
+			Balance: bal, Seed: o.Seed, MoveWorkers: o.MoveWorkers,
+		})
 		if err != nil {
 			return Result{}, err
 		}
@@ -397,11 +409,12 @@ func oneRun(h *hypergraph.Hypergraph, bal partition.Balance, o Options, initial 
 	// through the shared move-engine layer, so each inherits balance-aware
 	// selection and per-pass tracing uniformly.
 	ro := refine.Options{
-		Algorithm: string(o.Algorithm),
-		Balance:   bal,
-		LADepth:   o.LADepth,
-		Tracer:    o.Tracer,
-		TraceRun:  run,
+		Algorithm:   string(o.Algorithm),
+		Balance:     bal,
+		LADepth:     o.LADepth,
+		MoveWorkers: o.MoveWorkers,
+		Tracer:      o.Tracer,
+		TraceRun:    run,
 	}
 	if o.Algorithm == AlgoPROP {
 		cfg := propConfig(bal, o, run)
@@ -458,6 +471,13 @@ func propConfig(bal partition.Balance, o Options, run int) core.Config {
 		if p.RefineWorkers != 0 {
 			cfg.Workers = p.RefineWorkers
 		}
+	}
+	cfg.MoveWorkers = o.MoveWorkers
+	if o.MoveWorkers > 0 && (o.PROP == nil || o.PROP.RefineWorkers == 0) {
+		// The round loop's gain sweeps run between rounds; give them the
+		// same parallelism as the proposal scans unless the caller pinned
+		// the sweep worker count explicitly.
+		cfg.Workers = o.MoveWorkers
 	}
 	cfg.Tracer = o.Tracer
 	cfg.TraceRun = run

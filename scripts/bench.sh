@@ -67,6 +67,29 @@ go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|Benchma
 echo "== hot-path study (BENCH_hotpath.json) =="
 go run ./cmd/bench -hotpath BENCH_hotpath.json -runs 3 -seed 7 -v
 
+echo "== parallel-loop scaling gate =="
+# The hotpath study times PROP on the synchronous-round parallel loop at 4
+# workers (prop_par_loop) and records the one-run speedup over the serial
+# loop as par_loop_speedup_x. The acceptance bar is ≥ 2.0x on industry2 —
+# but only on a multicore box: with one hardware thread the proposal scan
+# cannot overlap and the ratio measures protocol overhead, so serial runs
+# (-allow-serial) report the number without gating on it.
+speedup=$(sed -n 's/.*"par_loop_speedup_x": *\([0-9.]*\).*/\1/p' BENCH_hotpath.json | tail -1)
+if [ -z "$speedup" ]; then
+	echo "bench.sh: par_loop_speedup_x missing from BENCH_hotpath.json" >&2
+	exit 1
+fi
+echo "par-loop speedup on industry2: ${speedup}x (4 workers, GOMAXPROCS=$procs)"
+if [ "$procs" -gt 1 ]; then
+	ok=$(awk -v s="$speedup" 'BEGIN { print (s >= 2.0) ? 1 : 0 }')
+	if [ "$ok" -ne 1 ]; then
+		echo "bench.sh: parallel-loop speedup ${speedup}x on industry2 is below the 2.0x bar" >&2
+		exit 1
+	fi
+else
+	echo "single-proc run: skipping the 2.0x gate (scan workers cannot overlap)"
+fi
+
 echo "== incremental warm-vs-cold study (BENCH_incremental.json) =="
 # ECO repartitioning: 1%/5%/10% perturbations per circuit, warm-start
 # chain vs from-scratch multi-start. Committed so the time and cut

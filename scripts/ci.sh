@@ -87,6 +87,24 @@ if ! [ -s "$tracedir/warm_cut.txt" ] || ! [ -s "$tracedir/balu_warm.sides" ]; th
 	exit 1
 fi
 
+echo "== parallel-loop smoke =="
+# Round-protocol equality check: the synchronous-round parallel loop and
+# the serial loop follow different trajectories from a random start, but
+# from a converged start (the best of a serial multi-start) both must
+# confirm the same local optimum — prefix-max rollback means neither pass
+# loop can end worse than it started, so any cut difference here is a
+# correctness bug in the round protocol, not a heuristic gap.
+go run ./cmd/propart -suite balu -runs 20 -seed 7 -par 1 -q \
+	-out "$tracedir/balu_opt.sides" >/dev/null
+go run ./cmd/propart -suite balu -runs 1 -seed 7 -par 1 -q \
+	-warm "$tracedir/balu_opt.sides" >"$tracedir/serial_warm.txt"
+go run ./cmd/propart -suite balu -runs 1 -seed 7 -par 1 -move-workers 4 -q \
+	-warm "$tracedir/balu_opt.sides" >"$tracedir/par_warm.txt"
+if ! cmp -s "$tracedir/serial_warm.txt" "$tracedir/par_warm.txt"; then
+	echo "parallel-loop smoke: parallel-loop cut $(head -1 "$tracedir/par_warm.txt") differs from serial-loop cut $(head -1 "$tracedir/serial_warm.txt")" >&2
+	exit 1
+fi
+
 echo "== flow smoke =="
 # Corridor max-flow polish: on the same portfolio (runs/seed), AlgoFlow's
 # cut must never be worse than PROP's, and the flow sides must stand up to
