@@ -22,20 +22,27 @@
 // instead of solving from scratch. -warm alone warm-starts run 0 on the
 // unmodified input. Both are bisection-only (-k 2).
 //
-// -trace writes a JSONL convergence trace (run spans and per-pass
-// events; see internal/obs for the schema) without changing the result.
+// -trace writes a JSONL convergence trace (run spans, phase spans and
+// per-pass events; see internal/obs for the schema) without changing the
+// result. -report aggregates the trace into the run report
+// (internal/obs/report: phase wall-time tree, convergence curve,
+// move/round/flow rates) and prints it to stderr after the run; without
+// -trace it traces into memory at -trace-level granularity.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"prop"
+	"prop/internal/obs/report"
 )
 
 func main() {
@@ -60,6 +67,7 @@ func main() {
 		quiet    = flag.Bool("q", false, "print only the cut size")
 		traceOut = flag.String("trace", "", "write a JSONL trace of the runs to this file")
 		traceLvl = flag.String("trace-level", "pass", "trace granularity: run, pass, move")
+		doReport = flag.Bool("report", false, "print the aggregated run report to stderr after the run")
 	)
 	flag.Parse()
 	if (*in == "") == (*suite == "") {
@@ -85,18 +93,40 @@ func main() {
 		Parallel: *par, MoveWorkers: *moveWork,
 	}
 
+	lvl, ok := prop.ParseTraceLevel(*traceLvl)
+	if !ok {
+		fatal(fmt.Errorf("bad -trace-level %q: want run, pass, or move", *traceLvl))
+	}
+	// -report tees the trace into memory (tracer writes land in the buffer
+	// at emission time, before any deferred file flush) and aggregates it
+	// once the run's defers print their own lines.
+	var reportBuf *bytes.Buffer
+	if *doReport {
+		reportBuf = &bytes.Buffer{}
+		defer func() {
+			rep, err := report.Read(reportBuf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "propart: report:", err)
+				return
+			}
+			if err := report.WriteText(os.Stderr, rep, 10); err != nil {
+				fmt.Fprintln(os.Stderr, "propart: report:", err)
+			}
+		}()
+	}
+
 	var tracer *prop.Tracer
 	if *traceOut != "" {
-		lvl, ok := prop.ParseTraceLevel(*traceLvl)
-		if !ok {
-			fatal(fmt.Errorf("bad -trace-level %q: want run, pass, or move", *traceLvl))
-		}
 		tf, err := os.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
 		tw := bufio.NewWriter(tf)
-		tracer = prop.NewTracer(tw, lvl)
+		var sink io.Writer = tw
+		if reportBuf != nil {
+			sink = io.MultiWriter(tw, reportBuf)
+		}
+		tracer = prop.NewTracer(sink, lvl)
 		opts.Tracer = tracer
 		defer func() {
 			if err := tracer.Err(); err != nil {
@@ -112,6 +142,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", tracer.Events(), *traceOut)
 			}
 		}()
+	} else if reportBuf != nil {
+		tracer = prop.NewTracer(reportBuf, lvl)
+		opts.Tracer = tracer
 	}
 
 	if *check != "" {

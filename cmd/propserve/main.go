@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	propserve [-addr :8080] [-par 8] [-timeout 60s]
+//	propserve [-addr :8080] [-par 8] [-timeout 60s] [-slow-run 0]
 //	          [-max-jobs 64] [-job-history 256] [-job-ttl 15m] [-cache 128]
 //	          [-log-level info] [-log-format text]
 //
@@ -32,20 +32,27 @@
 //	                        trace of the job. At most -max-jobs jobs may
 //	                        be pending or running at once; past that the
 //	                        submit is refused with 429 + Retry-After.
-//	GET  /v1/jobs/{id}      job state and, when done, the result;
-//	                        finished jobs are evicted after -job-ttl, or
-//	                        earlier once -job-history newer ones finished
+//	GET  /v1/jobs/{id}      job state and, when done, the result; while the
+//	                        job runs the reply carries a live "progress"
+//	                        snapshot (current phase, run, pass, best cut so
+//	                        far) updated as the engine advances. Finished
+//	                        jobs are evicted after -job-ttl, or earlier
+//	                        once -job-history newer ones finished
 //	DELETE /v1/jobs/{id}    cancel a pending or running job
 //	GET  /healthz           liveness probe
 //	GET  /metrics           Prometheus text metrics (jobs in flight, runs
 //	                        completed, cut-size and passes-per-run
-//	                        histograms, p50/p99 latency); ?format=json for
-//	                        the JSON export
+//	                        histograms, per-phase duration histograms
+//	                        labeled by phase name, p50/p99 latency);
+//	                        ?format=json for the JSON export
+//	GET  /debug/runs        in-flight jobs with their progress snapshots
 //	GET  /debug/trace/{id}  JSONL trace of a job submitted with trace=
 //	GET  /debug/pprof/      CPU/heap/goroutine profiles (net/http/pprof)
 //
 // Every request is logged with a run ID that also labels the job's
-// engine-level logs and trace events.
+// engine-level logs and trace events. Job completion logs carry the
+// algorithm, move-worker count, and total improvement passes; jobs whose
+// compute exceeds -slow-run (0 disables) log a warning.
 //
 // Example:
 //
@@ -88,6 +95,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		par        = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+		slowRun    = flag.Duration("slow-run", 0, "warn when a job's compute exceeds this (0 = disabled)")
 		maxJobs    = flag.Int("max-jobs", 64, "max pending+running async jobs (-1 = unbounded)")
 		jobHistory = flag.Int("job-history", 256, "finished jobs retained for GET (-1 = unbounded)")
 		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "finished jobs evicted after this (-1s = never)")
@@ -105,6 +113,7 @@ func main() {
 	s := newServer(serverConfig{
 		maxPar:     *par,
 		defTimeout: *timeout,
+		slowRun:    *slowRun,
 		maxJobs:    *maxJobs,
 		jobHistory: *jobHistory,
 		jobTTL:     *jobTTL,

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +31,7 @@ type serverConfig struct {
 	jobHistory int           // terminal jobs retained for GET (< 0 unbounded)
 	jobTTL     time.Duration // terminal jobs evicted after this (< 0 never)
 	cacheSize  int           // /v1/partition result-cache entries (< 0 disables)
+	slowRun    time.Duration // warn when a job's compute exceeds this (0 disables)
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -71,6 +73,7 @@ type server struct {
 	maxPar     int           // cap on per-request Parallel
 	maxBody    int64         // request body limit, bytes
 	defTimeout time.Duration // per-request compute budget
+	slowRun    time.Duration // warn when a job's compute exceeds this (0 disables)
 	jobs       *jobStore
 	results    *cache.Cache[cacheKey, []byte] // nil when disabled
 	start      time.Time
@@ -86,10 +89,11 @@ type server struct {
 	mErrors     *metrics.Counter // requests rejected or failed
 	mBusy       *metrics.Counter // job submissions rejected with 429
 	mCutHist    *metrics.Histogram
-	mPassHist   *metrics.Histogram  // improvement passes per run
-	mCutImprove *metrics.FloatGauge // (worst-best)/worst ×100 of last portfolio
-	mRefineUtil *metrics.FloatGauge // refinement worker busy/wall ×100
-	mMoveWork   *metrics.Gauge      // effective move_workers of the last request
+	mPassHist   *metrics.Histogram    // improvement passes per run
+	mCutImprove *metrics.FloatGauge   // (worst-best)/worst ×100 of last portfolio
+	mRefineUtil *metrics.FloatGauge   // refinement worker busy/wall ×100
+	mMoveWork   *metrics.Gauge        // effective move_workers of the last request
+	mPhaseHist  *metrics.HistogramVec // per-phase wall durations, labeled by phase name
 	mLatency    *metrics.Latency
 }
 
@@ -103,6 +107,7 @@ func newServer(cfg serverConfig, logger *slog.Logger) *server {
 		maxPar:      cfg.maxPar,
 		maxBody:     64 << 20,
 		defTimeout:  cfg.defTimeout,
+		slowRun:     cfg.slowRun,
 		jobs:        newJobStore(cfg.maxJobs, cfg.jobHistory, cfg.jobTTL),
 		start:       time.Now(),
 		log:         logger,
@@ -120,6 +125,7 @@ func newServer(cfg serverConfig, logger *slog.Logger) *server {
 		mCutImprove: reg.FloatGauge("cut_improvement_pct"),
 		mRefineUtil: reg.FloatGauge("refine_worker_utilization_pct"),
 		mMoveWork:   reg.Gauge("move_workers"),
+		mPhaseHist:  reg.HistogramVec("phase_duration_ms", "phase", 1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000),
 		mLatency:    reg.Latency("partition_latency", 1024),
 	}
 	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
@@ -143,6 +149,7 @@ func (s *server) mux() *http.ServeMux {
 	m.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	m.HandleFunc("GET /healthz", s.handleHealthz)
 	m.Handle("GET /metrics", s.reg)
+	m.HandleFunc("GET /debug/runs", s.handleRunsList)
 	m.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
 	m.HandleFunc("GET /debug/pprof/", pprof.Index)
 	m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -201,7 +208,8 @@ type partitionRequest struct {
 // partitionResponse is the JSON reply for both sync and async paths.
 // Sides is []int rather than the library's []uint8: encoding/json
 // serializes []uint8 ([]byte) as base64, and the API wants a plain 0/1
-// array.
+// array. Passes is the improvement-pass total summed over every
+// completed run of the portfolio.
 type partitionResponse struct {
 	Algorithm   string  `json:"algorithm"`
 	K           int     `json:"k"`
@@ -209,6 +217,7 @@ type partitionResponse struct {
 	CutNets     int     `json:"cut_nets"`
 	Runs        int     `json:"runs,omitempty"`
 	BestRun     int     `json:"best_run,omitempty"`
+	Passes      int     `json:"passes,omitempty"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
 	Sides       []int   `json:"sides,omitempty"`
 	Parts       []int   `json:"parts,omitempty"`
@@ -354,7 +363,7 @@ func (s *server) run(ctx context.Context, req *partitionRequest, runID string, t
 	// tracking needs its own lock.
 	var statMu sync.Mutex
 	var bestCut, worstCut float64
-	seen := 0
+	seen, passTotal := 0, 0
 	req.opts.OnRun = func(u prop.RunUpdate) {
 		s.mRuns.Inc()
 		if u.Passes > 0 {
@@ -371,6 +380,7 @@ func (s *server) run(ctx context.Context, req *partitionRequest, runID string, t
 			worstCut = u.CutCost
 		}
 		seen++
+		passTotal += u.Passes
 		statMu.Unlock()
 		s.log.Debug("run complete",
 			"run", u.Run, "cut_cost", u.CutCost, "cut_nets", u.CutNets,
@@ -404,11 +414,19 @@ func (s *server) run(ctx context.Context, req *partitionRequest, runID string, t
 	s.mCutHist.Observe(float64(resp.CutNets))
 	s.mLatency.Observe(time.Since(start))
 	statMu.Lock()
+	resp.Passes = passTotal
 	if seen > 1 && worstCut > 0 {
 		s.mCutImprove.Set((worstCut - bestCut) / worstCut * 100)
 	}
 	statMu.Unlock()
 	return resp, nil
+}
+
+// observePhase feeds one completed phase span into the per-phase duration
+// histogram family. Installed as a tracer phase hook on every engine run
+// the server drives, traced or not.
+func (s *server) observePhase(p obs.Phase) {
+	s.mPhaseHist.Observe(p.Name, float64(p.Wall)/float64(time.Millisecond))
 }
 
 func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
@@ -432,7 +450,10 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mReqUp.Add(1)
 	defer s.mReqUp.Add(-1)
-	resp, err := s.run(r.Context(), req, obs.RunID(r.Context()), nil)
+	// Even an untraced sync request runs under a discard tracer so its
+	// phase spans land in the phase_duration_ms histograms.
+	tr := prop.NewTracer(io.Discard, prop.TraceRuns).WithPhaseHook(s.observePhase)
+	resp, err := s.run(r.Context(), req, obs.RunID(r.Context()), tr)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -490,20 +511,24 @@ func (s jobState) terminal() bool {
 	return s == jobDone || s == jobFailed || s == jobCancelled
 }
 
-// job is one async partition request.
+// job is one async partition request. Progress is populated only on
+// snapshots of a live (non-terminal) job: the atomically updated phase /
+// pass / best-cut view the engine's tracer maintains while it runs.
 type job struct {
 	ID    string   `json:"id"`
 	State jobState `json:"state"`
 	// MoveWorkers is the effective parallel-move-loop worker count the job
 	// runs with (0 = serial move loop).
-	MoveWorkers int                `json:"move_workers"`
-	Error       string             `json:"error,omitempty"`
-	Result      *partitionResponse `json:"result,omitempty"`
+	MoveWorkers int                   `json:"move_workers"`
+	Progress    *obs.ProgressSnapshot `json:"progress,omitempty"`
+	Error       string                `json:"error,omitempty"`
+	Result      *partitionResponse    `json:"result,omitempty"`
 
 	req      *partitionRequest
 	cancel   context.CancelFunc
-	trace    *traceBuf // non-nil iff submitted with ?trace=...
-	finished time.Time // when the job reached a terminal state
+	trace    *traceBuf     // non-nil iff submitted with ?trace=...
+	progress *obs.Progress // live-progress sink, attached to the job's tracer
+	finished time.Time     // when the job reached a terminal state
 }
 
 // jobStore is the in-memory async job registry. It is bounded two ways:
@@ -560,7 +585,8 @@ func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
 	js.active++
 	js.next++
 	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending,
-		MoveWorkers: req.opts.MoveWorkers, req: req, cancel: cancel}
+		MoveWorkers: req.opts.MoveWorkers, req: req, cancel: cancel,
+		progress: &obs.Progress{}}
 	if req.traced {
 		j.trace = &traceBuf{}
 	}
@@ -575,6 +601,19 @@ func (js *jobStore) get(id string) *job {
 	return js.jobs[id]
 }
 
+// snapshotLocked copies the job's public fields for serialization. A
+// non-terminal job additionally carries its live progress view; once the
+// job finishes, Result supersedes it. Callers hold js.mu.
+func (js *jobStore) snapshotLocked(j *job) job {
+	out := job{ID: j.ID, State: j.State, MoveWorkers: j.MoveWorkers,
+		Error: j.Error, Result: j.Result}
+	if !j.State.terminal() {
+		p := j.progress.Snapshot()
+		out.Progress = &p
+	}
+	return out
+}
+
 // snapshot returns a copy of the job's public fields for serialization.
 func (js *jobStore) snapshot(id string) (job, bool) {
 	j := js.get(id)
@@ -583,8 +622,26 @@ func (js *jobStore) snapshot(id string) (job, bool) {
 	}
 	js.mu.Lock()
 	defer js.mu.Unlock()
-	return job{ID: j.ID, State: j.State, MoveWorkers: j.MoveWorkers,
-		Error: j.Error, Result: j.Result}, true
+	return js.snapshotLocked(j), true
+}
+
+// inflight snapshots every pending or running job, oldest first.
+func (js *jobStore) inflight() []job {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	out := make([]job, 0, js.active)
+	for _, j := range js.jobs {
+		if !j.State.terminal() {
+			out = append(out, js.snapshotLocked(j))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		// IDs are "j<seq>"; numeric order is submission order.
+		x, _ := strconv.Atoi(out[a].ID[1:])
+		y, _ := strconv.Atoi(out[b].ID[1:])
+		return x < y
+	})
+	return out
 }
 
 // transition updates a job's state under the store lock; from restricts
@@ -648,16 +705,30 @@ func (s *server) runJob(ctx context.Context, id string) {
 	}
 	s.log.Info("job state", "job", id, "state", jobRunning, "run_id", runID)
 	j := s.jobs.get(id)
-	var tr *prop.Tracer
+	// Every job runs under a tracer: a traced submission records its JSONL
+	// trajectory for /debug/trace/{id}, everything else traces into the
+	// discard sink — either way the tracer drives the job's live-progress
+	// snapshot (GET /v1/jobs/{id}, /debug/runs) and the per-phase duration
+	// histograms. Pass level, because the engine only emits the pass events
+	// that advance the progress view when the tracer asks for them.
+	var sink io.Writer = io.Discard
+	lvl := prop.TracePasses
 	if j.trace != nil {
-		tr = prop.NewTracer(j.trace, j.req.traceLevel)
+		sink, lvl = j.trace, j.req.traceLevel
 		// Label the job's trace spans with the job ID so the JSONL served
 		// at /debug/trace/{id} self-identifies; the run ID still ties the
 		// job to its request logs.
 		j.req.opts.TraceID = id
 	}
+	tr := prop.NewTracer(sink, lvl).WithProgress(j.progress).WithPhaseHook(s.observePhase)
 	start := time.Now()
 	resp, err := s.run(ctx, j.req, runID, tr)
+	elapsedMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if s.slowRun > 0 && time.Since(start) > s.slowRun {
+		s.log.Warn("slow run", "job", id, "algo", string(j.req.opts.Algorithm),
+			"elapsed_ms", elapsedMS,
+			"threshold_ms", float64(s.slowRun)/float64(time.Millisecond), "run_id", runID)
+	}
 	if err != nil {
 		to := jobFailed
 		if ctx.Err() == context.Canceled {
@@ -666,13 +737,20 @@ func (s *server) runJob(ctx context.Context, id string) {
 		s.mErrors.Inc()
 		s.jobs.transition(id, jobRunning, to, func(j *job) { j.Error = err.Error() })
 		s.log.Warn("job state", "job", id, "state", to, "error", err.Error(),
-			"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond), "run_id", runID)
+			"elapsed_ms", elapsedMS, "run_id", runID)
 		return
 	}
 	s.jobs.transition(id, jobRunning, jobDone, func(j *job) { j.Result = resp })
 	s.log.Info("job state", "job", id, "state", jobDone,
+		"algo", resp.Algorithm, "move_workers", j.MoveWorkers, "passes", resp.Passes,
 		"cut_cost", resp.CutCost, "cut_nets", resp.CutNets,
-		"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond), "run_id", runID)
+		"elapsed_ms", elapsedMS, "run_id", runID)
+}
+
+// handleRunsList lists every in-flight (pending or running) job with its
+// live-progress snapshot, oldest submission first.
+func (s *server) handleRunsList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": s.jobs.inflight()})
 }
 
 // handleTraceGet serves the JSONL trace of a traced job.

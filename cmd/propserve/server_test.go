@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -881,5 +883,228 @@ func TestPartitionMoveWorkers(t *testing.T) {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestJobProgressAdvances polls a long-running job and requires the live
+// progress snapshot in GET /v1/jobs/{id} to move (phase, run, pass, or
+// best cut) before the job completes, and /debug/runs to list the job
+// while it is in flight.
+func TestJobProgressAdvances(t *testing.T) {
+	ts := newTestServer(t)
+	// A large many-run job so several polls land while it is running.
+	n, err := prop.Generate(prop.GenParams{Nodes: 3000, Nets: 3300, Pins: 11000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := n.WriteHGR(&sb); err != nil {
+		t.Fatal(err)
+	}
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=500", sb.String())
+	id := decodeBody[map[string]string](t, resp)["id"]
+
+	type view struct {
+		phase     string
+		run, pass int
+		cut       float64
+	}
+	seen := map[view]bool{}
+	sawDebugRuns := false
+	deadline := time.Now().Add(30 * time.Second)
+	for len(seen) < 2 || !sawDebugRuns {
+		if time.Now().After(deadline) {
+			t.Fatalf("progress did not advance: %d distinct snapshots, /debug/runs listed=%v",
+				len(seen), sawDebugRuns)
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State.terminal() {
+			t.Fatalf("job reached %q with only %d distinct progress snapshots", j.State, len(seen))
+		}
+		if j.State == jobRunning {
+			if j.Progress == nil {
+				t.Fatal("running job has no progress snapshot")
+			}
+			v := view{phase: j.Progress.Phase, run: j.Progress.Run, pass: j.Progress.Pass}
+			if j.Progress.BestCut != nil {
+				v.cut = *j.Progress.BestCut
+			}
+			seen[v] = true
+
+			dr, err := http.Get(ts.URL + "/debug/runs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs := decodeBody[map[string][]job](t, dr)["runs"]
+			for _, rj := range runs {
+				if rj.ID == id && rj.Progress != nil {
+					sawDebugRuns = true
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The engine reported at least one named phase along the way.
+	named := false
+	for v := range seen {
+		if v.phase != "" {
+			named = true
+		}
+	}
+	if !named {
+		t.Errorf("no progress snapshot named a phase: %v", seen)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Body.Close()
+
+	// Once terminal, the snapshot drops progress (the result supersedes it).
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not settle after cancel")
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State.terminal() {
+			if j.Progress != nil {
+				t.Errorf("terminal job still carries progress: %+v", j.Progress)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDebugRunsEmpty(t *testing.T) {
+	ts := newTestServer(t)
+	r, err := http.Get(ts.URL + "/debug/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	runs := decodeBody[map[string][]job](t, r)["runs"]
+	if len(runs) != 0 {
+		t.Errorf("idle /debug/runs = %+v", runs)
+	}
+}
+
+// TestPhaseDurationMetrics checks that engine phase spans land in the
+// phase_duration_ms histogram family — for a plain sync request (discard
+// tracer) and in both export formats.
+func TestPhaseDurationMetrics(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=prop&runs=2&seed=1", hgr)
+	resp.Body.Close()
+
+	r, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decodeBody[map[string]any](t, r)
+	fam, ok := m["phase_duration_ms"].(map[string]any)
+	if !ok {
+		t.Fatalf("phase_duration_ms = %v", m["phase_duration_ms"])
+	}
+	// Every portfolio run dispatches through the "prop" refine phase.
+	child, ok := fam["prop"].(map[string]any)
+	if !ok || child["count"] != float64(2) {
+		t.Errorf("phase_duration_ms[prop] = %v", fam["prop"])
+	}
+
+	pr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, pr.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE phase_duration_ms histogram\n",
+		`phase_duration_ms_bucket{phase="prop",le="+Inf"} 2`,
+		`phase_duration_ms_count{phase="prop"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in /metrics output:\n%s", want, body)
+		}
+	}
+}
+
+// syncWriter serializes writes from the server's logging goroutines.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// TestJobCompletionLogAndSlowRun pins the enriched completion log line
+// (algo, move_workers, passes) and the -slow-run warning.
+func TestJobCompletionLogAndSlowRun(t *testing.T) {
+	var lw syncWriter
+	logger := slog.New(slog.NewTextHandler(&lw, nil))
+	s := newServer(serverConfig{maxPar: 2, defTimeout: 30 * time.Second, slowRun: time.Nanosecond}, logger)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3&move_workers=2", hgr)
+	id := decodeBody[map[string]string](t, resp)["id"]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := decodeBody[job](t, r)
+		if j.State == jobDone {
+			if j.Result.Passes <= 0 {
+				t.Errorf("done job passes = %d, want > 0", j.Result.Passes)
+			}
+			break
+		}
+		if j.State.terminal() {
+			t.Fatalf("job state %q, error %q", j.State, j.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	logs := lw.String()
+	for _, want := range []string{
+		"algo=prop", "move_workers=2", "passes=",
+		"msg=\"slow run\"", "threshold_ms=",
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("completion log missing %q in:\n%s", want, logs)
+		}
 	}
 }

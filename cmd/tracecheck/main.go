@@ -1,8 +1,12 @@
 // Command tracecheck validates a JSONL trace produced by the tracing
 // subsystem (propart -trace, bench -trace, or propserve ?trace=). It
 // checks every line against the event schema documented in internal/obs
-// and exits non-zero on the first violation, so CI can assert that the
-// trace pipeline emits well-formed events end to end.
+// — unknown event kinds are violations, so schema drift cannot slip
+// through silently — validates per-run timestamp monotonicity and
+// run-span balance, and replays each run's phase_start/phase pairs
+// against a stack to reject unbalanced or misnested phase spans. Exits
+// non-zero on the first violation, so CI can assert that the trace
+// pipeline emits well-formed events end to end.
 //
 // Usage:
 //
@@ -51,6 +55,21 @@ var schema = map[string]map[string]string{
 		"structural": "number", "nodes": "number", "nets": "number",
 		"collapsed": "number", "dur_us": "number",
 	},
+	"phase_start": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"name": "string", "depth": "number", "level": "number",
+	},
+	"phase": {
+		"ts_us": "number", "ev": "string", "run": "number",
+		"name": "string", "depth": "number", "level": "number",
+		"wall_us": "number", "busy_us": "number",
+	},
+}
+
+// phaseFrame is one open span on a run's phase stack.
+type phaseFrame struct {
+	name  string
+	depth float64
 }
 
 func jsonType(v any) string {
@@ -84,6 +103,7 @@ func main() {
 
 	counts := map[string]int{}
 	lastTS := map[float64]float64{} // per-run monotonic timestamp check
+	phases := map[float64][]phaseFrame{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	line := 0
@@ -123,6 +143,31 @@ func main() {
 			fatal(fmt.Errorf("line %d: run %g ts_us %g went backwards (prev %g)", line, run, ts, prev))
 		}
 		lastTS[run] = ts
+		// Phase spans must nest per run: a phase_start's depth equals the
+		// open-span count, and the matching phase end names the stack top.
+		// (Phase tracing assumes one emitter per run index; a traced
+		// parallel k-way run, where sibling portfolios reuse run indices,
+		// is the one producer that can legitimately violate this.)
+		switch kind {
+		case "phase_start":
+			st := phases[run]
+			if d := ev["depth"].(float64); d != float64(len(st)) {
+				fatal(fmt.Errorf("line %d: run %g phase_start %q depth %g, want %d open spans",
+					line, run, ev["name"], d, len(st)))
+			}
+			phases[run] = append(st, phaseFrame{ev["name"].(string), ev["depth"].(float64)})
+		case "phase":
+			st := phases[run]
+			if len(st) == 0 {
+				fatal(fmt.Errorf("line %d: run %g phase %q ends with no open span", line, run, ev["name"]))
+			}
+			top := st[len(st)-1]
+			if top.name != ev["name"].(string) || top.depth != ev["depth"].(float64) {
+				fatal(fmt.Errorf("line %d: run %g phase %q/depth %g ends, but %q/depth %g is open",
+					line, run, ev["name"], ev["depth"], top.name, top.depth))
+			}
+			phases[run] = st[:len(st)-1]
+		}
 		counts[kind]++
 	}
 	if err := sc.Err(); err != nil {
@@ -134,6 +179,12 @@ func main() {
 	if counts["run_start"] != counts["run_end"] {
 		fatal(fmt.Errorf("unbalanced run spans: %d run_start, %d run_end",
 			counts["run_start"], counts["run_end"]))
+	}
+	for run, st := range phases {
+		if len(st) > 0 {
+			fatal(fmt.Errorf("run %g ends with %d unclosed phase span(s), first %q",
+				run, len(st), st[0].name))
+		}
 	}
 
 	kinds := make([]string, 0, len(counts))

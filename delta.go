@@ -172,7 +172,8 @@ func RepartitionCtx(ctx context.Context, base *Netlist, prevSides []uint8, d *De
 		p, err := warm.PolishWith(edited.h, res.Sides, res.CutCost, res.CutNets,
 			propConfig(bal, o, res.Runs),
 			refine.Options{Algorithm: partner, Balance: bal, LADepth: o.LADepth,
-				MoveWorkers: o.MoveWorkers, Flow: flowParams(o)})
+				MoveWorkers: o.MoveWorkers, Flow: flowParams(o),
+				Tracer: o.Tracer, TraceRun: res.Runs})
 		if err != nil {
 			return nil, Result{}, err
 		}

@@ -142,3 +142,30 @@ func TestMethodsProduceFeasibleCuts(t *testing.T) {
 		}
 	}
 }
+
+func TestRunHotpathPhaseWallMap(t *testing.T) {
+	rep, err := RunHotpath([]string{"balu"}, 2, 7, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DisabledPhaseNSPerOp <= 0 || rep.DisabledPhaseNSPerOp > 1000 {
+		t.Errorf("disabled_phase_ns_per_op = %g, want small positive", rep.DisabledPhaseNSPerOp)
+	}
+	if len(rep.Circuits) != 1 {
+		t.Fatalf("circuits = %d", len(rep.Circuits))
+	}
+	c := rep.Circuits[0]
+	if c.PROPTraced == nil || c.PROPTraced.BestCut != c.PROP.BestCut {
+		t.Errorf("traced series drifted: %+v vs %+v", c.PROPTraced, c.PROP)
+	}
+	// The traced runs were wrapped in a "prop" phase; its wall time sums
+	// over both runs and roughly tracks the traced series wall clock.
+	wall, ok := c.PhaseWallUS["prop"]
+	if !ok || wall <= 0 {
+		t.Fatalf("phase_wall_us = %v, want a positive prop entry", c.PhaseWallUS)
+	}
+	tracedUS := int64(c.PROPTraced.MeanMillis * float64(c.Runs) * 1000)
+	if wall > tracedUS*2 {
+		t.Errorf("prop phase wall %dµs exceeds traced series wall %dµs", wall, tracedUS)
+	}
+}

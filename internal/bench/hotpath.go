@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"prop/internal/fm"
 	"prop/internal/gen"
 	"prop/internal/obs"
+	"prop/internal/obs/report"
 	"prop/internal/partition"
 )
 
@@ -45,6 +47,10 @@ type HotpathCircuit struct {
 	// series — the cost of turning observability on.
 	PROPTraced       *HotpathSeries `json:"prop_traced,omitempty"`
 	TraceOverheadPct float64        `json:"trace_overhead_pct"`
+	// PhaseWallUS is the per-phase wall time (µs, slash-joined phase
+	// paths, summed over the traced series) aggregated from the traced
+	// runs' phase spans by internal/obs/report.
+	PhaseWallUS map[string]int64 `json:"phase_wall_us,omitempty"`
 	// PROPParLoop times PROP on the synchronous-round parallel move loop
 	// at parLoopWorkers workers, and ParLoopSpeedupX is the serial loop's
 	// mean wall clock over the parallel loop's — the one-run scaling the
@@ -69,8 +75,12 @@ type HotpathReport struct {
 	// scripts/bench.sh fails when the unified pass engine regresses more
 	// than 5% against it, and cmd/bench carries it forward verbatim when
 	// regenerating the report.
-	FMPassBaselineNS int64            `json:"fm_pass_baseline_ns,omitempty"`
-	Circuits         []HotpathCircuit `json:"circuits"`
+	FMPassBaselineNS int64 `json:"fm_pass_baseline_ns,omitempty"`
+	// DisabledPhaseNSPerOp is the measured cost of one StartPhase/End pair
+	// on a nil tracer — the price every emit site pays when tracing is off.
+	// It must stay in the low nanoseconds (the nil path allocates nothing).
+	DisabledPhaseNSPerOp float64          `json:"disabled_phase_ns_per_op"`
+	Circuits             []HotpathCircuit `json:"circuits"`
 }
 
 // ReadHotpath parses a previously written report (for carrying pinned
@@ -96,9 +106,10 @@ func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Wri
 		traceSink = io.Discard
 	}
 	rep := HotpathReport{
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		GoVersion:  runtime.Version(),
-		Seed:       seed,
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		GoVersion:            runtime.Version(),
+		Seed:                 seed,
+		DisabledPhaseNSPerOp: measureDisabledPhase(),
 	}
 	specs := map[string]gen.SuiteSpec{}
 	for _, s := range gen.Table1() {
@@ -133,7 +144,12 @@ func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Wri
 			}
 			return res.CutCost, nil
 		}
-		tracer := obs.New(traceSink, obs.LevelPass)
+		// The traced series tees its JSONL into memory so the per-phase
+		// wall-time map can be aggregated afterwards; each run is wrapped in
+		// a run span and a "prop" phase span (the same shape the refine
+		// dispatch layer emits) so the report has a tree to sum.
+		var traceMem bytes.Buffer
+		tracer := obs.New(io.MultiWriter(traceSink, &traceMem), obs.LevelPass)
 		propTracedRun := func(seed int64, r int) (float64, error) {
 			b, err := randomStart(h, bal, seed)
 			if err != nil {
@@ -142,7 +158,16 @@ func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Wri
 			cfg := core.DefaultConfig(bal)
 			cfg.Tracer = tracer
 			cfg.TraceRun = r
+			tracer.EmitRunStart(obs.RunStart{ID: name, Run: r})
+			runStart := time.Now()
+			sp := tracer.StartPhase(r, "prop")
 			res, err := core.Partition(b, cfg)
+			sp.EndBusy(res.RefineBusy)
+			end := obs.RunEnd{ID: name, Run: r, Dur: time.Since(runStart)}
+			if err != nil {
+				end.Err = err.Error()
+			}
+			tracer.EmitRunEnd(end)
 			if err != nil {
 				return 0, err
 			}
@@ -184,6 +209,11 @@ func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Wri
 		if rec.PROP.MeanMillis > 0 {
 			rec.TraceOverheadPct = (tracedSeries.MeanMillis - rec.PROP.MeanMillis) / rec.PROP.MeanMillis * 100
 		}
+		traceRep, err := report.Read(&traceMem)
+		if err != nil {
+			return rep, fmt.Errorf("bench: hotpath %s trace report: %w", name, err)
+		}
+		rec.PhaseWallUS = report.PhaseWallMap(traceRep)
 		if tracedSeries.BestCut != rec.PROP.BestCut {
 			return rep, fmt.Errorf("bench: hotpath %s: traced best cut %g != untraced %g (tracing must be observation-only)",
 				name, tracedSeries.BestCut, rec.PROP.BestCut)
@@ -210,6 +240,24 @@ func RunHotpath(names []string, runs int, seed int64, traceSink, progress io.Wri
 		rep.Circuits = append(rep.Circuits, rec)
 	}
 	return rep, nil
+}
+
+// phaseSink keeps the disabled-phase measurement loop from being
+// optimized away.
+var phaseSink obs.PhaseSpan
+
+// measureDisabledPhase times one StartPhase/End pair on a nil tracer —
+// the fast path every emit site takes when tracing is off.
+func measureDisabledPhase() float64 {
+	var nilTracer *obs.Tracer
+	const iters = 1 << 20
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sp := nilTracer.StartPhase(i&7, "bench")
+		phaseSink = sp
+		sp.End()
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
 }
 
 func timeSeries(run func(seed int64, r int) (float64, error), runs int, seed int64) (HotpathSeries, error) {

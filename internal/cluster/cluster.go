@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"prop/internal/hypergraph"
+	"prop/internal/obs"
 	"prop/internal/partition"
 )
 
@@ -50,6 +51,13 @@ type Level struct {
 // intermediate level fine→coarse. This is the hierarchy a multilevel
 // V-cycle refines back through. The result is deterministic in seed.
 func CoarsenSteps(h *hypergraph.Hypergraph, target int, seed int64) ([]Level, error) {
+	return CoarsenStepsTraced(h, target, seed, nil, 0)
+}
+
+// CoarsenStepsTraced is CoarsenSteps with a phase span per matching round
+// ("coarsen", level = round index) on the given tracer. The tracer is
+// observation-only; a nil tracer is the plain CoarsenSteps.
+func CoarsenStepsTraced(h *hypergraph.Hypergraph, target int, seed int64, tr *obs.Tracer, run int) ([]Level, error) {
 	if target < 2 {
 		return nil, fmt.Errorf("cluster: target %d, want ≥ 2", target)
 	}
@@ -57,7 +65,9 @@ func CoarsenSteps(h *hypergraph.Hypergraph, target int, seed int64) ([]Level, er
 	var levels []Level
 	cur := h
 	for cur.NumNodes() > target {
+		sp := tr.StartPhaseLevel(run, "coarsen", len(levels))
 		mapping, coarse, err := matchOnce(cur, rng)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

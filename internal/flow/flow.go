@@ -123,15 +123,22 @@ func Refine(h *hypergraph.Hypergraph, initial []uint8, cfg Config) (Result, erro
 	for round := 0; round < p.Rounds; round++ {
 		start := time.Now()
 		res.Rounds++
+		sp := cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "corridor", round)
 		c := extractCorridor(b, p.Radius, sideCap)
+		sp.End()
 		adopted := false
 		var flowValue, cutAfter float64
 		cutBefore := b.CutCost()
 		nets := 0
 		if len(c.nodes) > 0 {
+			sp = cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "expand", round)
 			net := buildNetwork(b, c)
+			sp.End()
 			nets = len(net.nets)
+			sp = cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "dinic", round)
 			flowValue = float64(net.maxflow()) / net.scale
+			sp.End()
+			sp = cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "adopt", round)
 			if moved, ok := net.minCutMoves(b, c, lo, hi); ok && len(moved) > 0 {
 				if delta := cutDelta(b, moved); delta < -epsCut {
 					for _, u := range moved {
@@ -141,6 +148,7 @@ func Refine(h *hypergraph.Hypergraph, initial []uint8, cfg Config) (Result, erro
 					res.Adopted++
 				}
 			}
+			sp.End()
 		}
 		cutAfter = b.CutCost()
 		if cfg.Tracer.PassEnabled() {

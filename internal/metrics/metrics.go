@@ -1,6 +1,7 @@
 // Package metrics is a small, dependency-free instrumentation layer for
 // the partitioning engine and the propserve service: expvar-style counters
-// and gauges, a fixed-bucket histogram (cut-size distribution), and a
+// and gauges, a fixed-bucket histogram (cut-size distribution), a labeled
+// histogram family (per-phase durations, one child per phase name), and a
 // sliding-window latency tracker with p50/p99 quantiles. Everything is
 // safe for concurrent use and exports both as one flat JSON document and
 // in the Prometheus text exposition format (version 0.0.4).
@@ -124,6 +125,53 @@ func trimFloat(f float64) string {
 	return string(b)
 }
 
+// HistogramVec is a family of histograms partitioned by one label
+// (per-phase durations keyed by phase name). All children share the same
+// bucket bounds; a child is created on the first observation of its label
+// value. Safe for concurrent use.
+type HistogramVec struct {
+	mu     sync.Mutex
+	label  string
+	bounds []float64
+	kids   map[string]*Histogram
+}
+
+// NewHistogramVec builds an empty family whose children bucket by the
+// given ascending upper bounds and export under the given label name.
+func NewHistogramVec(label string, bounds ...float64) *HistogramVec {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &HistogramVec{label: label, bounds: b, kids: map[string]*Histogram{}}
+}
+
+// Observe records one value into the child for the given label value.
+func (v *HistogramVec) Observe(value string, x float64) {
+	v.mu.Lock()
+	h := v.kids[value]
+	if h == nil {
+		h = &Histogram{bounds: v.bounds, counts: make([]int64, len(v.bounds)+1)}
+		v.kids[value] = h
+	}
+	v.mu.Unlock()
+	h.Observe(x)
+}
+
+// Snapshot returns a consistent copy of every child, keyed by label
+// value. (encoding/json sorts map keys, so the JSON export is stable.)
+func (v *HistogramVec) Snapshot() map[string]HistogramSnapshot {
+	v.mu.Lock()
+	kids := make(map[string]*Histogram, len(v.kids))
+	for value, h := range v.kids {
+		kids[value] = h
+	}
+	v.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(kids))
+	for value, h := range kids {
+		out[value] = h.Snapshot()
+	}
+	return out
+}
+
 // Latency tracks durations over a sliding window of the most recent
 // observations and reports count/mean/p50/p99.
 type Latency struct {
@@ -218,6 +266,7 @@ const (
 	kindGauge
 	kindFloatGauge
 	kindHistogram
+	kindHistogramVec
 	kindLatency
 )
 
@@ -230,6 +279,7 @@ type item struct {
 	gauge   *Gauge
 	fgauge  *FloatGauge
 	hist    *Histogram
+	histVec *HistogramVec
 	lat     *Latency
 }
 
@@ -283,6 +333,13 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	h := NewHistogram(bounds...)
 	r.publish(name, item{kind: kindHistogram, hist: h, json: func() any { return h.Snapshot() }})
 	return h
+}
+
+// HistogramVec registers and returns a new labeled histogram family.
+func (r *Registry) HistogramVec(name, label string, bounds ...float64) *HistogramVec {
+	v := NewHistogramVec(label, bounds...)
+	r.publish(name, item{kind: kindHistogramVec, histVec: v, json: func() any { return v.Snapshot() }})
+	return v
 }
 
 // Latency registers and returns a new latency tracker.
@@ -366,7 +423,9 @@ func promFloat(v float64) string {
 // WritePrometheus emits every metric in the Prometheus text exposition
 // format (version 0.0.4), in registration order. Counters and gauges map
 // directly; Histograms become cumulative histograms with `_bucket`,
-// `_sum`, and `_count` series; Latency trackers become summaries with
+// `_sum`, and `_count` series; HistogramVec families emit the same series
+// once per label value (values in sorted order); Latency trackers become
+// summaries with
 // p50/p99 quantile series (values in milliseconds); Func metrics with
 // numeric results are emitted untyped, others are skipped (JSON-only).
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -397,6 +456,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, bk.LE, cum)
 			}
 			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", pn, promFloat(s.Sum), pn, s.Count)
+		case kindHistogramVec:
+			snaps := it.histVec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for value := range snaps {
+				values = append(values, value)
+			}
+			sort.Strings(values)
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+			for _, value := range values {
+				s := snaps[value]
+				cum := int64(0)
+				for _, bk := range s.Buckets {
+					cum += bk.Count
+					fmt.Fprintf(&b, "%s_bucket{%s=%q,le=%q} %d\n", pn, it.histVec.label, value, bk.LE, cum)
+				}
+				fmt.Fprintf(&b, "%s_sum{%s=%q} %s\n", pn, it.histVec.label, value, promFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count{%s=%q} %d\n", pn, it.histVec.label, value, s.Count)
+			}
 		case kindLatency:
 			s := it.lat.Snapshot()
 			fmt.Fprintf(&b, "# TYPE %s summary\n", pn)

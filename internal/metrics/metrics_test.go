@@ -66,6 +66,111 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramVecChildren(t *testing.T) {
+	v := NewHistogramVec("phase", 10, 100)
+	v.Observe("coarsen", 5)
+	v.Observe("coarsen", 50)
+	v.Observe("prop", 500)
+	snaps := v.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("children = %d, want 2", len(snaps))
+	}
+	co := snaps["coarsen"]
+	if co.Count != 2 || co.Sum != 55 {
+		t.Errorf("coarsen = %+v", co)
+	}
+	if want := []int64{1, 1, 0}; len(co.Buckets) != 3 ||
+		co.Buckets[0].Count != want[0] || co.Buckets[1].Count != want[1] || co.Buckets[2].Count != want[2] {
+		t.Errorf("coarsen buckets = %+v", co.Buckets)
+	}
+	pr := snaps["prop"]
+	if pr.Count != 1 || pr.Buckets[2].Count != 1 {
+		t.Errorf("prop = %+v", pr)
+	}
+	// Empty family snapshots to an empty map, not nil panics.
+	if s := NewHistogramVec("phase", 1).Snapshot(); len(s) != 0 {
+		t.Errorf("empty family = %+v", s)
+	}
+}
+
+func TestHistogramVecPrometheus(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("phase_duration_ms", "phase", 1, 10)
+	v.Observe("prop", 0.5)
+	v.Observe("prop", 5)
+	v.Observe("prop", 50)
+	v.Observe("coarsen", 2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE phase_duration_ms histogram\n",
+		`phase_duration_ms_bucket{phase="coarsen",le="1"} 0`,
+		`phase_duration_ms_bucket{phase="coarsen",le="10"} 1`,
+		`phase_duration_ms_bucket{phase="coarsen",le="+Inf"} 1`,
+		`phase_duration_ms_sum{phase="coarsen"} 2`,
+		`phase_duration_ms_count{phase="coarsen"} 1`,
+		`phase_duration_ms_bucket{phase="prop",le="1"} 1`,
+		`phase_duration_ms_bucket{phase="prop",le="10"} 2`,
+		`phase_duration_ms_bucket{phase="prop",le="+Inf"} 3`,
+		`phase_duration_ms_count{phase="prop"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Label values render in sorted order for stable scrapes.
+	if strings.Index(out, `phase="coarsen"`) > strings.Index(out, `phase="prop"`) {
+		t.Errorf("label values not sorted:\n%s", out)
+	}
+
+	// JSON export: one object keyed by label value.
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]HistogramSnapshot
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if got := decoded["phase_duration_ms"]["prop"].Count; got != 3 {
+		t.Errorf("json prop count = %d, want 3", got)
+	}
+}
+
+func TestHistogramVecConcurrent(t *testing.T) {
+	v := NewHistogramVec("phase", 1, 10, 100)
+	names := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				v.Observe(names[(i+j)%len(names)], float64(j))
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = v.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, s := range v.Snapshot() {
+		total += s.Count
+	}
+	if total != 3000 {
+		t.Errorf("total observations = %d, want 3000", total)
+	}
+}
+
 func TestLatencyQuantiles(t *testing.T) {
 	l := NewLatency(128)
 	for i := 1; i <= 100; i++ {

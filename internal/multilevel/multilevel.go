@@ -12,6 +12,7 @@ import (
 
 	"prop/internal/cluster"
 	"prop/internal/hypergraph"
+	"prop/internal/obs"
 	"prop/internal/partition"
 	"prop/internal/refine"
 )
@@ -88,6 +89,15 @@ type Config struct {
 	// proposal-scan workers (bit-identical at any positive value).
 	MoveWorkers int
 	Seed        int64
+
+	// Tracer, when non-nil, receives phase spans for the V-cycle stages:
+	// "multilevel" wrapping the whole cycle, one "coarsen" span per
+	// matching round, "initial" around the coarsest multi-start, and one
+	// "uncoarsen" span per projection+refine level. Observation-only. When
+	// Refine is nil the default PROP refiner inherits the tracer, so its
+	// dispatch spans nest inside the level spans.
+	Tracer   *obs.Tracer
+	TraceRun int
 }
 
 // Result reports the outcome.
@@ -114,15 +124,21 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 		cfg.InitialRuns = 10
 	}
 	if cfg.Refine == nil {
-		if cfg.MoveWorkers > 0 {
-			cfg.Refine = AlgoRefinerOpts(refine.Options{
-				Algorithm: "prop", MoveWorkers: cfg.MoveWorkers,
-			})
-		} else {
-			cfg.Refine = PROPRefiner()
-		}
+		cfg.Refine = AlgoRefinerOpts(refine.Options{
+			Algorithm: "prop", MoveWorkers: cfg.MoveWorkers,
+			Tracer: cfg.Tracer, TraceRun: cfg.TraceRun,
+		})
 	}
-	levels, err := cluster.CoarsenSteps(h, cfg.CoarsestNodes, cfg.Seed)
+	sp := cfg.Tracer.StartPhase(cfg.TraceRun, "multilevel")
+	res, err := vcycle(h, cfg)
+	sp.End()
+	return res, err
+}
+
+// vcycle is the Partition body, separated so the enclosing "multilevel"
+// phase span closes on every return path.
+func vcycle(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
+	levels, err := cluster.CoarsenStepsTraced(h, cfg.CoarsestNodes, cfg.Seed, cfg.Tracer, cfg.TraceRun)
 	if err != nil {
 		return Result{}, err
 	}
@@ -135,16 +151,24 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 	// random-start refinements.
 	var bestSides []uint8
 	bestCut := -1.0
-	for r := 0; r < cfg.InitialRuns; r++ {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
-		sides := partition.RandomSides(coarsest, cfg.Balance, rng)
-		refined, cut, err := cfg.Refine(coarsest, sides, cfg.Balance)
-		if err != nil {
-			return Result{}, err
+	err = func() error {
+		sp := cfg.Tracer.StartPhase(cfg.TraceRun, "initial")
+		defer sp.End()
+		for r := 0; r < cfg.InitialRuns; r++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(r)*7919))
+			sides := partition.RandomSides(coarsest, cfg.Balance, rng)
+			refined, cut, err := cfg.Refine(coarsest, sides, cfg.Balance)
+			if err != nil {
+				return err
+			}
+			if bestCut < 0 || cut < bestCut {
+				bestSides, bestCut = refined, cut
+			}
 		}
-		if bestCut < 0 || cut < bestCut {
-			bestSides, bestCut = refined, cut
-		}
+		return nil
+	}()
+	if err != nil {
+		return Result{}, err
 	}
 	coarsestCut := bestCut
 
@@ -156,24 +180,29 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 	sides := bestSides
 	cut := bestCut
 	for i := len(levels) - 1; i >= 0; i-- {
-		var fine *hypergraph.Hypergraph
-		if i == 0 {
-			fine = h
-		} else {
-			fine = levels[i-1].Coarse
-		}
-		projected := make([]uint8, fine.NumNodes())
-		for u := range projected {
-			projected[u] = sides[levels[i].Map[u]]
-		}
-		fb, err := partition.NewBisection(fine, projected)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := partition.RepairBalance(fb, cfg.Balance); err != nil {
-			return Result{}, err
-		}
-		sides, cut, err = cfg.Refine(fine, fb.Sides(), cfg.Balance)
+		err := func() error {
+			sp := cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "uncoarsen", i)
+			defer sp.End()
+			var fine *hypergraph.Hypergraph
+			if i == 0 {
+				fine = h
+			} else {
+				fine = levels[i-1].Coarse
+			}
+			projected := make([]uint8, fine.NumNodes())
+			for u := range projected {
+				projected[u] = sides[levels[i].Map[u]]
+			}
+			fb, err := partition.NewBisection(fine, projected)
+			if err != nil {
+				return err
+			}
+			if err := partition.RepairBalance(fb, cfg.Balance); err != nil {
+				return err
+			}
+			sides, cut, err = cfg.Refine(fine, fb.Sides(), cfg.Balance)
+			return err
+		}()
 		if err != nil {
 			return Result{}, err
 		}

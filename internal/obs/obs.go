@@ -34,6 +34,8 @@
 //	round        pass, round, proposed, conflicted, applied,
 //	             busy_us, wall_us
 //	delta_apply  id?, structural (0/1), nodes, nets, collapsed, dur_us
+//	phase_start  name, depth, level
+//	phase        name, depth, level, wall_us, busy_us, heap_bytes?
 //
 // flow is one corridor max-flow round of the flow-based boundary
 // refinement stage (internal/flow) — the flow analogue of a pass event,
@@ -49,6 +51,19 @@
 // repartitioning); its run field is always 0 — delta application happens
 // before the multi-start portfolio.
 //
+// phase_start / phase are the paired events of one hierarchical phase
+// span (StartPhase/End): multilevel coarsen/initial/refine levels, warm
+// polish rounds, flow stages, and the refine dispatch itself. depth is
+// the 0-based nesting depth within the run, tracked per run index by the
+// tracer, so a validator can replay each run's spans against a stack and
+// reject unbalanced nesting. level is a phase-local ordinal (coarsen
+// level, polish round); heap_bytes is the process heap at phase end,
+// present only when heap sampling is enabled. Like delta_apply, phase
+// events are emitted at every trace level — phases are rare and
+// load-bearing. Per-run depth tracking assumes at most one goroutine
+// emits phases for a given run index at a time, which holds for every
+// engine path: parallel portfolios give each run a distinct index.
+//
 // Fields marked ? are omitted when empty. cmd/tracecheck validates a
 // JSONL stream against this schema.
 package obs
@@ -58,6 +73,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"io"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -97,11 +113,15 @@ func ParseLevel(s string) (Level, bool) {
 type Tracer struct {
 	level Level
 	epoch time.Time
+	heap  bool        // sample runtime heap at phase boundaries
+	hook  func(Phase) // invoked after each phase end, outside t.mu
+	prog  *Progress   // live snapshot sink, optional
 
-	mu  sync.Mutex
-	w   io.Writer
-	buf []byte
-	err error
+	mu     sync.Mutex
+	w      io.Writer
+	buf    []byte
+	err    error
+	depths map[int]int // current phase nesting depth per run index
 
 	events atomic.Int64
 }
@@ -116,7 +136,39 @@ func New(w io.Writer, level Level) *Tracer {
 	if level > LevelMove {
 		level = LevelMove
 	}
-	return &Tracer{level: level, epoch: time.Now(), w: w, buf: make([]byte, 0, 256)}
+	return &Tracer{
+		level:  level,
+		epoch:  time.Now(),
+		w:      w,
+		buf:    make([]byte, 0, 256),
+		depths: make(map[int]int),
+	}
+}
+
+// WithHeapSampling enables a runtime.ReadMemStats snapshot at each phase
+// end, emitted as heap_bytes. ReadMemStats stops the world briefly, so
+// this is opt-in and the read happens only at phase boundaries — never on
+// the pass/move hot path. Must be called before the tracer is shared.
+func (t *Tracer) WithHeapSampling() *Tracer {
+	t.heap = true
+	return t
+}
+
+// WithPhaseHook installs fn, called once per completed phase span after
+// the event is recorded (outside the tracer lock). Used by the serving
+// layer to feed per-phase duration histograms. Must be called before the
+// tracer is shared.
+func (t *Tracer) WithPhaseHook(fn func(Phase)) *Tracer {
+	t.hook = fn
+	return t
+}
+
+// WithProgress attaches a live-progress sink updated on run starts, pass
+// events and phase boundaries. Must be called before the tracer is
+// shared.
+func (t *Tracer) WithProgress(p *Progress) *Tracer {
+	t.prog = p
+	return t
 }
 
 // RunEnabled reports whether run span events should be emitted. Nil-safe.
@@ -323,6 +375,9 @@ func (t *Tracer) EmitRunStart(e RunStart) {
 	b = appendStr(b, "id", e.ID)
 	t.close(b)
 	t.mu.Unlock()
+	if t.prog != nil {
+		t.prog.setRun(e.Run)
+	}
 }
 
 // EmitRunEnd records a run_end event. Nil-safe no-op when disabled.
@@ -364,6 +419,9 @@ func (t *Tracer) EmitPass(e Pass) {
 	b = appendInt(b, "dur_us", e.Dur.Microseconds())
 	t.close(b)
 	t.mu.Unlock()
+	if t.prog != nil {
+		t.prog.observePass(e.Run, e.Pass, e.Cut)
+	}
 }
 
 // EmitMove records a move event. Callers should guard with MoveEnabled;
@@ -379,6 +437,173 @@ func (t *Tracer) EmitMove(e Move) {
 	b = appendFloat(b, "gain", e.Gain)
 	t.close(b)
 	t.mu.Unlock()
+}
+
+// Phase is one completed hierarchical phase span: a named stage of the
+// partitioning pipeline (multilevel level, warm polish round, flow stage,
+// refine dispatch) with its nesting depth and wall/busy time. Heap is the
+// process heap at phase end, zero unless heap sampling is enabled.
+type Phase struct {
+	Run   int
+	Name  string
+	Depth int // 0-based nesting depth within the run
+	Level int // phase-local ordinal: coarsen level, polish round, ...
+
+	Wall time.Duration
+	Busy time.Duration // summed worker busy time, zero when untracked
+	Heap uint64        // HeapAlloc bytes at phase end (heap sampling only)
+}
+
+// PhaseSpan is an open phase started by StartPhase. The zero value (from
+// a nil tracer) is inert: End is a no-op and costs no allocation.
+type PhaseSpan struct {
+	t     *Tracer
+	start time.Time
+	name  string
+	run   int
+	depth int
+	level int
+}
+
+// PhaseEnabled reports whether phase spans should be emitted. Nil-safe.
+// Like delta_apply, phases are recorded at every trace level.
+func (t *Tracer) PhaseEnabled() bool { return t != nil }
+
+// StartPhase opens a phase span for run. It records a phase_start event
+// and returns a span whose End records the matching phase event. Nil-safe:
+// a nil tracer returns the zero span without allocating.
+func (t *Tracer) StartPhase(run int, name string) PhaseSpan {
+	return t.StartPhaseLevel(run, name, 0)
+}
+
+// StartPhaseLevel is StartPhase with an explicit phase-local ordinal
+// (coarsen level, polish round index).
+func (t *Tracer) StartPhaseLevel(run int, name string, level int) PhaseSpan {
+	if t == nil {
+		return PhaseSpan{}
+	}
+	t.mu.Lock()
+	depth := t.depths[run]
+	t.depths[run] = depth + 1
+	b := t.open("phase_start", run)
+	b = appendStr(b, "name", name)
+	b = appendInt(b, "depth", int64(depth))
+	b = appendInt(b, "level", int64(level))
+	t.close(b)
+	t.mu.Unlock()
+	if t.prog != nil {
+		t.prog.setPhase(run, name)
+	}
+	return PhaseSpan{t: t, start: time.Now(), name: name, run: run, depth: depth, level: level}
+}
+
+// End closes the span with no busy-time attribution. No-op on the zero
+// span.
+func (s PhaseSpan) End() { s.EndBusy(0) }
+
+// EndBusy closes the span, attributing busy as summed worker time inside
+// the phase. No-op on the zero span.
+func (s PhaseSpan) EndBusy(busy time.Duration) {
+	t := s.t
+	if t == nil {
+		return
+	}
+	e := Phase{
+		Run:   s.run,
+		Name:  s.name,
+		Depth: s.depth,
+		Level: s.level,
+		Wall:  time.Since(s.start),
+		Busy:  busy,
+	}
+	if t.heap {
+		// Outside t.mu: ReadMemStats stops the world and must not extend
+		// the critical section every concurrent emitter shares.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.Heap = ms.HeapAlloc
+	}
+	t.mu.Lock()
+	// Restore the pre-span depth so sibling spans reuse it. Out-of-order
+	// Ends would misreport depth, not corrupt the tracer.
+	t.depths[s.run] = s.depth
+	b := t.open("phase", s.run)
+	b = appendStr(b, "name", s.name)
+	b = appendInt(b, "depth", int64(s.depth))
+	b = appendInt(b, "level", int64(s.level))
+	b = appendInt(b, "wall_us", e.Wall.Microseconds())
+	b = appendInt(b, "busy_us", e.Busy.Microseconds())
+	if e.Heap != 0 {
+		b = appendInt(b, "heap_bytes", int64(e.Heap))
+	}
+	t.close(b)
+	t.mu.Unlock()
+	if t.hook != nil {
+		t.hook(e)
+	}
+}
+
+// Progress is a thread-safe live snapshot of a traced run: the most
+// recently started phase, the latest pass index and the best cut seen so
+// far. Attach with WithProgress; read with Snapshot. The serving layer
+// publishes this for in-flight jobs.
+type Progress struct {
+	mu      sync.Mutex
+	phase   string
+	run     int
+	pass    int
+	passes  int
+	bestCut float64
+	hasCut  bool
+}
+
+// ProgressSnapshot is the JSON form of a Progress read.
+type ProgressSnapshot struct {
+	Phase   string   `json:"phase,omitempty"`
+	Run     int      `json:"run"`
+	Pass    int      `json:"pass"`
+	Passes  int      `json:"passes"`
+	BestCut *float64 `json:"best_cut,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the current progress. Nil-safe.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := ProgressSnapshot{Phase: p.phase, Run: p.run, Pass: p.pass, Passes: p.passes}
+	if p.hasCut {
+		c := p.bestCut
+		s.BestCut = &c
+	}
+	return s
+}
+
+func (p *Progress) setPhase(run int, name string) {
+	p.mu.Lock()
+	p.phase = name
+	p.run = run
+	p.mu.Unlock()
+}
+
+func (p *Progress) setRun(run int) {
+	p.mu.Lock()
+	p.run = run
+	p.mu.Unlock()
+}
+
+func (p *Progress) observePass(run, pass int, cut float64) {
+	p.mu.Lock()
+	p.run = run
+	p.pass = pass
+	p.passes++
+	if !p.hasCut || cut < p.bestCut {
+		p.bestCut = cut
+		p.hasCut = true
+	}
+	p.mu.Unlock()
 }
 
 // open starts a line in the reused buffer: {"ts_us":N,"ev":"...","run":N.

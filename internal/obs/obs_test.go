@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -81,7 +82,7 @@ func TestEventEncoding(t *testing.T) {
 
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
-	if tr.RunEnabled() || tr.PassEnabled() || tr.MoveEnabled() {
+	if tr.RunEnabled() || tr.PassEnabled() || tr.MoveEnabled() || tr.PhaseEnabled() {
 		t.Error("nil tracer reports enabled")
 	}
 	if tr.Events() != 0 || tr.Err() != nil {
@@ -92,6 +93,129 @@ func TestNilTracerSafe(t *testing.T) {
 	tr.EmitRunEnd(RunEnd{})
 	tr.EmitPass(Pass{})
 	tr.EmitMove(Move{})
+	tr.StartPhase(0, "noop").End()
+	var p *Progress
+	if s := p.Snapshot(); s.Phase != "" || s.BestCut != nil {
+		t.Error("nil Progress snapshot not zero")
+	}
+}
+
+func TestPhaseEncoding(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, LevelRun) // phases must emit at every level
+	outer := tr.StartPhase(2, "multilevel")
+	inner := tr.StartPhaseLevel(2, "coarsen", 3)
+	inner.EndBusy(40 * time.Microsecond)
+	sibling := tr.StartPhase(2, "initial") // must reuse depth 1 after inner ended
+	sibling.End()
+	outer.End()
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+	lines := decodeLines(t, sb.String())
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want 6 (3 starts + 3 ends): %s", len(lines), sb.String())
+	}
+	type want struct {
+		ev    string
+		name  string
+		depth float64
+		level float64
+	}
+	wants := []want{
+		{"phase_start", "multilevel", 0, 0},
+		{"phase_start", "coarsen", 1, 3},
+		{"phase", "coarsen", 1, 3},
+		{"phase_start", "initial", 1, 0},
+		{"phase", "initial", 1, 0},
+		{"phase", "multilevel", 0, 0},
+	}
+	for i, w := range wants {
+		m := lines[i]
+		if m["ev"] != w.ev || m["name"] != w.name || m["depth"] != w.depth || m["level"] != w.level {
+			t.Errorf("line %d = %v, want %+v", i, m, w)
+		}
+		if m["run"] != float64(2) {
+			t.Errorf("line %d run = %v, want 2", i, m["run"])
+		}
+		if w.ev == "phase" {
+			if _, ok := m["wall_us"]; !ok {
+				t.Errorf("line %d missing wall_us: %v", i, m)
+			}
+			if _, ok := m["heap_bytes"]; ok {
+				t.Errorf("line %d has heap_bytes without heap sampling: %v", i, m)
+			}
+		}
+	}
+	if lines[2]["busy_us"] != float64(40) {
+		t.Errorf("coarsen busy_us = %v, want 40", lines[2]["busy_us"])
+	}
+}
+
+func TestPhaseHeapSampling(t *testing.T) {
+	var sb strings.Builder
+	tr := New(&sb, LevelPass).WithHeapSampling()
+	tr.StartPhase(0, "prop").End()
+	lines := decodeLines(t, sb.String())
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	heap, ok := lines[1]["heap_bytes"].(float64)
+	if !ok || heap <= 0 {
+		t.Errorf("phase heap_bytes = %v, want > 0", lines[1]["heap_bytes"])
+	}
+}
+
+// TestStartPhaseNilTracerZeroAllocs pins the disabled-path contract for
+// the phase emitters, matching TestEmitPassNilTracerZeroAllocs in
+// internal/core: a nil tracer must cost zero allocations per span.
+func TestStartPhaseNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartPhaseLevel(0, "prop", 4)
+		sp.EndBusy(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer phase span allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestPhaseHookAndProgress(t *testing.T) {
+	var got []Phase
+	prog := &Progress{}
+	tr := New(io.Discard, LevelPass).
+		WithPhaseHook(func(p Phase) { got = append(got, p) }).
+		WithProgress(prog)
+
+	tr.EmitRunStart(RunStart{Run: 1})
+	sp := tr.StartPhaseLevel(1, "polish", 2)
+	tr.EmitPass(Pass{Algo: "prop", Run: 1, Pass: 0, Cut: 60})
+	tr.EmitPass(Pass{Algo: "prop", Run: 1, Pass: 1, Cut: 45})
+	tr.EmitPass(Pass{Algo: "prop", Run: 1, Pass: 2, Cut: 52}) // worse: best must hold
+	sp.EndBusy(5 * time.Microsecond)
+
+	if len(got) != 1 {
+		t.Fatalf("hook calls = %d, want 1", len(got))
+	}
+	p := got[0]
+	if p.Name != "polish" || p.Run != 1 || p.Depth != 0 || p.Level != 2 || p.Busy != 5*time.Microsecond {
+		t.Errorf("hook phase = %+v", p)
+	}
+	if p.Wall < 0 {
+		t.Errorf("hook phase wall = %v", p.Wall)
+	}
+	s := prog.Snapshot()
+	if s.Phase != "polish" || s.Run != 1 || s.Pass != 2 || s.Passes != 3 {
+		t.Errorf("progress = %+v", s)
+	}
+	if s.BestCut == nil || *s.BestCut != 45 {
+		t.Errorf("progress best cut = %v, want 45", s.BestCut)
+	}
+	// Snapshot must be a copy: mutating the source later must not move it.
+	tr.EmitPass(Pass{Run: 1, Pass: 3, Cut: 30})
+	if *s.BestCut != 45 {
+		t.Error("snapshot aliased live progress")
+	}
 }
 
 func TestLevelGating(t *testing.T) {

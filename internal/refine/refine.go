@@ -78,8 +78,26 @@ func Algorithms() []string {
 }
 
 // Bipartition runs the selected engine from the given initial sides (not
-// modified) and returns the locally improved partition.
+// modified) and returns the locally improved partition. When a tracer is
+// attached the whole dispatch is wrapped in a phase span named after the
+// algorithm, so every engine invocation — top-level, multilevel refine,
+// warm polish, flow partner — lands in the per-phase wall-time tree.
 func Bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, error) {
+	tr, run := o.Tracer, o.TraceRun
+	if tr == nil && o.PROP != nil {
+		tr, run = o.PROP.Tracer, o.PROP.TraceRun
+	}
+	name := o.Algorithm
+	if name == "" {
+		name = "refine"
+	}
+	sp := tr.StartPhase(run, name)
+	r, err := bipartition(h, initial, o)
+	sp.EndBusy(r.RefineBusy)
+	return r, err
+}
+
+func bipartition(h *hypergraph.Hypergraph, initial []uint8, o Options) (Result, error) {
 	switch o.Algorithm {
 	case "kl":
 		r, err := kl.Partition(h, initial, kl.Config{

@@ -47,9 +47,11 @@ func Chain(h *hypergraph.Hypergraph, initial []uint8, cfg core.Config) (Result, 
 	if err != nil {
 		return Result{}, err
 	}
+	sp := cfg.Tracer.StartPhase(cfg.TraceRun, "warm-prop")
 	res, err := refine.Bipartition(h, completed, refine.Options{
 		Algorithm: "prop", Balance: cfg.Balance, PROP: &cfg,
 	})
+	sp.EndBusy(res.RefineBusy)
 	if err != nil {
 		return Result{}, err
 	}
@@ -83,11 +85,14 @@ func PolishWith(h *hypergraph.Hypergraph, sides []uint8, cut float64, cutNets in
 	propCfg.Init = core.InitDeterministic
 	propOpt := refine.Options{Algorithm: "prop", Balance: cfg.Balance, PROP: &propCfg}
 	for round := 0; round < maxPolishRounds; round++ {
+		sp := cfg.Tracer.StartPhaseLevel(cfg.TraceRun, "polish", round)
 		pRes, err := refine.Bipartition(h, best.Sides, partner)
 		if err != nil {
+			sp.End()
 			return Result{}, err
 		}
 		propRes, err := refine.Bipartition(h, pRes.Sides, propOpt)
+		sp.End()
 		if err != nil {
 			return Result{}, err
 		}

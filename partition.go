@@ -15,6 +15,7 @@ import (
 	"prop/internal/kwaydirect"
 	"prop/internal/multilevel"
 	"prop/internal/multiway"
+	"prop/internal/obs"
 	"prop/internal/partition"
 	"prop/internal/placement"
 	"prop/internal/refine"
@@ -285,9 +286,20 @@ func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 		}
 		res = Result{Sides: r.Sides, CutCost: r.CutCost, CutNets: r.CutNets, Runs: 1}
 	case AlgoMLPROP:
+		// The V-cycle is a single deterministic run outside the portfolio
+		// engine, so emit its run span here — the phase tree then has a
+		// run-wall denominator like every portfolio trace.
+		o.Tracer.EmitRunStart(obs.RunStart{ID: o.TraceID, Run: 0})
+		mlStart := time.Now()
 		r, err := multilevel.Partition(n.h, multilevel.Config{
 			Balance: bal, Seed: o.Seed, MoveWorkers: o.MoveWorkers,
+			Tracer: o.Tracer, TraceRun: 0,
 		})
+		end := obs.RunEnd{ID: o.TraceID, Run: 0, Dur: time.Since(mlStart)}
+		if err != nil {
+			end.Err = err.Error()
+		}
+		o.Tracer.EmitRunEnd(end)
 		if err != nil {
 			return Result{}, err
 		}

@@ -4,7 +4,11 @@
 # machine-readable report to BENCH_hotpath.json (committed alongside
 # EXPERIMENTS.md so perf changes are diffable). The study also re-times
 # PROP with a pass-level tracer attached and records the slowdown as
-# trace_overhead_pct per circuit — the cost of turning telemetry on.
+# trace_overhead_pct per circuit — the cost of turning telemetry on —
+# plus the per-phase wall map aggregated from the traced runs
+# (phase_wall_us) and the nil-tracer phase-emitter cost
+# (disabled_phase_ns_per_op), the price every emit site pays with
+# tracing off.
 #
 #	./scripts/bench.sh                 # refuses single-proc runs
 #	./scripts/bench.sh -allow-serial   # accept GOMAXPROCS=1 timings
@@ -66,6 +70,31 @@ go test -run=NONE -bench 'BenchmarkGain|BenchmarkRebuild|BenchmarkRefine|Benchma
 
 echo "== hot-path study (BENCH_hotpath.json) =="
 go run ./cmd/bench -hotpath BENCH_hotpath.json -runs 3 -seed 7 -v
+
+echo "== phase telemetry cost =="
+# The study measures one StartPhase/End pair on a nil tracer — the fast
+# path every instrumented site takes when tracing is off. It must stay
+# in the low nanoseconds (the nil path allocates nothing); anything near
+# a microsecond means a branch or allocation leaked into the hot path.
+disabled=$(sed -n 's/.*"disabled_phase_ns_per_op": *\([0-9.]*\).*/\1/p' BENCH_hotpath.json)
+if [ -z "$disabled" ]; then
+	echo "bench.sh: disabled_phase_ns_per_op missing from BENCH_hotpath.json" >&2
+	exit 1
+fi
+echo "disabled-tracer phase emit: ${disabled} ns/op"
+ok=$(awk -v d="$disabled" 'BEGIN { print (d > 0 && d < 1000) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+	echo "bench.sh: disabled-tracer phase emit ${disabled} ns/op is out of range (want < 1000)" >&2
+	exit 1
+fi
+# Per-circuit phase wall map from the traced series (µs, slash-joined
+# phase paths) — where the run wall actually goes, per stage.
+awk '
+	/"name":/        { gsub(/[",]/, "", $2); name = $2 }
+	/"phase_wall_us"/ { grab = 1; next }
+	grab && /}/      { grab = 0 }
+	grab             { gsub(/[",:]/, ""); printf "  %-10s %-20s %s us\n", name, $1, $2 }
+' BENCH_hotpath.json
 
 echo "== parallel-loop scaling gate =="
 # The hotpath study times PROP on the synchronous-round parallel loop at 4

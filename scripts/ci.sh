@@ -124,4 +124,24 @@ go run ./cmd/propart -suite balu -algo flow -runs 2 -par 1 -q \
 	-trace "$tracedir/flow_trace.jsonl" >/dev/null
 go run ./cmd/tracecheck "$tracedir/flow_trace.jsonl"
 
+echo "== run-report smoke =="
+# Phase telemetry end to end: a traced multilevel run must pass the
+# phase-nesting validator, aggregate into a run report, and diff clean
+# against itself (the CI regression-gate path with zero drift).
+go run ./cmd/propart -suite balu -algo ml-prop -q \
+	-trace "$tracedir/ml_trace.jsonl" >/dev/null
+go run ./cmd/tracecheck "$tracedir/ml_trace.jsonl"
+go run ./cmd/tracestat -top 5 "$tracedir/ml_trace.jsonl"
+go run ./cmd/tracestat -diff "$tracedir/ml_trace.jsonl" "$tracedir/ml_trace.jsonl"
+# The flow trace from the previous smoke aggregates too (flow adoption
+# rates plus the corridor/expand/dinic/adopt phase tree).
+go run ./cmd/tracestat -top 5 "$tracedir/flow_trace.jsonl" >/dev/null
+# propart -report prints the same aggregation to stderr after the run.
+go run ./cmd/propart -suite balu -algo ml-prop -q -report \
+	>/dev/null 2>"$tracedir/report.txt"
+if ! grep -q "phase coverage" "$tracedir/report.txt"; then
+	echo "run-report smoke: propart -report produced no report" >&2
+	exit 1
+fi
+
 echo "ci: all checks passed"
