@@ -1,0 +1,454 @@
+// Command propload is a closed-loop load generator for propserve.
+//
+// It generates one deterministic netlist, then drives the server at a
+// series of concurrency levels (default 1, 10, 100 — the 1×/10×/100×
+// study), each for -duration. Every worker runs closed-loop: it issues a
+// request, waits for the full response, and immediately issues the next,
+// so the measured latency distribution is the server's, not a
+// coordinated-omission artifact of an open-loop arrival process.
+//
+// Traffic is a cold/warm mix (-cold sets the cold fraction): a cold
+// request is a full partition solve of the netlist, a warm request is an
+// incremental /v1/repartition ECO re-solve against a precomputed base
+// assignment. Both vary the seed per request so the measured latency is
+// compute, not result-cache replay. Requests rotate across -tenants
+// tenant names (t0, t1, ...) via the X-Tenant header.
+//
+// Two modes:
+//
+//	-mode sync    POST /v1/partition and /v1/repartition — the in-handler
+//	              compute path (no scheduler, no journal)
+//	-mode async   single-item POST /v1/batch — the durable path: each
+//	              request becomes a journaled job dispatched through the
+//	              fair-share scheduler, and the latency spans submit to
+//	              streamed result line
+//
+// The machine-readable report — per level: completed requests, errors,
+// throughput, p50/p99 latency (overall and split cold/warm), per-tenant
+// completion counts and the max/min fairness ratio — is written to -out
+// (default BENCH_serve.json). propload exits non-zero if any level
+// completes zero requests.
+//
+// Example:
+//
+//	propload -addr http://127.0.0.1:8080 -mode async -duration 5s -tenants 2
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prop"
+)
+
+type loadConfig struct {
+	addr     string
+	mode     string // "sync" or "async"
+	levels   []int
+	duration time.Duration
+	tenants  int
+	runs     int
+	cold     float64
+	netlist  []byte
+	warmBody []byte // prebuilt repartition request (netlist + sides + delta)
+	client   *http.Client
+}
+
+// levelReport is one concurrency level's measured outcome.
+type levelReport struct {
+	Concurrency   int            `json:"concurrency"`
+	DurationS     float64        `json:"duration_s"`
+	Completed     int            `json:"completed"`
+	Errors        int            `json:"errors"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	P50MS         float64        `json:"p50_ms"`
+	P99MS         float64        `json:"p99_ms"`
+	ColdCompleted int            `json:"cold_completed"`
+	WarmCompleted int            `json:"warm_completed"`
+	ColdP50MS     float64        `json:"cold_p50_ms"`
+	WarmP50MS     float64        `json:"warm_p50_ms"`
+	CacheHits     int            `json:"cache_hits"`
+	PerTenant     map[string]int `json:"per_tenant"`
+	FairnessRatio float64        `json:"fairness_ratio"`
+}
+
+type serveReport struct {
+	Generated    string        `json:"generated"`
+	Addr         string        `json:"addr"`
+	Mode         string        `json:"mode"`
+	Tenants      int           `json:"tenants"`
+	ColdFraction float64       `json:"cold_fraction"`
+	Runs         int           `json:"runs"`
+	Nodes        int           `json:"nodes"`
+	Nets         int           `json:"nets"`
+	Pins         int           `json:"pins"`
+	Levels       []levelReport `json:"levels"`
+}
+
+// sample is one completed request's accounting.
+type sample struct {
+	tenant   string
+	warm     bool
+	latency  time.Duration
+	cacheHit bool
+	err      error
+}
+
+// freshSeed hands out never-repeating seeds so no two compute requests
+// collide in the server's content-addressed result cache.
+var freshSeed atomic.Int64
+
+// runLevel drives one closed-loop concurrency level to completion.
+func runLevel(cfg loadConfig, concurrency int) levelReport {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	start := time.Now()
+	perWorker := make([][]sample, concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(concurrency)*1_000 + int64(w)))
+			for i := 0; ctx.Err() == nil; i++ {
+				tenant := fmt.Sprintf("t%d", (w+i)%cfg.tenants)
+				warm := rng.Float64() >= cfg.cold
+				s := cfg.oneRequest(ctx, tenant, 1_000+freshSeed.Add(1), warm)
+				if ctx.Err() != nil && s.err != nil {
+					break // deadline hit mid-request, not a server error
+				}
+				perWorker[w] = append(perWorker[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	return summarize(concurrency, elapsed, all)
+}
+
+// oneRequest issues a single closed-loop request and measures it.
+func (cfg loadConfig) oneRequest(ctx context.Context, tenant string, seed int64, warm bool) sample {
+	if cfg.mode == "async" {
+		return cfg.oneBatchRequest(ctx, tenant, seed, warm)
+	}
+	path, body := "/v1/partition", cfg.netlist
+	if warm {
+		path, body = "/v1/repartition", cfg.warmBody
+	}
+	url := fmt.Sprintf("%s%s?algo=prop&runs=%d&seed=%d", cfg.addr, path, cfg.runs, seed)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	t0 := time.Now()
+	resp, err := cfg.client.Do(req)
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{tenant: tenant, warm: warm, err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+	return sample{
+		tenant:   tenant,
+		warm:     warm,
+		latency:  time.Since(t0),
+		cacheHit: resp.Header.Get("X-Cache") == "hit",
+	}
+}
+
+// oneBatchRequest submits a single-item /v1/batch request — the durable
+// path: the item becomes a journaled job dispatched via the fair-share
+// scheduler, and the streamed NDJSON line closes the loop.
+func (cfg loadConfig) oneBatchRequest(ctx context.Context, tenant string, seed int64, warm bool) sample {
+	var item json.RawMessage
+	if warm {
+		item = cfg.warmBody // same shape: netlist + sides + delta
+	} else {
+		item = json.RawMessage(fmt.Sprintf(`{"netlist": %s}`, cfg.netlist))
+	}
+	body, err := json.Marshal(map[string]any{"items": []json.RawMessage{item}})
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	url := fmt.Sprintf("%s/v1/batch?algo=prop&runs=%d&seed=%d", cfg.addr, cfg.runs, seed)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	t0 := time.Now()
+	resp, err := cfg.client.Do(req)
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sample{tenant: tenant, warm: warm, err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return sample{tenant: tenant, warm: warm, err: fmt.Errorf("status %d", resp.StatusCode)}
+	}
+	var line struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &line); err != nil {
+		return sample{tenant: tenant, warm: warm, err: fmt.Errorf("bad batch line %q: %v", raw, err)}
+	}
+	if !line.OK {
+		return sample{tenant: tenant, warm: warm, err: fmt.Errorf("job failed: %s", line.Error)}
+	}
+	return sample{tenant: tenant, warm: warm, latency: time.Since(t0)}
+}
+
+// summarize reduces a level's samples to the report row.
+func summarize(concurrency int, elapsed time.Duration, all []sample) levelReport {
+	rep := levelReport{
+		Concurrency: concurrency,
+		DurationS:   elapsed.Seconds(),
+		PerTenant:   map[string]int{},
+	}
+	var lat, cold, warm []time.Duration
+	for _, s := range all {
+		if s.err != nil {
+			rep.Errors++
+			continue
+		}
+		rep.Completed++
+		rep.PerTenant[s.tenant]++
+		lat = append(lat, s.latency)
+		if s.warm {
+			rep.WarmCompleted++
+			warm = append(warm, s.latency)
+		} else {
+			rep.ColdCompleted++
+			cold = append(cold, s.latency)
+		}
+		if s.cacheHit {
+			rep.CacheHits++
+		}
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	rep.P50MS = percentileMS(lat, 0.50)
+	rep.P99MS = percentileMS(lat, 0.99)
+	rep.ColdP50MS = percentileMS(cold, 0.50)
+	rep.WarmP50MS = percentileMS(warm, 0.50)
+	rep.FairnessRatio = fairness(rep.PerTenant)
+	return rep
+}
+
+// percentileMS returns the q-quantile of the latency set in milliseconds
+// (nearest-rank), or 0 for an empty set.
+func percentileMS(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// fairness is the max/min ratio of per-tenant completion counts: 1.0 is
+// perfectly fair, large values mean starvation. A tenant with zero
+// completions yields 1e9 (unfair by definition); no data yields 0.
+func fairness(perTenant map[string]int) float64 {
+	if len(perTenant) == 0 {
+		return 0
+	}
+	lo, hi := -1, 0
+	for _, n := range perTenant {
+		if lo < 0 || n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo <= 0 {
+		return 1e9
+	}
+	return float64(hi) / float64(lo)
+}
+
+// parseLevels parses a comma-separated concurrency series.
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad level %q: want positive integers", part)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("empty level series")
+	}
+	return levels, nil
+}
+
+// buildWarmBody solves the netlist once through the server and assembles
+// the repartition request warm traffic replays: the base assignment plus
+// a one-net recost delta, re-solved warm-start on every request.
+func buildWarmBody(cfg loadConfig) ([]byte, error) {
+	url := fmt.Sprintf("%s/v1/partition?algo=prop&runs=%d&seed=1", cfg.addr, cfg.runs)
+	resp, err := cfg.client.Post(url, "application/json", bytes.NewReader(cfg.netlist))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("base solve: status %d: %s", resp.StatusCode, raw)
+	}
+	var base struct {
+		Sides []int `json:"sides"`
+	}
+	if err := json.Unmarshal(raw, &base); err != nil || len(base.Sides) == 0 {
+		return nil, fmt.Errorf("base solve: no sides in %q (%v)", raw, err)
+	}
+	return json.Marshal(map[string]any{
+		"netlist": json.RawMessage(cfg.netlist),
+		"sides":   base.Sides,
+		"delta":   map[string]any{"recost": []map[string]any{{"net": 0, "cost": 3}}},
+	})
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "propserve base URL")
+		mode     = flag.String("mode", "sync", "request path: sync (inline compute) or async (durable batch jobs)")
+		levels   = flag.String("levels", "1,10,100", "comma-separated closed-loop concurrency series")
+		duration = flag.Duration("duration", 5*time.Second, "wall time per concurrency level")
+		tenants  = flag.Int("tenants", 2, "tenant names rotated across requests (t0..tN-1)")
+		runs     = flag.Int("runs", 4, "PROP runs per request")
+		cold     = flag.Float64("cold", 0.5, "fraction of full-solve partition requests (the rest are warm ECO repartitions)")
+		nodes    = flag.Int("nodes", 400, "generated netlist nodes")
+		nets     = flag.Int("nets", 450, "generated netlist nets")
+		pins     = flag.Int("pins", 1500, "generated netlist pins")
+		seed     = flag.Int64("seed", 7, "generated netlist seed")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+		out      = flag.String("out", "BENCH_serve.json", "report path (- for stdout)")
+	)
+	flag.Parse()
+
+	lv, err := parseLevels(*levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propload:", err)
+		os.Exit(2)
+	}
+	if *tenants < 1 {
+		fmt.Fprintln(os.Stderr, "propload: -tenants must be >= 1")
+		os.Exit(2)
+	}
+	if *mode != "sync" && *mode != "async" {
+		fmt.Fprintln(os.Stderr, "propload: -mode must be sync or async")
+		os.Exit(2)
+	}
+	n, err := prop.Generate(prop.GenParams{Nodes: *nodes, Nets: *nets, Pins: *pins, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propload: generate:", err)
+		os.Exit(1)
+	}
+	var nl bytes.Buffer
+	if err := n.WriteJSON(&nl); err != nil {
+		fmt.Fprintln(os.Stderr, "propload: netlist:", err)
+		os.Exit(1)
+	}
+	cfg := loadConfig{
+		addr:     strings.TrimRight(*addr, "/"),
+		mode:     *mode,
+		levels:   lv,
+		duration: *duration,
+		tenants:  *tenants,
+		runs:     *runs,
+		cold:     *cold,
+		netlist:  nl.Bytes(),
+		client:   &http.Client{Timeout: *timeout},
+	}
+
+	// The base solve doubles as the fail-fast probe: when the server is
+	// absent or refusing, say so instead of reporting zero throughput.
+	cfg.warmBody, err = buildWarmBody(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "propload: probe against %s failed: %v\n", cfg.addr, err)
+		os.Exit(1)
+	}
+
+	report := serveReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Addr:         cfg.addr,
+		Mode:         cfg.mode,
+		Tenants:      cfg.tenants,
+		ColdFraction: cfg.cold,
+		Runs:         cfg.runs,
+		Nodes:        *nodes,
+		Nets:         *nets,
+		Pins:         *pins,
+	}
+	failed := false
+	for _, c := range cfg.levels {
+		rep := runLevel(cfg, c)
+		report.Levels = append(report.Levels, rep)
+		fmt.Fprintf(os.Stderr,
+			"propload: %4dx  %6d ok  %4d err  %8.1f req/s  p50 %7.2f ms  p99 %7.2f ms  fairness %.2f\n",
+			c, rep.Completed, rep.Errors, rep.ThroughputRPS, rep.P50MS, rep.P99MS, rep.FairnessRatio)
+		if rep.Completed == 0 {
+			fmt.Fprintf(os.Stderr, "propload: level %dx completed zero requests\n", c)
+			failed = true
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propload:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "propload:", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

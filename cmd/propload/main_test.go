@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentileMS(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		lat  []time.Duration
+		q    float64
+		want float64
+	}{
+		{nil, 0.5, 0},
+		{[]time.Duration{ms(10)}, 0.5, 10},
+		{[]time.Duration{ms(10)}, 0.99, 10},
+		{[]time.Duration{ms(30), ms(10), ms(20), ms(40)}, 0.5, 20},
+		{[]time.Duration{ms(30), ms(10), ms(20), ms(40)}, 0.99, 40},
+	}
+	for _, c := range cases {
+		if got := percentileMS(c.lat, c.q); got != c.want {
+			t.Errorf("percentileMS(%v, %v) = %v, want %v", c.lat, c.q, got, c.want)
+		}
+	}
+}
+
+func TestFairness(t *testing.T) {
+	cases := []struct {
+		per  map[string]int
+		want float64
+	}{
+		{map[string]int{}, 0},
+		{map[string]int{"t0": 10, "t1": 10}, 1},
+		{map[string]int{"t0": 20, "t1": 10}, 2},
+		{map[string]int{"t0": 20, "t1": 0}, 1e9},
+	}
+	for _, c := range cases {
+		if got := fairness(c.per); got != c.want {
+			t.Errorf("fairness(%v) = %v, want %v", c.per, got, c.want)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	if lv, err := parseLevels("1, 10,100"); err != nil || len(lv) != 3 || lv[2] != 100 {
+		t.Errorf("parseLevels = %v, %v", lv, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "x", "1,,2"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Errorf("parseLevels(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunLevelClosedLoop drives a level against a stub server and checks
+// the accounting: completions across every tenant and both traffic
+// kinds, latency percentiles populated, cache hits counted from the
+// X-Cache header, and errors split out from completions.
+func TestRunLevelClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if r.Header.Get("X-Tenant") == "" {
+			t.Error("request without X-Tenant")
+		}
+		if n%5 == 0 {
+			http.Error(w, `{"error":"synthetic"}`, http.StatusInternalServerError)
+			return
+		}
+		if n%3 == 0 {
+			w.Header().Set("X-Cache", "hit")
+		}
+		w.Write([]byte(`{"cut":1}`))
+	}))
+	defer stub.Close()
+
+	cfg := loadConfig{
+		addr:     stub.URL,
+		mode:     "sync",
+		duration: 300 * time.Millisecond,
+		tenants:  2,
+		runs:     1,
+		cold:     0.5,
+		netlist:  []byte(`{}`),
+		warmBody: []byte(`{"netlist":{},"sides":[0],"delta":{}}`),
+		client:   stub.Client(),
+	}
+	rep := runLevel(cfg, 4)
+	if rep.Concurrency != 4 {
+		t.Errorf("concurrency %d", rep.Concurrency)
+	}
+	if rep.Completed == 0 || rep.Errors == 0 || rep.CacheHits == 0 {
+		t.Fatalf("completed %d, errors %d, cacheHits %d — all should be nonzero",
+			rep.Completed, rep.Errors, rep.CacheHits)
+	}
+	if rep.ColdCompleted == 0 || rep.WarmCompleted == 0 {
+		t.Errorf("cold %d, warm %d: both traffic kinds should complete",
+			rep.ColdCompleted, rep.WarmCompleted)
+	}
+	if rep.ColdCompleted+rep.WarmCompleted != rep.Completed {
+		t.Errorf("cold %d + warm %d != completed %d",
+			rep.ColdCompleted, rep.WarmCompleted, rep.Completed)
+	}
+	if rep.PerTenant["t0"] == 0 || rep.PerTenant["t1"] == 0 {
+		t.Errorf("per-tenant counts %v: both tenants should complete", rep.PerTenant)
+	}
+	if rep.P50MS <= 0 || rep.P99MS < rep.P50MS {
+		t.Errorf("percentiles p50=%v p99=%v", rep.P50MS, rep.P99MS)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v", rep.ThroughputRPS)
+	}
+	if rep.FairnessRatio < 1 || rep.FairnessRatio > 2 {
+		t.Errorf("fairness %v for a balanced stub", rep.FairnessRatio)
+	}
+	// The report row marshals cleanly (the bench script parses it).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncModeUsesBatch checks -mode async submits single-item batch
+// requests and treats the streamed line's ok/error as the outcome.
+func TestAsyncModeUsesBatch(t *testing.T) {
+	var batchCalls atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/batch" {
+			t.Errorf("async request hit %s", r.URL.Path)
+			http.NotFound(w, r)
+			return
+		}
+		var breq struct {
+			Items []json.RawMessage `json:"items"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&breq); err != nil || len(breq.Items) != 1 {
+			t.Errorf("batch body: %v items, err %v", len(breq.Items), err)
+		}
+		if batchCalls.Add(1)%4 == 0 {
+			w.Write([]byte(`{"index":0,"ok":false,"error":"synthetic"}` + "\n"))
+			return
+		}
+		w.Write([]byte(`{"index":0,"job":"j1","ok":true,"result":{"cut":1}}` + "\n"))
+	}))
+	defer stub.Close()
+
+	cfg := loadConfig{
+		addr:     stub.URL,
+		mode:     "async",
+		duration: 200 * time.Millisecond,
+		tenants:  2,
+		runs:     1,
+		cold:     0.5,
+		netlist:  []byte(`{}`),
+		warmBody: []byte(`{"netlist":{},"sides":[0],"delta":{}}`),
+		client:   stub.Client(),
+	}
+	rep := runLevel(cfg, 2)
+	if rep.Completed == 0 {
+		t.Fatal("no async requests completed")
+	}
+	if rep.Errors == 0 {
+		t.Error("ok:false lines should count as errors")
+	}
+}
+
+// TestSeedsNeverRepeat checks no two compute requests share a seed, so
+// none can hit the server's content-addressed result cache.
+func TestSeedsNeverRepeat(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	dup := false
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seed := r.URL.Query().Get("seed")
+		mu.Lock()
+		if seen[seed] {
+			dup = true
+		}
+		seen[seed] = true
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	}))
+	defer stub.Close()
+	cfg := loadConfig{
+		addr: stub.URL, mode: "sync", duration: 200 * time.Millisecond, tenants: 1,
+		runs: 1, cold: 1.0, netlist: []byte(`{}`), client: stub.Client(),
+	}
+	rep := runLevel(cfg, 3)
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dup {
+		t.Error("compute requests repeated a seed")
+	}
+}
+
+// TestBuildWarmBody checks the base solve's sides are embedded into the
+// warm repartition request.
+func TestBuildWarmBody(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/partition" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		w.Write([]byte(`{"cut":3,"sides":[0,1,1,0]}`))
+	}))
+	defer stub.Close()
+	cfg := loadConfig{addr: stub.URL, runs: 2, netlist: []byte(`{"nodes":[]}`), client: stub.Client()}
+	body, err := buildWarmBody(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Sides []int           `json:"sides"`
+		Delta json.RawMessage `json:"delta"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sides) != 4 || len(got.Delta) == 0 {
+		t.Errorf("warm body = %s", body)
+	}
+}

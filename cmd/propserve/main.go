@@ -4,7 +4,9 @@
 //
 //	propserve [-addr :8080] [-par 8] [-timeout 60s] [-slow-run 0]
 //	          [-max-jobs 64] [-job-history 256] [-job-ttl 15m] [-cache 128]
-//	          [-log-level info] [-log-format text]
+//	          [-journal DIR] [-sched-workers N] [-tenant-rate 0]
+//	          [-tenant-burst 0] [-max-body 67108864] [-batch-max 64]
+//	          [-drain-timeout 15s] [-log-level info] [-log-format text]
 //
 // Endpoints:
 //
@@ -32,6 +34,19 @@
 //	                        trace of the job. At most -max-jobs jobs may
 //	                        be pending or running at once; past that the
 //	                        submit is refused with 429 + Retry-After.
+//	                        With -journal set, every accepted job is
+//	                        fsynced to an append-only NDJSON journal
+//	                        before the 202, and a restart re-queues
+//	                        whatever had not finished.
+//	POST /v1/batch          many items in one request: {"items": [...]},
+//	                        each item a {"netlist": ...} partition or a
+//	                        {"delta": ..., "base_job"|"netlist"+"sides"}
+//	                        repartition, sharing the query-string knobs.
+//	                        Each item becomes a durable job; the response
+//	                        streams one NDJSON line per item in completion
+//	                        order, flushed as each finishes. Disconnecting
+//	                        mid-stream cancels the unfinished items.
+//	GET  /v1/jobs           list retained jobs; ?tenant= filters
 //	GET  /v1/jobs/{id}      job state and, when done, the result; while the
 //	                        job runs the reply carries a live "progress"
 //	                        snapshot (current phase, run, pass, best cut so
@@ -39,20 +54,32 @@
 //	                        jobs are evicted after -job-ttl, or earlier
 //	                        once -job-history newer ones finished
 //	DELETE /v1/jobs/{id}    cancel a pending or running job
-//	GET  /healthz           liveness probe
+//	GET  /healthz           liveness probe (503 while draining)
 //	GET  /metrics           Prometheus text metrics (jobs in flight, runs
 //	                        completed, cut-size and passes-per-run
 //	                        histograms, per-phase duration histograms
-//	                        labeled by phase name, p50/p99 latency);
-//	                        ?format=json for the JSON export
+//	                        labeled by phase name, per-tenant admission /
+//	                        rejection / completion counters and queue
+//	                        depths, p50/p99 latency); ?format=json for the
+//	                        JSON export
 //	GET  /debug/runs        in-flight jobs with their progress snapshots
 //	GET  /debug/trace/{id}  JSONL trace of a job submitted with trace=
 //	GET  /debug/pprof/      CPU/heap/goroutine profiles (net/http/pprof)
 //
+// Multi-tenancy: requests carry an X-Tenant header (absent = the
+// "default" tenant). Async and batch work is dispatched deficit-round-
+// robin across tenants by -sched-workers slots, so one tenant's flood
+// cannot starve another; -tenant-rate/-tenant-burst add a per-tenant
+// token-bucket admission quota answered with 429 when exceeded. Request
+// bodies larger than -max-body are refused with 413.
+//
 // Every request is logged with a run ID that also labels the job's
 // engine-level logs and trace events. Job completion logs carry the
 // algorithm, move-worker count, and total improvement passes; jobs whose
-// compute exceeds -slow-run (0 disables) log a warning.
+// compute exceeds -slow-run (0 disables) log a warning. On SIGTERM or
+// SIGINT the server drains: new compute POSTs get 503 while in-flight
+// jobs finish (up to -drain-timeout), then the journal is flushed and
+// the process exits.
 //
 // Example:
 //
@@ -66,6 +93,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -92,16 +120,23 @@ func buildLogger(level, format string) (*slog.Logger, error) {
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		par        = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
-		timeout    = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
-		slowRun    = flag.Duration("slow-run", 0, "warn when a job's compute exceeds this (0 = disabled)")
-		maxJobs    = flag.Int("max-jobs", 64, "max pending+running async jobs (-1 = unbounded)")
-		jobHistory = flag.Int("job-history", 256, "finished jobs retained for GET (-1 = unbounded)")
-		jobTTL     = flag.Duration("job-ttl", 15*time.Minute, "finished jobs evicted after this (-1s = never)")
-		cacheSize  = flag.Int("cache", 128, "partition result-cache entries (-1 = disabled)")
-		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFormat  = flag.String("log-format", "text", "log format: text or json")
+		addr         = flag.String("addr", ":8080", "listen address (use :0 for a free port; the actual address is printed)")
+		par          = flag.Int("par", runtime.GOMAXPROCS(0), "max worker goroutines per partition request")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-request compute budget")
+		slowRun      = flag.Duration("slow-run", 0, "warn when a job's compute exceeds this (0 = disabled)")
+		maxJobs      = flag.Int("max-jobs", 64, "max pending+running async jobs (-1 = unbounded)")
+		jobHistory   = flag.Int("job-history", 256, "finished jobs retained for GET (-1 = unbounded)")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "finished jobs evicted after this (-1s = never)")
+		cacheSize    = flag.Int("cache", 128, "partition result-cache entries (-1 = disabled)")
+		journalDir   = flag.String("journal", "", "job journal directory (empty = no durability)")
+		schedWorkers = flag.Int("sched-workers", 0, "concurrent async job slots (0 = GOMAXPROCS, min 2)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant admission quota, requests/sec (0 = unlimited)")
+		tenantBurst  = flag.Float64("tenant-burst", 0, "per-tenant admission burst (0 = max(1, rate))")
+		maxBody      = flag.Int64("max-body", 64<<20, "request body limit in bytes")
+		batchMax     = flag.Int("batch-max", 64, "max items per /v1/batch request (-1 = unbounded)")
+		drainTO      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight jobs")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 
@@ -110,24 +145,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "propserve:", err)
 		os.Exit(2)
 	}
-	s := newServer(serverConfig{
-		maxPar:     *par,
-		defTimeout: *timeout,
-		slowRun:    *slowRun,
-		maxJobs:    *maxJobs,
-		jobHistory: *jobHistory,
-		jobTTL:     *jobTTL,
-		cacheSize:  *cacheSize,
+	s, err := newServer(serverConfig{
+		maxPar:       *par,
+		defTimeout:   *timeout,
+		slowRun:      *slowRun,
+		maxJobs:      *maxJobs,
+		jobHistory:   *jobHistory,
+		jobTTL:       *jobTTL,
+		cacheSize:    *cacheSize,
+		journalDir:   *journalDir,
+		schedWorkers: *schedWorkers,
+		tenantRate:   *tenantRate,
+		tenantBurst:  *tenantBurst,
+		maxBody:      *maxBody,
+		batchMax:     *batchMax,
 	}, logger)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propserve:", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// Listen before announcing so ":0" callers can read the real port
+	// from the line below.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "propserve: listening on %s (par %d, timeout %s)\n", ln.Addr(), *par, *timeout)
+
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "propserve: listening on %s (par %d, timeout %s)\n", *addr, *par, *timeout)
+	go func() { errCh <- hs.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -139,11 +191,19 @@ func main() {
 		}
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "propserve: %v, draining\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		// New compute POSTs answer 503 from here on; established requests
+		// finish under the HTTP shutdown, async jobs under the scheduler
+		// drain, then the journal is compacted and closed.
+		s.beginDrain()
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "propserve: shutdown:", err)
+		}
+		if err := s.drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "propserve: drain:", err)
 			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, "propserve: drained cleanly")
 	}
 }

@@ -10,28 +10,41 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"sort"
+	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prop"
 	"prop/internal/cache"
+	"prop/internal/jobs"
 	"prop/internal/metrics"
 	"prop/internal/obs"
+	"prop/internal/sched"
 )
 
 // serverConfig sizes a server's resource bounds. The zero value of any
 // field selects its default.
 type serverConfig struct {
-	maxPar     int           // cap on per-request Parallel
-	defTimeout time.Duration // per-request compute budget
-	maxJobs    int           // cap on pending+running async jobs (< 0 unbounded)
-	jobHistory int           // terminal jobs retained for GET (< 0 unbounded)
-	jobTTL     time.Duration // terminal jobs evicted after this (< 0 never)
-	cacheSize  int           // /v1/partition result-cache entries (< 0 disables)
-	slowRun    time.Duration // warn when a job's compute exceeds this (0 disables)
+	maxPar       int           // cap on per-request Parallel
+	defTimeout   time.Duration // per-request compute budget
+	maxJobs      int           // cap on pending+running async jobs (< 0 unbounded)
+	jobHistory   int           // terminal jobs retained for GET (< 0 unbounded)
+	jobTTL       time.Duration // terminal jobs evicted after this (< 0 never)
+	cacheSize    int           // /v1/partition result-cache entries (< 0 disables)
+	slowRun      time.Duration // warn when a job's compute exceeds this (0 disables)
+	maxBody      int64         // request body limit, bytes (0 selects 64 MiB)
+	journalDir   string        // job journal directory ("" = memory-only)
+	schedWorkers int           // concurrent async job slots
+	tenantRate   float64       // per-tenant admissions/sec (0 = unlimited)
+	tenantBurst  float64       // per-tenant admission burst
+	batchMax     int           // max items per /v1/batch request (< 0 unbounded)
+
+	fs  jobs.FS          // journal filesystem override (tests)
+	now func() time.Time // job-store clock override (tests)
 }
 
 func (c serverConfig) withDefaults() serverConfig {
@@ -45,6 +58,7 @@ func (c serverConfig) withDefaults() serverConfig {
 	def(&c.maxJobs, 64)
 	def(&c.jobHistory, 256)
 	def(&c.cacheSize, 128)
+	def(&c.batchMax, 64)
 	if c.jobTTL == 0 {
 		c.jobTTL = 15 * time.Minute
 	} else if c.jobTTL < 0 {
@@ -53,89 +67,141 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.defTimeout == 0 {
 		c.defTimeout = 60 * time.Second
 	}
+	if c.maxBody <= 0 {
+		c.maxBody = 64 << 20
+	}
+	if c.schedWorkers <= 0 {
+		c.schedWorkers = runtime.GOMAXPROCS(0)
+		if c.schedWorkers < 2 {
+			c.schedWorkers = 2
+		}
+	}
 	return c
 }
 
-// cacheKey identifies a /v1/partition result: content hashes of the
-// netlist and the result-determining options, plus the part count.
-// Parallelism and tracing knobs are deliberately absent — results are
-// bit-identical across them, so serving a cached payload is correct.
-type cacheKey struct {
-	netlist uint64
-	options uint64
-	k       int
-}
-
-// server carries the HTTP handlers, the async job store, and the metric
-// instruments. One server fronts one shared concurrent engine
-// configuration (maxPar worker goroutines per request portfolio).
+// server carries the HTTP handlers, the durable job store, the fair-share
+// scheduler, and the metric instruments. One server fronts one shared
+// concurrent engine configuration (maxPar worker goroutines per request
+// portfolio).
 type server struct {
 	maxPar     int           // cap on per-request Parallel
 	maxBody    int64         // request body limit, bytes
 	defTimeout time.Duration // per-request compute budget
 	slowRun    time.Duration // warn when a job's compute exceeds this (0 disables)
-	jobs       *jobStore
-	results    *cache.Cache[cacheKey, []byte] // nil when disabled
-	start      time.Time
-	log        *slog.Logger
+	batchMax   int           // max items per /v1/batch request (0 = unbounded)
 
-	reg         *metrics.Registry
-	mJobsUp     *metrics.Gauge   // async jobs currently queued or running
-	mReqUp      *metrics.Gauge   // synchronous partitions in flight
-	mJobs       *metrics.Counter // async jobs accepted
-	mParts      *metrics.Counter // partitions completed (sync + async)
-	mReparts    *metrics.Counter // incremental repartitions completed
-	mRuns       *metrics.Counter // multi-start runs completed
-	mErrors     *metrics.Counter // requests rejected or failed
-	mBusy       *metrics.Counter // job submissions rejected with 429
-	mCutHist    *metrics.Histogram
-	mPassHist   *metrics.Histogram    // improvement passes per run
-	mCutImprove *metrics.FloatGauge   // (worst-best)/worst ×100 of last portfolio
-	mRefineUtil *metrics.FloatGauge   // refinement worker busy/wall ×100
-	mMoveWork   *metrics.Gauge        // effective move_workers of the last request
-	mPhaseHist  *metrics.HistogramVec // per-phase wall durations, labeled by phase name
-	mLatency    *metrics.Latency
+	store   *jobs.Store      // durable job records (journaled when configured)
+	rt      *runtimeTable    // per-job volatile state: cancel, trace, progress
+	sched   *sched.Scheduler // fair-share dispatch + per-tenant quotas
+	results cache.Backend    // /v1/partition result cache; nil when disabled
+	start   time.Time
+	log     *slog.Logger
+
+	// draining refuses new compute POSTs with 503 while in-flight jobs
+	// finish and the journal flushes.
+	draining atomic.Bool
+	// baseCtx parents every async job's context; stopJobs cancels them all
+	// for an abrupt close.
+	baseCtx  context.Context
+	stopJobs context.CancelFunc
+
+	reg          *metrics.Registry
+	mJobsUp      *metrics.Gauge   // async jobs currently queued or running
+	mReqUp       *metrics.Gauge   // synchronous partitions in flight
+	mJobs        *metrics.Counter // async jobs accepted
+	mParts       *metrics.Counter // partitions completed (sync + async)
+	mReparts     *metrics.Counter // incremental repartitions completed
+	mRuns        *metrics.Counter // multi-start runs completed
+	mErrors      *metrics.Counter // requests rejected or failed
+	mBusy        *metrics.Counter // job submissions rejected with 429
+	mCutHist     *metrics.Histogram
+	mPassHist    *metrics.Histogram    // improvement passes per run
+	mCutImprove  *metrics.FloatGauge   // (worst-best)/worst ×100 of last portfolio
+	mRefineUtil  *metrics.FloatGauge   // refinement worker busy/wall ×100
+	mMoveWork    *metrics.Gauge        // effective move_workers of the last request
+	mPhaseHist   *metrics.HistogramVec // per-phase wall durations, labeled by phase name
+	mLatency     *metrics.Latency
+	mTenantOK    *metrics.CounterVec   // admissions per tenant
+	mTenantRej   *metrics.CounterVec   // quota rejections per tenant
+	mTenantDone  *metrics.CounterVec   // completed async jobs per tenant
+	mTenantDepth *metrics.GaugeVec     // scheduler queue depth per tenant
+	mQueueWait   *metrics.HistogramVec // ms between submit and dispatch, per tenant
 }
 
-func newServer(cfg serverConfig, logger *slog.Logger) *server {
+// newServer builds the server, opening (and replaying) the job journal
+// when one is configured. Recovered jobs are re-queued before it returns.
+func newServer(cfg serverConfig, logger *slog.Logger) (*server, error) {
 	cfg = cfg.withDefaults()
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	reg := metrics.NewRegistry()
 	s := &server{
-		maxPar:      cfg.maxPar,
-		maxBody:     64 << 20,
-		defTimeout:  cfg.defTimeout,
-		slowRun:     cfg.slowRun,
-		jobs:        newJobStore(cfg.maxJobs, cfg.jobHistory, cfg.jobTTL),
-		start:       time.Now(),
-		log:         logger,
-		reg:         reg,
-		mJobsUp:     reg.Gauge("jobs_in_flight"),
-		mReqUp:      reg.Gauge("partitions_in_flight"),
-		mJobs:       reg.Counter("jobs_total"),
-		mParts:      reg.Counter("partitions_total"),
-		mReparts:    reg.Counter("repartitions_total"),
-		mRuns:       reg.Counter("runs_completed_total"),
-		mErrors:     reg.Counter("errors_total"),
-		mBusy:       reg.Counter("jobs_rejected_total"),
-		mCutHist:    reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
-		mPassHist:   reg.Histogram("passes_per_run", 1, 2, 3, 4, 5, 6, 8, 10, 15, 20),
-		mCutImprove: reg.FloatGauge("cut_improvement_pct"),
-		mRefineUtil: reg.FloatGauge("refine_worker_utilization_pct"),
-		mMoveWork:   reg.Gauge("move_workers"),
-		mPhaseHist:  reg.HistogramVec("phase_duration_ms", "phase", 1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000),
-		mLatency:    reg.Latency("partition_latency", 1024),
+		maxPar:       cfg.maxPar,
+		maxBody:      cfg.maxBody,
+		defTimeout:   cfg.defTimeout,
+		slowRun:      cfg.slowRun,
+		batchMax:     cfg.batchMax,
+		rt:           newRuntimeTable(),
+		start:        time.Now(),
+		log:          logger,
+		reg:          reg,
+		mJobsUp:      reg.Gauge("jobs_in_flight"),
+		mReqUp:       reg.Gauge("partitions_in_flight"),
+		mJobs:        reg.Counter("jobs_total"),
+		mParts:       reg.Counter("partitions_total"),
+		mReparts:     reg.Counter("repartitions_total"),
+		mRuns:        reg.Counter("runs_completed_total"),
+		mErrors:      reg.Counter("errors_total"),
+		mBusy:        reg.Counter("jobs_rejected_total"),
+		mCutHist:     reg.Histogram("cut_nets", 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+		mPassHist:    reg.Histogram("passes_per_run", 1, 2, 3, 4, 5, 6, 8, 10, 15, 20),
+		mCutImprove:  reg.FloatGauge("cut_improvement_pct"),
+		mRefineUtil:  reg.FloatGauge("refine_worker_utilization_pct"),
+		mMoveWork:    reg.Gauge("move_workers"),
+		mPhaseHist:   reg.HistogramVec("phase_duration_ms", "phase", 1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000),
+		mLatency:     reg.Latency("partition_latency", 1024),
+		mTenantOK:    reg.CounterVec("tenant_admitted_total", "tenant"),
+		mTenantRej:   reg.CounterVec("tenant_rejected_total", "tenant"),
+		mTenantDone:  reg.CounterVec("tenant_jobs_completed_total", "tenant"),
+		mTenantDepth: reg.GaugeVec("tenant_queue_depth", "tenant"),
+		mQueueWait:   reg.HistogramVec("job_queue_wait_ms", "tenant", 1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000),
 	}
+	s.baseCtx, s.stopJobs = context.WithCancel(context.Background())
 	reg.Func("uptime_seconds", func() any { return int64(time.Since(s.start).Seconds()) })
 	if cfg.cacheSize > 0 {
-		s.results = cache.New[cacheKey, []byte](cfg.cacheSize)
-		reg.Func("result_cache_hits_total", func() any { return int64(s.results.Hits()) })
-		reg.Func("result_cache_misses_total", func() any { return int64(s.results.Misses()) })
+		s.results = cache.NewLRU(cfg.cacheSize)
+		reg.Func("result_cache_hits_total", func() any { h, _ := s.results.Stats(); return int64(h) })
+		reg.Func("result_cache_misses_total", func() any { _, m := s.results.Stats(); return int64(m) })
 		reg.Func("result_cache_entries", func() any { return int64(s.results.Len()) })
 	}
-	return s
+	s.sched = sched.New(sched.Config{
+		Workers: cfg.schedWorkers,
+		Rate:    cfg.tenantRate,
+		Burst:   cfg.tenantBurst,
+		OnQueueDepth: func(tenant string, depth int) {
+			s.mTenantDepth.With(tenant).Set(int64(depth))
+		},
+	})
+	store, recovered, err := jobs.Open(jobs.Config{
+		Dir:       cfg.journalDir,
+		FS:        cfg.fs,
+		Now:       cfg.now,
+		MaxActive: cfg.maxJobs,
+		MaxDone:   cfg.jobHistory,
+		TTL:       cfg.jobTTL,
+		// Payloads carry whole netlists; an 8 MiB segment keeps compaction
+		// from rewriting the live set on every append.
+		SegmentBytes: 8 << 20,
+		OnEvict:      func(id string) { s.rt.drop(id) },
+	})
+	if err != nil {
+		s.sched.Close()
+		return nil, err
+	}
+	s.store = store
+	s.resume(recovered)
+	return s, nil
 }
 
 // mux routes the API.
@@ -143,7 +209,9 @@ func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("POST /v1/partition", s.handlePartition)
 	m.HandleFunc("POST /v1/repartition", s.handleRepartition)
+	m.HandleFunc("POST /v1/batch", s.handleBatch)
 	m.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	m.HandleFunc("GET /v1/jobs", s.handleJobList)
 	m.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	m.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	m.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
@@ -170,6 +238,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards streaming flushes (the /v1/batch NDJSON path) through
+// the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handler wraps the mux in the request-logging middleware: every request
 // gets a fresh run ID (propagated via context to the engine and the
 // logs), and one structured log line records method, path, status, and
@@ -190,6 +266,80 @@ func (s *server) handler() http.Handler {
 			"run_id", id,
 		)
 	})
+}
+
+// tenantRe limits tenant names to a filesystem- and metrics-label-safe
+// alphabet.
+var tenantRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// defaultTenant is the quota/fair-share bucket of requests that carry no
+// X-Tenant header.
+const defaultTenant = "default"
+
+// tenantOf extracts and validates the request's tenant.
+func tenantOf(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return defaultTenant, nil
+	}
+	if !tenantRe.MatchString(t) {
+		return "", fmt.Errorf("bad X-Tenant %q: want 1-64 chars of [A-Za-z0-9._-]", t)
+	}
+	return t, nil
+}
+
+// gate applies the preconditions every compute POST shares: refuse new
+// work while draining, validate the tenant, and — when charge is set —
+// take one admission token from the tenant's quota bucket. It reports
+// the tenant and whether the request may proceed (the failure response
+// has already been written when not).
+func (s *server) gate(w http.ResponseWriter, r *http.Request, charge bool) (string, bool) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return "", false
+	}
+	tenant, err := tenantOf(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return "", false
+	}
+	if charge && !s.chargeQuota(tenant) {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, fmt.Errorf("tenant %q over admission quota", tenant))
+		return "", false
+	}
+	return tenant, true
+}
+
+// chargeQuota takes one admission token for the tenant, recording the
+// outcome in the per-tenant counters.
+func (s *server) chargeQuota(tenant string) bool {
+	if !s.sched.Admit(tenant) {
+		s.mTenantRej.With(tenant).Inc()
+		return false
+	}
+	s.mTenantOK.With(tenant).Inc()
+	return true
+}
+
+// limitBody caps the request body at the server's limit; reads past it
+// fail with *http.MaxBytesError, which failParse maps to 413.
+func (s *server) limitBody(w http.ResponseWriter, r *http.Request) io.ReadCloser {
+	return http.MaxBytesReader(w, r.Body, s.maxBody)
+}
+
+// failParse answers a body decode error: 413 when the body blew the size
+// limit, 400 otherwise. The netlist parsers may wrap or swallow the
+// *http.MaxBytesError, so the message is checked as a fallback.
+func (s *server) failParse(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large") {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", s.maxBody))
+		return
+	}
+	s.fail(w, http.StatusBadRequest, err)
 }
 
 // partitionRequest is the decoded form of one partition query: the
@@ -225,14 +375,25 @@ type partitionResponse struct {
 }
 
 // decodeQuery parses the shared query knobs (algo, runs, seed, k, r1,
-// r2, par, move_workers, timeout_ms, trace) into a bodyless request.
+// r2, par, move_workers, timeout_ms, trace) of an HTTP request.
 func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
-	q := r.URL.Query()
+	return s.decodeQueryValues(r.URL.Query())
+}
+
+// decodeQueryValues parses the shared query knobs from raw values — the
+// form both live requests and journaled job payloads share.
+func (s *server) decodeQueryValues(q map[string][]string) (*partitionRequest, error) {
+	get := func(name string) string {
+		if vs := q[name]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
 	req := &partitionRequest{k: 2, timeout: s.defTimeout}
 	req.opts = prop.Options{Algorithm: prop.AlgoPROP, Runs: 20, Seed: 1, Parallel: s.maxPar}
 
 	var err error
-	if v := q.Get("algo"); v != "" {
+	if v := get("algo"); v != "" {
 		a := prop.Algorithm(v)
 		if !a.Valid() {
 			return nil, fmt.Errorf("unknown algo %q (GET /v1/algorithms lists the supported set)", v)
@@ -243,7 +404,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 		if err != nil {
 			return
 		}
-		if v := q.Get(name); v != "" {
+		if v := get(name); v != "" {
 			n, e := strconv.Atoi(v)
 			if e != nil {
 				err = fmt.Errorf("bad %s %q", name, v)
@@ -256,7 +417,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 		if err != nil {
 			return
 		}
-		if v := q.Get(name); v != "" {
+		if v := get(name); v != "" {
 			f, e := strconv.ParseFloat(v, 64)
 			if e != nil {
 				err = fmt.Errorf("bad %s %q", name, v)
@@ -270,7 +431,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	geti("la", &req.opts.LADepth)
 	getf("r1", &req.opts.R1)
 	getf("r2", &req.opts.R2)
-	if v := q.Get("seed"); v != "" && err == nil {
+	if v := get("seed"); v != "" && err == nil {
 		n, e := strconv.ParseInt(v, 10, 64)
 		if e != nil {
 			err = fmt.Errorf("bad seed %q", v)
@@ -286,7 +447,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	// each run; unlike par it changes which (bit-identical across positive
 	// values) trajectory runs, so zero is not a valid explicit choice —
 	// omit the parameter for the serial loop.
-	if v := q.Get("move_workers"); v != "" && err == nil {
+	if v := get("move_workers"); v != "" && err == nil {
 		n, e := strconv.Atoi(v)
 		if e != nil || n <= 0 {
 			err = fmt.Errorf("bad move_workers %q: want a positive integer", v)
@@ -299,7 +460,7 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	if timeoutMS > 0 {
 		req.timeout = time.Duration(timeoutMS) * time.Millisecond
 	}
-	if v := q.Get("trace"); v != "" && err == nil {
+	if v := get("trace"); v != "" && err == nil {
 		lvl, ok := obs.ParseLevel(v)
 		if v == "1" {
 			lvl, ok = prop.TracePasses, true
@@ -327,15 +488,24 @@ func (s *server) decodeQuery(r *http.Request) (*partitionRequest, error) {
 	return req, nil
 }
 
+// parseNetlist decodes netlist bytes by content type: application/json
+// selects the JSON netlist format, anything else hMETIS .hgr text.
+func parseNetlist(contentType string, data []byte) (*prop.Netlist, error) {
+	if strings.HasPrefix(contentType, "application/json") {
+		return prop.ReadJSON(bytes.NewReader(data))
+	}
+	return prop.ReadHGR(bytes.NewReader(data))
+}
+
 // decodeRequest parses query knobs and the netlist body. The body is the
 // netlist itself: application/json selects the JSON netlist format,
 // anything else is parsed as hMETIS .hgr text.
-func (s *server) decodeRequest(r *http.Request) (*partitionRequest, error) {
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*partitionRequest, error) {
 	req, err := s.decodeQuery(r)
 	if err != nil {
 		return nil, err
 	}
-	body := http.MaxBytesReader(nil, r.Body, s.maxBody)
+	body := s.limitBody(w, r)
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
 		req.netlist, err = prop.ReadJSON(body)
@@ -430,17 +600,20 @@ func (s *server) observePhase(p obs.Phase) {
 }
 
 func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
-	req, err := s.decodeRequest(r)
+	if _, ok := s.gate(w, r, true); !ok {
+		return
+	}
+	req, err := s.decodeRequest(w, r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.failParse(w, err)
 		return
 	}
 	// Result cache: keyed on content, not request bytes, so e.g. the same
 	// netlist in .hgr and JSON form, or with a different par=, still hits.
 	// Hits replay the exact payload bytes the populating miss sent.
-	var key cacheKey
+	var key cache.Key
 	if s.results != nil {
-		key = cacheKey{netlist: req.netlist.Fingerprint(), options: req.opts.Fingerprint(), k: req.k}
+		key = cache.Key{Kind: "partition", Netlist: req.netlist.Fingerprint(), Options: req.opts.Fingerprint(), K: req.k}
 		if payload, ok := s.results.Get(key); ok {
 			s.log.Info("cache hit", "run_id", obs.RunID(r.Context()))
 			w.Header().Set("X-Cache", "hit")
@@ -475,330 +648,10 @@ func (s *server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	writeJSONBytes(w, http.StatusOK, payload)
 }
 
-// jobState is an async job's lifecycle phase.
-type jobState string
-
-const (
-	jobPending   jobState = "pending"
-	jobRunning   jobState = "running"
-	jobDone      jobState = "done"
-	jobFailed    jobState = "failed"
-	jobCancelled jobState = "cancelled"
-)
-
-// traceBuf is a concurrency-safe sink for a job's JSONL trace. The
-// tracer serializes its own writes, but /debug/trace/{id} reads while
-// the job may still be emitting.
-type traceBuf struct {
-	mu  sync.Mutex
-	buf bytes.Buffer
-}
-
-func (t *traceBuf) Write(p []byte) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.buf.Write(p)
-}
-
-func (t *traceBuf) snapshot() []byte {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]byte(nil), t.buf.Bytes()...)
-}
-
-// terminal reports whether a state ends a job's lifecycle.
-func (s jobState) terminal() bool {
-	return s == jobDone || s == jobFailed || s == jobCancelled
-}
-
-// job is one async partition request. Progress is populated only on
-// snapshots of a live (non-terminal) job: the atomically updated phase /
-// pass / best-cut view the engine's tracer maintains while it runs.
-type job struct {
-	ID    string   `json:"id"`
-	State jobState `json:"state"`
-	// MoveWorkers is the effective parallel-move-loop worker count the job
-	// runs with (0 = serial move loop).
-	MoveWorkers int                   `json:"move_workers"`
-	Progress    *obs.ProgressSnapshot `json:"progress,omitempty"`
-	Error       string                `json:"error,omitempty"`
-	Result      *partitionResponse    `json:"result,omitempty"`
-
-	req      *partitionRequest
-	cancel   context.CancelFunc
-	trace    *traceBuf     // non-nil iff submitted with ?trace=...
-	progress *obs.Progress // live-progress sink, attached to the job's tracer
-	finished time.Time     // when the job reached a terminal state
-}
-
-// jobStore is the in-memory async job registry. It is bounded two ways:
-// at most maxActive jobs may be pending or running at once (add refuses
-// past that, and the caller answers 429), and terminal jobs are retained
-// only until maxDone newer ones displace them (LRU) or they outlive ttl —
-// without this the map, and every kept netlist, grows without bound.
-type jobStore struct {
-	mu        sync.Mutex
-	next      int
-	jobs      map[string]*job
-	active    int           // jobs currently pending or running
-	maxActive int           // 0 = unbounded
-	maxDone   int           // 0 = unbounded
-	ttl       time.Duration // 0 = never expire
-	done      []string      // terminal job IDs, oldest first
-	now       func() time.Time
-}
-
-func newJobStore(maxActive, maxDone int, ttl time.Duration) *jobStore {
-	return &jobStore{
-		jobs:      map[string]*job{},
-		maxActive: maxActive,
-		maxDone:   maxDone,
-		ttl:       ttl,
-		now:       time.Now,
-	}
-}
-
-// evictLocked drops terminal jobs beyond the history cap or past their
-// TTL. Callers hold js.mu.
-func (js *jobStore) evictLocked() {
-	for len(js.done) > 0 {
-		id := js.done[0]
-		over := js.maxDone > 0 && len(js.done) > js.maxDone
-		expired := js.ttl > 0 && js.now().Sub(js.jobs[id].finished) > js.ttl
-		if !over && !expired {
-			return
-		}
-		delete(js.jobs, id)
-		js.done = js.done[1:]
-	}
-}
-
-// add registers a new pending job, or returns nil when the in-flight cap
-// is reached (the caller converts that to 429 + Retry-After).
-func (js *jobStore) add(req *partitionRequest, cancel context.CancelFunc) *job {
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	js.evictLocked()
-	if js.maxActive > 0 && js.active >= js.maxActive {
-		return nil
-	}
-	js.active++
-	js.next++
-	j := &job{ID: fmt.Sprintf("j%d", js.next), State: jobPending,
-		MoveWorkers: req.opts.MoveWorkers, req: req, cancel: cancel,
-		progress: &obs.Progress{}}
-	if req.traced {
-		j.trace = &traceBuf{}
-	}
-	js.jobs[j.ID] = j
-	return j
-}
-
-func (js *jobStore) get(id string) *job {
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	js.evictLocked()
-	return js.jobs[id]
-}
-
-// snapshotLocked copies the job's public fields for serialization. A
-// non-terminal job additionally carries its live progress view; once the
-// job finishes, Result supersedes it. Callers hold js.mu.
-func (js *jobStore) snapshotLocked(j *job) job {
-	out := job{ID: j.ID, State: j.State, MoveWorkers: j.MoveWorkers,
-		Error: j.Error, Result: j.Result}
-	if !j.State.terminal() {
-		p := j.progress.Snapshot()
-		out.Progress = &p
-	}
-	return out
-}
-
-// snapshot returns a copy of the job's public fields for serialization.
-func (js *jobStore) snapshot(id string) (job, bool) {
-	j := js.get(id)
-	if j == nil {
-		return job{}, false
-	}
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	return js.snapshotLocked(j), true
-}
-
-// inflight snapshots every pending or running job, oldest first.
-func (js *jobStore) inflight() []job {
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	out := make([]job, 0, js.active)
-	for _, j := range js.jobs {
-		if !j.State.terminal() {
-			out = append(out, js.snapshotLocked(j))
-		}
-	}
-	sort.Slice(out, func(a, b int) bool {
-		// IDs are "j<seq>"; numeric order is submission order.
-		x, _ := strconv.Atoi(out[a].ID[1:])
-		y, _ := strconv.Atoi(out[b].ID[1:])
-		return x < y
-	})
-	return out
-}
-
-// transition updates a job's state under the store lock; from restricts
-// the transition (empty matches any state). A transition into a terminal
-// state frees the job's in-flight slot and starts its retention clock.
-// It reports success.
-func (js *jobStore) transition(id string, from, to jobState, fn func(*job)) bool {
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	j := js.jobs[id]
-	if j == nil || (from != "" && j.State != from) {
-		return false
-	}
-	wasTerminal := j.State.terminal()
-	j.State = to
-	if fn != nil {
-		fn(j)
-	}
-	if to.terminal() && !wasTerminal {
-		js.active--
-		j.finished = js.now()
-		js.done = append(js.done, id)
-		js.evictLocked()
-	}
-	return true
-}
-
-func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	req, err := s.decodeRequest(r)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	// The job outlives the submit request, but its run ID carries over:
-	// detach from r.Context() while re-attaching the ID.
-	runID := obs.RunID(r.Context())
-	ctx, cancel := context.WithCancel(obs.WithRunID(context.Background(), runID))
-	j := s.jobs.add(req, cancel)
-	if j == nil {
-		cancel()
-		s.mBusy.Inc()
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (%d in flight)", s.jobs.maxActive))
-		return
-	}
-	s.mJobs.Inc()
-	s.mJobsUp.Add(1)
-	s.log.Info("job accepted", "job", j.ID, "state", jobPending,
-		"traced", req.traced, "run_id", runID)
-	go s.runJob(ctx, j.ID)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.ID, "state": string(jobPending)})
-}
-
-// runJob drives one async job to completion.
-func (s *server) runJob(ctx context.Context, id string) {
-	defer s.mJobsUp.Add(-1)
-	runID := obs.RunID(ctx)
-	if !s.jobs.transition(id, jobPending, jobRunning, nil) {
-		s.log.Info("job state", "job", id, "state", jobCancelled, "run_id", runID)
-		return // cancelled before starting
-	}
-	s.log.Info("job state", "job", id, "state", jobRunning, "run_id", runID)
-	j := s.jobs.get(id)
-	// Every job runs under a tracer: a traced submission records its JSONL
-	// trajectory for /debug/trace/{id}, everything else traces into the
-	// discard sink — either way the tracer drives the job's live-progress
-	// snapshot (GET /v1/jobs/{id}, /debug/runs) and the per-phase duration
-	// histograms. Pass level, because the engine only emits the pass events
-	// that advance the progress view when the tracer asks for them.
-	var sink io.Writer = io.Discard
-	lvl := prop.TracePasses
-	if j.trace != nil {
-		sink, lvl = j.trace, j.req.traceLevel
-		// Label the job's trace spans with the job ID so the JSONL served
-		// at /debug/trace/{id} self-identifies; the run ID still ties the
-		// job to its request logs.
-		j.req.opts.TraceID = id
-	}
-	tr := prop.NewTracer(sink, lvl).WithProgress(j.progress).WithPhaseHook(s.observePhase)
-	start := time.Now()
-	resp, err := s.run(ctx, j.req, runID, tr)
-	elapsedMS := float64(time.Since(start)) / float64(time.Millisecond)
-	if s.slowRun > 0 && time.Since(start) > s.slowRun {
-		s.log.Warn("slow run", "job", id, "algo", string(j.req.opts.Algorithm),
-			"elapsed_ms", elapsedMS,
-			"threshold_ms", float64(s.slowRun)/float64(time.Millisecond), "run_id", runID)
-	}
-	if err != nil {
-		to := jobFailed
-		if ctx.Err() == context.Canceled {
-			to = jobCancelled
-		}
-		s.mErrors.Inc()
-		s.jobs.transition(id, jobRunning, to, func(j *job) { j.Error = err.Error() })
-		s.log.Warn("job state", "job", id, "state", to, "error", err.Error(),
-			"elapsed_ms", elapsedMS, "run_id", runID)
-		return
-	}
-	s.jobs.transition(id, jobRunning, jobDone, func(j *job) { j.Result = resp })
-	s.log.Info("job state", "job", id, "state", jobDone,
-		"algo", resp.Algorithm, "move_workers", j.MoveWorkers, "passes", resp.Passes,
-		"cut_cost", resp.CutCost, "cut_nets", resp.CutNets,
-		"elapsed_ms", elapsedMS, "run_id", runID)
-}
-
-// handleRunsList lists every in-flight (pending or running) job with its
-// live-progress snapshot, oldest submission first.
-func (s *server) handleRunsList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"runs": s.jobs.inflight()})
-}
-
-// handleTraceGet serves the JSONL trace of a traced job.
-func (s *server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	j := s.jobs.get(id)
-	if j == nil {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
-		return
-	}
-	if j.trace == nil {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("job %q was not submitted with ?trace=", id))
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(j.trace.snapshot())
-}
-
-func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.jobs.snapshot(r.PathValue("id"))
-	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
-		return
-	}
-	writeJSON(w, http.StatusOK, snap)
-}
-
-func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	j := s.jobs.get(id)
-	if j == nil {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
-		return
-	}
-	// Pending jobs flip straight to cancelled; running jobs get their
-	// context cancelled and the runner records the final state.
-	s.jobs.transition(id, jobPending, jobCancelled, nil)
-	j.cancel()
-	s.log.Info("job cancel requested", "job", id, "run_id", obs.RunID(r.Context()))
-	snap, _ := s.jobs.snapshot(id)
-	writeJSON(w, http.StatusOK, snap)
-}
-
-// repartitionRequest is the JSON body of POST /v1/repartition: the delta
-// plus the base state, either inline (netlist + sides) or by reference to
-// a finished 2-way job whose netlist and winning sides the server still
-// retains.
+// repartitionRequest is the JSON body of POST /v1/repartition (and of a
+// /v1/batch delta item): the delta plus the base state, either inline
+// (netlist + sides) or by reference to a finished 2-way job whose netlist
+// and winning sides the server still retains.
 type repartitionRequest struct {
 	// BaseJob names a done async job to reuse as the base state.
 	BaseJob string `json:"base_job,omitempty"`
@@ -819,82 +672,80 @@ type repartitionResponse struct {
 	DeltaCollapsed  int  `json:"delta_collapsed_nets"`
 }
 
-// base resolves a finished 2-way job into its netlist and winning sides.
-func (js *jobStore) base(id string) (*prop.Netlist, []uint8, error) {
-	j := js.get(id)
-	if j == nil {
+// baseFromStore resolves a finished 2-way job into its netlist and
+// winning sides, reconstructing both from the durable record — the
+// journaled request payload and result — so the incremental path works
+// identically for live and crash-recovered base jobs.
+func (s *server) baseFromStore(id string) (*prop.Netlist, []uint8, error) {
+	j, ok := s.store.Get(id)
+	if !ok {
 		return nil, nil, fmt.Errorf("unknown base job %q (finished jobs are evicted after a while)", id)
 	}
-	js.mu.Lock()
-	defer js.mu.Unlock()
-	if j.State != jobDone || j.Result == nil {
+	if j.State != jobs.Done || len(j.Result) == 0 {
 		return nil, nil, fmt.Errorf("base job %q is %s, want done", id, j.State)
 	}
-	if len(j.Result.Sides) == 0 {
-		return nil, nil, fmt.Errorf("base job %q has no 2-way sides (k=%d)", id, j.Result.K)
+	var pl jobPayload
+	if err := json.Unmarshal(j.Payload, &pl); err != nil || pl.Kind != kindPartition {
+		return nil, nil, fmt.Errorf("base job %q is not a partition job", id)
 	}
-	sides := make([]uint8, len(j.Result.Sides))
-	for u, v := range j.Result.Sides {
+	var res partitionResponse
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		return nil, nil, fmt.Errorf("base job %q result: %w", id, err)
+	}
+	if len(res.Sides) == 0 {
+		return nil, nil, fmt.Errorf("base job %q has no 2-way sides (k=%d)", id, res.K)
+	}
+	nl, err := parseNetlist(pl.ContentType, pl.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("base job %q netlist: %w", id, err)
+	}
+	sides := make([]uint8, len(res.Sides))
+	for u, v := range res.Sides {
 		sides[u] = uint8(v)
 	}
-	return j.req.netlist, sides, nil
+	return nl, sides, nil
 }
 
-// handleRepartition runs the incremental path: apply a netlist delta to a
-// base state, project the previous sides through the mapping, and
+// runRepartition executes the incremental path: apply a netlist delta to
+// a base state, project the previous sides through the mapping, and
 // warm-start the partitioner (prop.RepartitionCtx) instead of solving
-// from scratch.
-func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
-	req, err := s.decodeQuery(r)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	var body repartitionRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.maxBody))
-	if err := dec.Decode(&body); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: %w", err))
-		return
-	}
+// from scratch. On error the returned status is the HTTP code the
+// synchronous handler should answer with.
+func (s *server) runRepartition(ctx context.Context, req *partitionRequest, body *repartitionRequest, runID string) (*repartitionResponse, int, error) {
 	if body.Delta == nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: missing delta"))
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("body: missing delta")
 	}
 	var base *prop.Netlist
 	var prevSides []uint8
+	var err error
 	switch {
 	case body.BaseJob != "":
-		base, prevSides, err = s.jobs.base(body.BaseJob)
+		base, prevSides, err = s.baseFromStore(body.BaseJob)
 		if err != nil {
-			s.fail(w, http.StatusNotFound, err)
-			return
+			return nil, http.StatusNotFound, err
 		}
 	case len(body.Netlist) > 0:
 		base, err = prop.ReadJSON(bytes.NewReader(body.Netlist))
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("netlist: %w", err))
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("netlist: %w", err)
 		}
 		prevSides = make([]uint8, len(body.Sides))
 		for u, v := range body.Sides {
 			if v != 0 && v != 1 {
-				s.fail(w, http.StatusBadRequest, fmt.Errorf("sides[%d] = %d, want 0 or 1", u, v))
-				return
+				return nil, http.StatusBadRequest, fmt.Errorf("sides[%d] = %d, want 0 or 1", u, v)
 			}
 			prevSides[u] = uint8(v)
 		}
 	default:
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("body: want base_job or netlist+sides"))
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("body: want base_job or netlist+sides")
 	}
 
-	s.mReqUp.Add(1)
-	defer s.mReqUp.Add(-1)
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	ctx, cancel := context.WithTimeout(ctx, req.timeout)
 	defer cancel()
-	runID := obs.RunID(r.Context())
 	req.opts.OnRun = func(u prop.RunUpdate) { s.mRuns.Inc() }
-	req.opts.TraceID = runID
+	if req.opts.TraceID == "" {
+		req.opts.TraceID = runID
+	}
 	start := time.Now()
 	_, res, err := prop.RepartitionCtx(ctx, base, prevSides, body.Delta, req.opts)
 	if err != nil {
@@ -902,15 +753,13 @@ func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
 		}
-		s.fail(w, status, err)
-		return
+		return nil, status, err
 	}
 	// The mapping is re-derived for the response: RepartitionCtx applied
 	// the delta internally, and Apply is cheap next to the search.
 	_, mp, err := base.ApplyDelta(body.Delta)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
+		return nil, http.StatusInternalServerError, err
 	}
 	resp := &repartitionResponse{
 		partitionResponse: partitionResponse{
@@ -937,6 +786,30 @@ func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	s.mLatency.Observe(time.Since(start))
 	s.log.Info("repartition", "cut_cost", res.CutCost, "cut_nets", res.CutNets,
 		"structural", mp.Structural, "elapsed_ms", resp.ElapsedMS, "run_id", runID)
+	return resp, 0, nil
+}
+
+func (s *server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.gate(w, r, true); !ok {
+		return
+	}
+	req, err := s.decodeQuery(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var body repartitionRequest
+	if err := json.NewDecoder(s.limitBody(w, r)).Decode(&body); err != nil {
+		s.failParse(w, fmt.Errorf("body: %w", err))
+		return
+	}
+	s.mReqUp.Add(1)
+	defer s.mReqUp.Add(-1)
+	resp, status, err := s.runRepartition(r.Context(), req, &body, obs.RunID(r.Context()))
+	if err != nil {
+		s.fail(w, status, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -948,10 +821,49 @@ func (s *server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "draining",
+			"uptime_s": int64(time.Since(s.start).Seconds()),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"uptime_s": int64(time.Since(s.start).Seconds()),
 	})
+}
+
+// beginDrain flips the server into drain mode: compute POSTs answer 503
+// and healthz reports draining, while GETs keep serving results.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// drain gracefully stops the serving core: it refuses new work, waits
+// (up to ctx) for every queued and running job to finish, then closes
+// the scheduler and flushes and closes the job journal.
+func (s *server) drain(ctx context.Context) error {
+	s.beginDrain()
+	err := s.sched.Drain(ctx)
+	if err != nil {
+		// Out of patience: cancel what is still running so the worker pool
+		// can be joined before the journal closes.
+		s.stopJobs()
+	}
+	s.sched.Close()
+	if cerr := s.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// close abruptly releases the server's resources: in-flight jobs are
+// cancelled rather than awaited. Tests use it; production exits call
+// drain.
+func (s *server) close() {
+	s.beginDrain()
+	s.stopJobs()
+	s.sched.Close()
+	_ = s.store.Close()
 }
 
 func (s *server) fail(w http.ResponseWriter, status int, err error) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"prop"
+	"prop/internal/jobs"
 )
 
 // testNetlistHGR renders a small deterministic netlist in .hgr form.
@@ -46,10 +47,28 @@ func newTestServerConfig(t *testing.T, cfg serverConfig) (*httptest.Server, *ser
 	}
 	// The nil logger discards; the handler() wrapper keeps the logging
 	// middleware and run-ID propagation on the tested path.
-	s := newServer(cfg, nil)
+	s, err := newServer(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
-	t.Cleanup(ts.Close)
+	// Close the serving core first: it cancels in-flight jobs, which
+	// unblocks any streaming handlers the httptest close waits on.
+	t.Cleanup(func() { s.close(); ts.Close() })
 	return ts, s
+}
+
+// jobResult decodes a finished job's raw result payload (nil when absent).
+func jobResult(t *testing.T, j jobView) *partitionResponse {
+	t.Helper()
+	if len(j.Result) == 0 {
+		return nil
+	}
+	var pr partitionResponse
+	if err := json.Unmarshal(j.Result, &pr); err != nil {
+		t.Fatal(err)
+	}
+	return &pr
 }
 
 func postHGR(t *testing.T, url, body string) *http.Response {
@@ -264,7 +283,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(30 * time.Second)
-	var final job
+	var final jobView
 	for {
 		if time.Now().After(deadline) {
 			t.Fatalf("job %s did not finish; last state %q", id, final.State)
@@ -273,17 +292,17 @@ func TestJobLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		final = decodeBody[job](t, r)
-		if final.State == jobDone || final.State == jobFailed {
+		final = decodeBody[jobView](t, r)
+		if final.State == jobs.Done || final.State == jobs.Failed {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if final.State != jobDone {
+	if final.State != jobs.Done {
 		t.Fatalf("job state %q, error %q", final.State, final.Error)
 	}
-	if final.Result == nil || len(final.Result.Sides) != 120 {
-		t.Fatalf("job result = %+v", final.Result)
+	if res := jobResult(t, final); res == nil || len(res.Sides) != 120 {
+		t.Fatalf("job result = %+v", res)
 	}
 }
 
@@ -330,11 +349,11 @@ func TestJobCancel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State == jobCancelled {
+		j := decodeBody[jobView](t, r)
+		if j.State == jobs.Cancelled {
 			break
 		}
-		if j.State == jobDone || j.State == jobFailed {
+		if j.State == jobs.Done || j.State == jobs.Failed {
 			// The job may have won the race; that's acceptable only if it
 			// truly completed before the cancel arrived.
 			t.Logf("job finished before cancel: %q", j.State)
@@ -463,11 +482,11 @@ func TestJobTrace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State == jobDone {
+		j := decodeBody[jobView](t, r)
+		if j.State == jobs.Done {
 			break
 		}
-		if j.State == jobFailed || j.State == jobCancelled {
+		if j.State == jobs.Failed || j.State == jobs.Cancelled {
 			t.Fatalf("job state %q, error %q", j.State, j.Error)
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -549,7 +568,7 @@ func TestPartitionCacheHitIsByteIdentical(t *testing.T) {
 	if body1 != body2 {
 		t.Errorf("cache hit payload differs from populating miss:\n%s\nvs\n%s", body1, body2)
 	}
-	if h, m := s.results.Hits(), s.results.Misses(); h != 1 || m != 1 {
+	if h, m := s.results.Stats(); h != 1 || m != 1 {
 		t.Errorf("cache hits/misses = %d/%d, want 1/1", h, m)
 	}
 
@@ -613,7 +632,7 @@ func TestJobQueueFullReturns429(t *testing.T) {
 }
 
 // waitJobDone polls until the job reaches a terminal state.
-func waitJobDone(t *testing.T, baseURL, id string) job {
+func waitJobDone(t *testing.T, baseURL, id string) jobView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -624,8 +643,8 @@ func waitJobDone(t *testing.T, baseURL, id string) job {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State.terminal() {
+		j := decodeBody[jobView](t, r)
+		if j.State.Terminal() {
 			return j
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -669,15 +688,24 @@ func TestJobHistoryEviction(t *testing.T) {
 }
 
 func TestJobTTLEviction(t *testing.T) {
-	ts, s := newTestServerConfig(t, serverConfig{jobTTL: time.Minute})
+	// A switchable clock: real time while the job runs, then jumped past
+	// the TTL to trigger eviction without sleeping.
+	var clockMu sync.Mutex
+	offset := time.Duration(0)
+	cfg := serverConfig{jobTTL: time.Minute, now: func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return time.Now().Add(offset)
+	}}
+	ts, _ := newTestServerConfig(t, cfg)
 	hgr := testNetlistHGR(t)
 	id := submitJob(t, ts.URL+"/v1/jobs?algo=fm&runs=1", hgr)
 	waitJobDone(t, ts.URL, id)
 
 	// Advance the store's clock past the TTL instead of sleeping.
-	s.jobs.mu.Lock()
-	s.jobs.now = func() time.Time { return time.Now().Add(2 * time.Minute) }
-	s.jobs.mu.Unlock()
+	clockMu.Lock()
+	offset = 2 * time.Minute
+	clockMu.Unlock()
 	r, err := http.Get(ts.URL + "/v1/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
@@ -750,7 +778,7 @@ func TestRepartitionFromBaseJob(t *testing.T) {
 	ts, _ := newTestServerConfig(t, serverConfig{})
 	hgr := testNetlistHGR(t)
 	id := submitJob(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3", hgr)
-	if j := waitJobDone(t, ts.URL, id); j.State != jobDone {
+	if j := waitJobDone(t, ts.URL, id); j.State != jobs.Done {
 		t.Fatalf("base job state %q", j.State)
 	}
 	d := &prop.Delta{Recost: []prop.DeltaNetCost{{Net: 0, Cost: 3}}}
@@ -869,16 +897,16 @@ func TestPartitionMoveWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
+		j := decodeBody[jobView](t, r)
 		if j.MoveWorkers != 4 {
 			t.Fatalf("job move_workers = %d, want 4", j.MoveWorkers)
 		}
-		if j.State == jobDone || j.State == jobFailed {
-			if j.State != jobDone {
+		if j.State == jobs.Done || j.State == jobs.Failed {
+			if j.State != jobs.Done {
 				t.Fatalf("job state %q, error %q", j.State, j.Error)
 			}
-			if j.Result == nil || j.Result.CutCost != want.CutCost {
-				t.Fatalf("job result = %+v, want cut %g", j.Result, want.CutCost)
+			if res := jobResult(t, j); res == nil || res.CutCost != want.CutCost {
+				t.Fatalf("job result = %+v, want cut %g", res, want.CutCost)
 			}
 			break
 		}
@@ -921,11 +949,11 @@ func TestJobProgressAdvances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State.terminal() {
+		j := decodeBody[jobView](t, r)
+		if j.State.Terminal() {
 			t.Fatalf("job reached %q with only %d distinct progress snapshots", j.State, len(seen))
 		}
-		if j.State == jobRunning {
+		if j.State == jobs.Running {
 			if j.Progress == nil {
 				t.Fatal("running job has no progress snapshot")
 			}
@@ -939,7 +967,7 @@ func TestJobProgressAdvances(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			runs := decodeBody[map[string][]job](t, dr)["runs"]
+			runs := decodeBody[map[string][]jobView](t, dr)["runs"]
 			for _, rj := range runs {
 				if rj.ID == id && rj.Progress != nil {
 					sawDebugRuns = true
@@ -976,8 +1004,8 @@ func TestJobProgressAdvances(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State.terminal() {
+		j := decodeBody[jobView](t, r)
+		if j.State.Terminal() {
 			if j.Progress != nil {
 				t.Errorf("terminal job still carries progress: %+v", j.Progress)
 			}
@@ -996,7 +1024,7 @@ func TestDebugRunsEmpty(t *testing.T) {
 	if r.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", r.StatusCode)
 	}
-	runs := decodeBody[map[string][]job](t, r)["runs"]
+	runs := decodeBody[map[string][]jobView](t, r)["runs"]
 	if len(runs) != 0 {
 		t.Errorf("idle /debug/runs = %+v", runs)
 	}
@@ -1070,9 +1098,12 @@ func (w *syncWriter) String() string {
 func TestJobCompletionLogAndSlowRun(t *testing.T) {
 	var lw syncWriter
 	logger := slog.New(slog.NewTextHandler(&lw, nil))
-	s := newServer(serverConfig{maxPar: 2, defTimeout: 30 * time.Second, slowRun: time.Nanosecond}, logger)
+	s, err := newServer(serverConfig{maxPar: 2, defTimeout: 30 * time.Second, slowRun: time.Nanosecond}, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.close(); ts.Close() })
 
 	hgr := testNetlistHGR(t)
 	resp := postHGR(t, ts.URL+"/v1/jobs?algo=prop&runs=2&seed=3&move_workers=2", hgr)
@@ -1086,14 +1117,14 @@ func TestJobCompletionLogAndSlowRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		j := decodeBody[job](t, r)
-		if j.State == jobDone {
-			if j.Result.Passes <= 0 {
-				t.Errorf("done job passes = %d, want > 0", j.Result.Passes)
+		j := decodeBody[jobView](t, r)
+		if j.State == jobs.Done {
+			if res := jobResult(t, j); res == nil || res.Passes <= 0 {
+				t.Errorf("done job result = %+v, want passes > 0", res)
 			}
 			break
 		}
-		if j.State.terminal() {
+		if j.State.Terminal() {
 			t.Fatalf("job state %q, error %q", j.State, j.Error)
 		}
 		time.Sleep(10 * time.Millisecond)

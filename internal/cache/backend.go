@@ -1,0 +1,55 @@
+package cache
+
+// Key is the content-addressed identity of one partitioning result: the
+// netlist and options fingerprints plus the part count, with a Kind
+// discriminator separating result families (sync partitions, warm
+// repartitions, ...) that happen to share fingerprints. Two requests with
+// equal Keys are guaranteed to produce bit-identical payloads — the
+// engine is deterministic in everything a Key captures, and knobs that do
+// not change the result (parallelism, tracing) are deliberately excluded
+// from the fingerprints.
+type Key struct {
+	Kind    string
+	Netlist uint64
+	Options uint64
+	K       int
+}
+
+// Backend is a pluggable result store keyed by content address. The
+// in-process LRU below is the only implementation today; the interface is
+// the seam for a sharded peer or disk tier — a Backend may drop any entry
+// at any time (Get is always allowed to miss), so callers must treat it
+// as a cache, never as a source of truth.
+//
+// Implementations must be safe for concurrent use and must return payloads
+// byte-identical to what Put stored (callers replay them on the wire).
+type Backend interface {
+	// Get returns the payload for key and whether it was present.
+	Get(key Key) ([]byte, bool)
+	// Put stores the payload for key, evicting older entries as needed.
+	Put(key Key, payload []byte)
+	// Len returns the current entry count.
+	Len() int
+	// Stats returns cumulative Get hit and miss counts.
+	Stats() (hits, misses uint64)
+}
+
+// lruBackend adapts the generic LRU to the Backend interface.
+type lruBackend struct {
+	c *Cache[Key, []byte]
+}
+
+// NewLRU returns an in-process LRU Backend holding at most capacity
+// entries (capacity < 1 selects 1).
+func NewLRU(capacity int) Backend {
+	return &lruBackend{c: New[Key, []byte](capacity)}
+}
+
+func (b *lruBackend) Get(key Key) ([]byte, bool) { return b.c.Get(key) }
+func (b *lruBackend) Put(key Key, payload []byte) {
+	b.c.Put(key, payload)
+}
+func (b *lruBackend) Len() int { return b.c.Len() }
+func (b *lruBackend) Stats() (hits, misses uint64) {
+	return b.c.Hits(), b.c.Misses()
+}

@@ -81,3 +81,35 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+func TestLRUBackend(t *testing.T) {
+	b := NewLRU(2)
+	k1 := Key{Kind: "partition", Netlist: 1, Options: 2, K: 2}
+	k2 := Key{Kind: "partition", Netlist: 1, Options: 2, K: 4}
+	k3 := Key{Kind: "repartition", Netlist: 1, Options: 2, K: 2}
+
+	if _, ok := b.Get(k1); ok {
+		t.Fatal("empty backend hit")
+	}
+	b.Put(k1, []byte("r1"))
+	b.Put(k2, []byte("r2"))
+	if got, ok := b.Get(k1); !ok || string(got) != "r1" {
+		t.Fatalf("Get(k1) = %q, %t", got, ok)
+	}
+	// k3 differs from k1 only by Kind — still a distinct address; inserting
+	// it evicts the least recently used entry (k2).
+	b.Put(k3, []byte("r3"))
+	if _, ok := b.Get(k2); ok {
+		t.Error("k2 survived past capacity")
+	}
+	if got, ok := b.Get(k3); !ok || string(got) != "r3" {
+		t.Errorf("Get(k3) = %q, %t", got, ok)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	hits, misses := b.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("Stats = %d/%d, want 2/2", hits, misses)
+	}
+}

@@ -1,0 +1,61 @@
+package jobs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the journal's handle on one open segment: appends, durability
+// barriers, and close. The store serializes all calls under its own lock.
+type File interface {
+	io.Writer
+	// Sync flushes buffered writes to stable storage. The store calls it
+	// after enqueue and terminal records — the writes whose loss would
+	// change what a restart observes.
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the handful of filesystem operations the journal needs, so
+// tests can run the store on an in-memory filesystem and simulate crashes
+// that tear the final record mid-line. The zero Config selects the real
+// filesystem.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates or creates the named file for appending.
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	// List returns the base names of the files in dir, sorted.
+	List(dir string) ([]string, error)
+	Remove(name string) error
+}
+
+// osFS is the real-filesystem FS.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, filepath.Base(e.Name()))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

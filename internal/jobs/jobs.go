@@ -1,0 +1,522 @@
+// Package jobs is the durable job store behind propserve's async API: an
+// in-memory registry of submitted jobs backed by an append-only NDJSON
+// journal, so a crash or restart loses no accepted work. Every accepted
+// job is fsynced to the journal before the submit call returns; state
+// transitions append further records (terminal ones synced, the
+// pending→running marker best-effort); and on startup the store replays
+// the journal, retains finished jobs, and re-queues every non-terminal
+// job for execution. Because the engine is deterministic, a replayed job
+// reproduces the result byte for byte, so the crash-recovery contract is:
+// every accepted job reaches a terminal state with the same result it
+// would have had without the crash.
+//
+// The journal is segmented: records append to the current segment until
+// it exceeds Config.SegmentBytes AND at least doubles the size of the
+// last compacted snapshot, then the store compacts — it writes one
+// snapshot record per live job into a fresh segment and deletes the old
+// ones, dropping superseded records and evicted terminal jobs. The
+// doubling condition keeps compaction cost amortized O(1) per appended
+// byte even when the live set alone outgrows SegmentBytes. The same
+// compaction runs on every open, which bounds replay work and tolerates a
+// torn final record (a crash mid-append): the torn tail is dropped, which
+// is safe because an unsynced record can only be a state transition whose
+// replay re-queues the job, never an acknowledged submit.
+//
+// The store keeps propserve's admission semantics: at most MaxActive jobs
+// pending or running at once (Submit returns ErrBusy past that, the
+// server answers 429 + Retry-After), terminal jobs retained until MaxDone
+// newer ones displace them or TTL expires. Both the clock and the
+// filesystem are injectable so tests can simulate eviction and torn
+// writes.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrBusy is returned by Submit when MaxActive jobs are already pending or
+// running.
+var ErrBusy = errors.New("job store full")
+
+// State is a job's lifecycle phase.
+type State string
+
+// The job lifecycle: Pending → Running → one of the terminal states.
+// Crash recovery moves Running back to Pending (the work was lost).
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether a state ends a job's lifecycle.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Job is one durable job record. Payload and Result are opaque to the
+// store (the server journals the request bytes it needs to re-run the job
+// after a crash, and the response bytes it serves); both are shared, not
+// copied — treat them as immutable.
+type Job struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
+	// Payload is the serialized request, enough to re-run the job.
+	Payload []byte `json:"payload,omitempty"`
+	// Result is the serialized result of a Done job.
+	Result []byte `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Requeued counts crash-recovery replays of this job.
+	Requeued int       `json:"requeued,omitempty"`
+	Created  time.Time `json:"created"`
+	Finished time.Time `json:"finished,omitempty"`
+}
+
+// record is one journal line: a full job snapshot (last one wins on
+// replay) or an eviction tombstone.
+type record struct {
+	Job   *Job   `json:"job,omitempty"`
+	Evict string `json:"evict,omitempty"`
+}
+
+// Config sizes and wires a Store. The zero value of any field selects its
+// default.
+type Config struct {
+	// Dir is the journal directory; empty disables durability (the store
+	// is memory-only, as for tests and one-shot servers).
+	Dir string
+	// FS is the journal's filesystem (nil selects the real one).
+	FS FS
+	// Now is the store's clock (nil selects time.Now).
+	Now func() time.Time
+	// MaxActive caps pending+running jobs; 0 is unbounded.
+	MaxActive int
+	// MaxDone caps retained terminal jobs; 0 is unbounded.
+	MaxDone int
+	// TTL evicts terminal jobs this long after they finish; 0 never.
+	TTL time.Duration
+	// SegmentBytes triggers journal compaction once the current segment
+	// grows past it (0 selects 1 MiB).
+	SegmentBytes int64
+	// OnEvict, when non-nil, is called (under the store lock) with the ID
+	// of every evicted terminal job, so callers can drop side state.
+	OnEvict func(id string)
+}
+
+// Store is the journaled job registry. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	cfg  Config
+	jobs map[string]*Job
+	// done holds terminal job IDs in finish order (oldest first).
+	done   []string
+	active int
+	nextID int
+
+	// Journal state; seg == nil when durability is off.
+	seg      File
+	segSeq   int
+	segBytes int64
+	// segBase is the segment's size right after the last compaction — the
+	// live-snapshot footprint. Size-triggered compaction waits for the
+	// segment to double past it, so a live set larger than SegmentBytes
+	// cannot force a full rewrite on every append.
+	segBase int64
+	closed  bool
+}
+
+// Open builds a Store from cfg and, when a journal directory is set,
+// replays it: finished jobs are retained (subject to the eviction
+// policy), every non-terminal job is reset to Pending, and the journal is
+// compacted into a fresh segment. The second result lists the re-queued
+// jobs, oldest first — the caller is responsible for actually re-running
+// them.
+func Open(cfg Config) (*Store, []Job, error) {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.FS == nil {
+		cfg.FS = osFS{}
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 1 << 20
+	}
+	s := &Store{cfg: cfg, jobs: map[string]*Job{}}
+	if cfg.Dir == "" {
+		return s, nil, nil
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, nil, fmt.Errorf("journal dir: %w", err)
+	}
+	requeued, err := s.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compact on open: one fresh segment snapshotting the replayed state
+	// bounds the next replay and drops the torn tail for good.
+	s.mu.Lock()
+	err = s.compactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, requeued, nil
+}
+
+// segName formats the segment file name for a sequence number; the zero
+// padding keeps lexical order equal to numeric order.
+func (s *Store) segName(seq int) string {
+	return filepath.Join(s.cfg.Dir, fmt.Sprintf("journal-%08d.ndjson", seq))
+}
+
+// replay loads every journal segment in order, rebuilding the in-memory
+// state (last record per job wins, tombstones delete). A record that
+// fails to parse is tolerated only as the final record of the final
+// segment — the torn tail of a crash mid-append; anywhere else it is
+// corruption and replay fails.
+func (s *Store) replay() ([]Job, error) {
+	names, err := s.cfg.FS.List(s.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal list: %w", err)
+	}
+	var segs []string
+	for _, name := range names {
+		if strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".ndjson") {
+			segs = append(segs, name)
+			if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "journal-"), ".ndjson")); err == nil && n > s.segSeq {
+				s.segSeq = n
+			}
+		}
+	}
+	for si, name := range segs {
+		if err := s.replaySegment(filepath.Join(s.cfg.Dir, name), si == len(segs)-1); err != nil {
+			return nil, err
+		}
+	}
+	// Rebuild the derived state: ID sequence, active count, terminal
+	// order, and the re-queue list.
+	var requeued []Job
+	var terminal []*Job
+	for _, j := range s.jobs {
+		if n := jobSeq(j.ID); n >= s.nextID {
+			s.nextID = n
+		}
+		if j.State.Terminal() {
+			terminal = append(terminal, j)
+			continue
+		}
+		// The work of a pending or running job was lost with the process;
+		// re-queue it from the journaled payload.
+		j.State = Pending
+		j.Requeued++
+		s.active++
+		requeued = append(requeued, *j)
+	}
+	sort.Slice(requeued, func(a, b int) bool { return jobSeq(requeued[a].ID) < jobSeq(requeued[b].ID) })
+	sort.Slice(terminal, func(a, b int) bool {
+		if !terminal[a].Finished.Equal(terminal[b].Finished) {
+			return terminal[a].Finished.Before(terminal[b].Finished)
+		}
+		return jobSeq(terminal[a].ID) < jobSeq(terminal[b].ID)
+	})
+	for _, j := range terminal {
+		s.done = append(s.done, j.ID)
+	}
+	s.evictLocked()
+	return requeued, nil
+}
+
+// replaySegment applies one segment's records. last marks the final
+// segment, whose final record may be torn.
+func (s *Store) replaySegment(path string, last bool) error {
+	f, err := s.cfg.FS.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal open: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("journal read %s: %w", path, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			rest := strings.TrimSpace(strings.Join(lines[i+1:], ""))
+			if last && rest == "" {
+				// Torn final record: the crash landed mid-append. The write
+				// was never acknowledged durable, so dropping it is safe.
+				return nil
+			}
+			return fmt.Errorf("journal %s:%d: corrupt record: %w", path, i+1, err)
+		}
+		switch {
+		case rec.Evict != "":
+			delete(s.jobs, rec.Evict)
+		case rec.Job != nil:
+			j := *rec.Job
+			s.jobs[j.ID] = &j
+		}
+	}
+	return nil
+}
+
+// jobSeq extracts the numeric suffix of a "j<seq>" ID (0 when malformed).
+func jobSeq(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}
+
+// append writes one record to the current segment. sync forces the record
+// to stable storage before returning — the submit path's durability
+// barrier. Callers hold s.mu.
+func (s *Store) appendLocked(rec record, sync bool) error {
+	if s.cfg.Dir == "" || s.closed {
+		return nil
+	}
+	if s.seg == nil {
+		if err := s.compactLocked(); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := s.seg.Write(line); err != nil {
+		return fmt.Errorf("journal append: %w", err)
+	}
+	s.segBytes += int64(len(line))
+	if sync {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("journal sync: %w", err)
+		}
+	}
+	// Compact when the segment is both past the size threshold and at
+	// least half garbage (double the last snapshot). The second condition
+	// keeps compaction amortized: without it, a live set larger than
+	// SegmentBytes would trigger a full O(live) rewrite on every append.
+	if s.segBytes >= s.cfg.SegmentBytes && s.segBytes >= 2*s.segBase {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rotates the journal: it writes a snapshot of every
+// retained job into the next segment, syncs it, and removes the older
+// segments. Callers hold s.mu.
+func (s *Store) compactLocked() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	old, err := s.cfg.FS.List(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("journal list: %w", err)
+	}
+	s.segSeq++
+	f, err := s.cfg.FS.Create(s.segName(s.segSeq))
+	if err != nil {
+		return fmt.Errorf("journal create: %w", err)
+	}
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	var bytes int64
+	for _, id := range ids {
+		line, err := json.Marshal(record{Job: s.jobs[id]})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("journal compact: %w", err)
+		}
+		bytes += int64(len(line))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal sync: %w", err)
+	}
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg, s.segBytes, s.segBase = f, bytes, bytes
+	for _, name := range old {
+		if strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".ndjson") {
+			_ = s.cfg.FS.Remove(filepath.Join(s.cfg.Dir, name))
+		}
+	}
+	return nil
+}
+
+// Submit registers a new pending job for a tenant and journals it durably
+// (fsync) before returning. It returns ErrBusy when MaxActive jobs are
+// already in flight.
+func (s *Store) Submit(tenant string, payload []byte) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	if s.cfg.MaxActive > 0 && s.active >= s.cfg.MaxActive {
+		return Job{}, ErrBusy
+	}
+	s.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("j%d", s.nextID),
+		Tenant:  tenant,
+		State:   Pending,
+		Payload: payload,
+		Created: s.cfg.Now(),
+	}
+	if err := s.appendLocked(record{Job: j}, true); err != nil {
+		// The submit was not made durable; refuse it rather than accept a
+		// job a crash would silently lose.
+		s.nextID--
+		return Job{}, err
+	}
+	s.active++
+	s.jobs[j.ID] = j
+	return *j, nil
+}
+
+// Transition moves a job from one state to another, journaling the new
+// record (synced when to is terminal). from restricts the transition
+// (empty matches any state); mut, when non-nil, edits the job under the
+// store lock before it is journaled (set Result, Error). A transition
+// into a terminal state frees the job's in-flight slot and starts its
+// retention clock. It reports whether the transition happened.
+func (s *Store) Transition(id string, from, to State, mut func(*Job)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || (from != "" && j.State != from) {
+		return false
+	}
+	wasTerminal := j.State.Terminal()
+	j.State = to
+	if mut != nil {
+		mut(j)
+	}
+	if to.Terminal() && !wasTerminal {
+		s.active--
+		j.Finished = s.cfg.Now()
+		s.done = append(s.done, id)
+	}
+	_ = s.appendLocked(record{Job: j}, to.Terminal())
+	if to.Terminal() && !wasTerminal {
+		s.evictLocked()
+	}
+	return true
+}
+
+// evictLocked drops terminal jobs beyond the history cap or past their
+// TTL. Callers hold s.mu.
+func (s *Store) evictLocked() {
+	for len(s.done) > 0 {
+		id := s.done[0]
+		over := s.cfg.MaxDone > 0 && len(s.done) > s.cfg.MaxDone
+		expired := s.cfg.TTL > 0 && s.cfg.Now().Sub(s.jobs[id].Finished) > s.cfg.TTL
+		if !over && !expired {
+			return
+		}
+		delete(s.jobs, id)
+		s.done = s.done[1:]
+		_ = s.appendLocked(record{Evict: id}, false)
+		if s.cfg.OnEvict != nil {
+			s.cfg.OnEvict(id)
+		}
+	}
+}
+
+// Get returns a copy of the job with the given ID.
+func (s *Store) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	j := s.jobs[id]
+	if j == nil {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// List returns a copy of every retained job for a tenant (every tenant
+// when tenant is empty), in submission order.
+func (s *Store) List(tenant string) []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, *j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return jobSeq(out[a].ID) < jobSeq(out[b].ID) })
+	return out
+}
+
+// Inflight returns a copy of every pending or running job, in submission
+// order.
+func (s *Store) Inflight() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, s.active)
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			out = append(out, *j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return jobSeq(out[a].ID) < jobSeq(out[b].ID) })
+	return out
+}
+
+// Active returns the number of pending or running jobs.
+func (s *Store) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// MaxActive returns the configured in-flight cap (0 = unbounded).
+func (s *Store) MaxActive() int { return s.cfg.MaxActive }
+
+// Close compacts and closes the journal. The store must not be used after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.cfg.Dir == "" {
+		s.closed = true
+		return nil
+	}
+	// A final compaction persists the latest state of every job in one
+	// clean segment — restart replays exactly the retained set.
+	err := s.compactLocked()
+	if s.seg != nil {
+		if cerr := s.seg.Close(); err == nil {
+			err = cerr
+		}
+		s.seg = nil
+	}
+	s.closed = true
+	return err
+}

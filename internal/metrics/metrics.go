@@ -1,7 +1,8 @@
 // Package metrics is a small, dependency-free instrumentation layer for
 // the partitioning engine and the propserve service: expvar-style counters
-// and gauges, a fixed-bucket histogram (cut-size distribution), a labeled
-// histogram family (per-phase durations, one child per phase name), and a
+// and gauges, a fixed-bucket histogram (cut-size distribution), labeled
+// counter/gauge/histogram families (per-tenant and per-phase series, one
+// child per label value), and a
 // sliding-window latency tracker with p50/p99 quantiles. Everything is
 // safe for concurrent use and exports both as one flat JSON document and
 // in the Prometheus text exposition format (version 0.0.4).
@@ -172,6 +173,84 @@ func (v *HistogramVec) Snapshot() map[string]HistogramSnapshot {
 	return out
 }
 
+// CounterVec is a family of counters partitioned by one label (per-tenant
+// admits/rejects keyed by tenant name). A child is created on its first
+// use. Safe for concurrent use.
+type CounterVec struct {
+	mu    sync.Mutex
+	label string
+	kids  map[string]*Counter
+}
+
+// NewCounterVec builds an empty counter family exporting under the given
+// label name.
+func NewCounterVec(label string) *CounterVec {
+	return &CounterVec{label: label, kids: map[string]*Counter{}}
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.kids[value]
+	if c == nil {
+		c = &Counter{}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every child, keyed by label value.
+func (v *CounterVec) Snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.kids))
+	for value, c := range v.kids {
+		out[value] = c.Value()
+	}
+	return out
+}
+
+// GaugeVec is a family of gauges partitioned by one label (per-tenant
+// queue depth keyed by tenant name). A child is created on its first use.
+// Safe for concurrent use.
+type GaugeVec struct {
+	mu    sync.Mutex
+	label string
+	kids  map[string]*Gauge
+}
+
+// NewGaugeVec builds an empty gauge family exporting under the given label
+// name.
+func NewGaugeVec(label string) *GaugeVec {
+	return &GaugeVec{label: label, kids: map[string]*Gauge{}}
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.kids[value]
+	if g == nil {
+		g = &Gauge{}
+		v.kids[value] = g
+	}
+	return g
+}
+
+// Snapshot returns the current value of every child, keyed by label value.
+func (v *GaugeVec) Snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.kids))
+	for value, g := range v.kids {
+		out[value] = g.Value()
+	}
+	return out
+}
+
 // Latency tracks durations over a sliding window of the most recent
 // observations and reports count/mean/p50/p99.
 type Latency struct {
@@ -267,20 +346,24 @@ const (
 	kindFloatGauge
 	kindHistogram
 	kindHistogramVec
+	kindCounterVec
+	kindGaugeVec
 	kindLatency
 )
 
 // item is one registered metric: the JSON view plus the typed handle the
 // Prometheus writer needs.
 type item struct {
-	kind    itemKind
-	json    func() any
-	counter *Counter
-	gauge   *Gauge
-	fgauge  *FloatGauge
-	hist    *Histogram
-	histVec *HistogramVec
-	lat     *Latency
+	kind       itemKind
+	json       func() any
+	counter    *Counter
+	gauge      *Gauge
+	fgauge     *FloatGauge
+	hist       *Histogram
+	histVec    *HistogramVec
+	counterVec *CounterVec
+	gaugeVec   *GaugeVec
+	lat        *Latency
 }
 
 // Registry is a named collection of metrics exporting as one JSON object
@@ -339,6 +422,20 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 func (r *Registry) HistogramVec(name, label string, bounds ...float64) *HistogramVec {
 	v := NewHistogramVec(label, bounds...)
 	r.publish(name, item{kind: kindHistogramVec, histVec: v, json: func() any { return v.Snapshot() }})
+	return v
+}
+
+// CounterVec registers and returns a new labeled counter family.
+func (r *Registry) CounterVec(name, label string) *CounterVec {
+	v := NewCounterVec(label)
+	r.publish(name, item{kind: kindCounterVec, counterVec: v, json: func() any { return v.Snapshot() }})
+	return v
+}
+
+// GaugeVec registers and returns a new labeled gauge family.
+func (r *Registry) GaugeVec(name, label string) *GaugeVec {
+	v := NewGaugeVec(label)
+	r.publish(name, item{kind: kindGaugeVec, gaugeVec: v, json: func() any { return v.Snapshot() }})
 	return v
 }
 
@@ -424,7 +521,8 @@ func promFloat(v float64) string {
 // format (version 0.0.4), in registration order. Counters and gauges map
 // directly; Histograms become cumulative histograms with `_bucket`,
 // `_sum`, and `_count` series; HistogramVec families emit the same series
-// once per label value (values in sorted order); Latency trackers become
+// once per label value (values in sorted order); CounterVec and GaugeVec
+// families emit one labeled sample per value; Latency trackers become
 // summaries with
 // p50/p99 quantile series (values in milliseconds); Func metrics with
 // numeric results are emitted untyped, others are skipped (JSON-only).
@@ -473,6 +571,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				fmt.Fprintf(&b, "%s_sum{%s=%q} %s\n", pn, it.histVec.label, value, promFloat(s.Sum))
 				fmt.Fprintf(&b, "%s_count{%s=%q} %d\n", pn, it.histVec.label, value, s.Count)
+			}
+		case kindCounterVec:
+			snaps := it.counterVec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for value := range snaps {
+				values = append(values, value)
+			}
+			sort.Strings(values)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", pn)
+			for _, value := range values {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", pn, it.counterVec.label, value, snaps[value])
+			}
+		case kindGaugeVec:
+			snaps := it.gaugeVec.Snapshot()
+			values := make([]string, 0, len(snaps))
+			for value := range snaps {
+				values = append(values, value)
+			}
+			sort.Strings(values)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", pn)
+			for _, value := range values {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", pn, it.gaugeVec.label, value, snaps[value])
 			}
 		case kindLatency:
 			s := it.lat.Snapshot()

@@ -415,3 +415,88 @@ func TestConcurrentObserveSnapshot(t *testing.T) {
 		t.Errorf("latency count = %d, want 2000", s.Count)
 	}
 }
+
+func TestCounterVecAndGaugeVec(t *testing.T) {
+	cv := NewCounterVec("tenant")
+	cv.With("a").Inc()
+	cv.With("a").Add(2)
+	cv.With("b").Inc()
+	if s := cv.Snapshot(); s["a"] != 3 || s["b"] != 1 {
+		t.Errorf("counter snapshot = %v", s)
+	}
+	gv := NewGaugeVec("tenant")
+	gv.With("a").Set(5)
+	gv.With("a").Add(-2)
+	gv.With("b").Add(7)
+	if s := gv.Snapshot(); s["a"] != 3 || s["b"] != 7 {
+		t.Errorf("gauge snapshot = %v", s)
+	}
+	// The same child is returned on repeat lookups.
+	if cv.With("a") != cv.With("a") || gv.With("b") != gv.With("b") {
+		t.Error("With returned distinct children for one label value")
+	}
+	if s := NewCounterVec("tenant").Snapshot(); len(s) != 0 {
+		t.Errorf("empty counter family = %v", s)
+	}
+}
+
+func TestCounterVecGaugeVecPrometheusAndJSON(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("tenant_admitted_total", "tenant")
+	cv.With("beta").Add(2)
+	cv.With("alpha").Inc()
+	gv := r.GaugeVec("tenant_queue_depth", "tenant")
+	gv.With("alpha").Set(4)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tenant_admitted_total counter\n",
+		`tenant_admitted_total{tenant="alpha"} 1`,
+		`tenant_admitted_total{tenant="beta"} 2`,
+		"# TYPE tenant_queue_depth gauge\n",
+		`tenant_queue_depth{tenant="alpha"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Label values render in sorted order for stable scrapes.
+	if strings.Index(out, `tenant="alpha"`) > strings.Index(out, `tenant="beta"`) {
+		t.Errorf("label values not sorted:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string]int64
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded["tenant_admitted_total"]["beta"] != 2 || decoded["tenant_queue_depth"]["alpha"] != 4 {
+		t.Errorf("json export = %v", decoded)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	cv := NewCounterVec("tenant")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cv.With("t" + string(rune('a'+w%2))).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := cv.Snapshot()
+	if s["ta"]+s["tb"] != 8000 {
+		t.Errorf("lost increments: %v", s)
+	}
+}

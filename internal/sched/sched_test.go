@@ -1,0 +1,236 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateAndRecord builds a one-worker scheduler whose first job blocks on
+// the returned release channel, so tests can enqueue a full arrival
+// pattern before any dispatch happens, then observe the exact order.
+func gateAndRecord(t *testing.T) (*Scheduler, chan struct{}, func(tenant string) func(), *[]string) {
+	t.Helper()
+	s := New(Config{Workers: 1})
+	t.Cleanup(s.Close)
+	var mu sync.Mutex
+	order := &[]string{}
+	release := make(chan struct{})
+	if !s.Enqueue("gate", func() { <-release }) {
+		t.Fatal("gate enqueue refused")
+	}
+	job := func(tenant string) func() {
+		return func() {
+			mu.Lock()
+			*order = append(*order, tenant)
+			mu.Unlock()
+		}
+	}
+	return s, release, job, order
+}
+
+func TestFairShareAlternatesEqualDemand(t *testing.T) {
+	s, release, job, order := gateAndRecord(t)
+	// Tenant a enqueues all its work before tenant b arrives; DRR must
+	// still alternate rather than serve a's backlog first.
+	for i := 0; i < 5; i++ {
+		s.Enqueue("a", job("a"))
+	}
+	for i := 0; i < 5; i++ {
+		s.Enqueue("b", job("b"))
+	}
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := *order
+	if len(got) != 10 {
+		t.Fatalf("completed %d jobs, want 10: %v", len(got), got)
+	}
+	// After the gate, the rotation is a,b,a,b,... — strict alternation.
+	for i := 0; i < 10; i += 2 {
+		if got[i] != "a" || got[i+1] != "b" {
+			t.Fatalf("dispatch order not alternating at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNoStarvationUnderFlood(t *testing.T) {
+	s, release, job, order := gateAndRecord(t)
+	// Tenant b floods 50 jobs; a's 5 arrive afterwards. Round robin must
+	// finish all of a's work within the first 2×5 dispatches.
+	for i := 0; i < 50; i++ {
+		s.Enqueue("b", job("b"))
+	}
+	for i := 0; i < 5; i++ {
+		s.Enqueue("a", job("a"))
+	}
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := *order
+	lastA := -1
+	for i, tn := range got {
+		if tn == "a" {
+			lastA = i
+		}
+	}
+	if lastA < 0 || lastA >= 10 {
+		t.Fatalf("tenant a's last job dispatched at index %d (want < 10): %v", lastA, got[:12])
+	}
+}
+
+func TestDispatchDeterministicGivenArrivalOrder(t *testing.T) {
+	arrivals := []string{"a", "a", "b", "c", "b", "a", "c", "c", "c", "b"}
+	run := func() []string {
+		s, release, job, order := gateAndRecord(t)
+		for _, tn := range arrivals {
+			s.Enqueue(tn, job(tn))
+		}
+		close(release)
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return *order
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatalf("run %d completed %d jobs, want %d", i, len(got), len(first))
+		} else {
+			for k := range got {
+				if got[k] != first[k] {
+					t.Fatalf("run %d order %v != first order %v", i, got, first)
+				}
+			}
+		}
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New(Config{Rate: 1, Burst: 2, Now: func() time.Time { return now }})
+	defer s.Close()
+	if !s.Admit("a") || !s.Admit("a") {
+		t.Fatal("burst of 2 not admitted")
+	}
+	if s.Admit("a") {
+		t.Fatal("third immediate submission admitted past the burst")
+	}
+	// Tenants have independent buckets.
+	if !s.Admit("b") {
+		t.Fatal("tenant b rejected on tenant a's empty bucket")
+	}
+	// One second refills one token — and no more than Burst accumulates.
+	now = now.Add(time.Second)
+	if !s.Admit("a") {
+		t.Fatal("refilled token not admitted")
+	}
+	if s.Admit("a") {
+		t.Fatal("admitted more than the refill")
+	}
+	now = now.Add(time.Hour)
+	if !s.Admit("a") || !s.Admit("a") {
+		t.Fatal("bucket did not refill to burst")
+	}
+	if s.Admit("a") {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestQuotaDisabledByDefault(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		if !s.Admit("a") {
+			t.Fatal("zero-rate scheduler rejected a submission")
+		}
+	}
+}
+
+func TestQueueDepthHook(t *testing.T) {
+	var mu sync.Mutex
+	depths := map[string][]int{}
+	s := New(Config{Workers: 1, OnQueueDepth: func(tn string, d int) {
+		mu.Lock()
+		depths[tn] = append(depths[tn], d)
+		mu.Unlock()
+	}})
+	defer s.Close()
+	release := make(chan struct{})
+	s.Enqueue("gate", func() { <-release })
+	s.Enqueue("a", func() {})
+	s.Enqueue("a", func() {})
+	if d := s.QueueDepth("a"); d != 2 {
+		t.Fatalf("QueueDepth(a) = %d, want 2", d)
+	}
+	close(release)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Two enqueues then two dispatches: 1, 2 on the way up, 1, 0 down.
+	if got := depths["a"]; len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 1 || got[3] != 0 {
+		t.Errorf("depth observations = %v, want [1 2 1 0]", got)
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	release := make(chan struct{})
+	defer close(release)
+	s.Enqueue("a", func() { <-release })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned while a job was still blocked")
+	}
+}
+
+func TestCloseRefusesNewWorkButFinishesQueued(t *testing.T) {
+	s := New(Config{Workers: 2})
+	var mu sync.Mutex
+	done := 0
+	for i := 0; i < 8; i++ {
+		s.Enqueue("a", func() {
+			mu.Lock()
+			done++
+			mu.Unlock()
+		})
+	}
+	s.Close()
+	if s.Enqueue("a", func() {}) {
+		t.Error("Enqueue accepted work after Close")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if done != 8 {
+		t.Errorf("completed %d of 8 queued jobs across Close", done)
+	}
+}
+
+func TestManyWorkersCompleteEverything(t *testing.T) {
+	s := New(Config{Workers: 4})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	wg.Add(100)
+	for i := 0; i < 100; i++ {
+		tn := string(rune('a' + i%5))
+		s.Enqueue(tn, func() {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	s.Close()
+	if count != 100 {
+		t.Errorf("completed %d of 100", count)
+	}
+}

@@ -137,4 +137,51 @@ if [ -z "$improved" ] || [ "$improved" -lt 3 ]; then
 	exit 1
 fi
 
+echo "== serve study (BENCH_serve.json) =="
+# Closed-loop serving curve: journal-backed propserve, two equal-demand
+# tenants, cold-partition/warm-repartition mix through the durable batch
+# + fair-share scheduler path, at 1×/10×/100× concurrency. Committed so
+# the p50/p99/throughput curve is diffable. Gates: propload itself fails
+# on a zero-throughput level, and no level may show a tenant starved
+# (max/min completed ratio above 2).
+servedir=$(mktemp -d)
+trap 'rm -rf "$servedir"' EXIT
+go build -o "$servedir/propserve" ./cmd/propserve
+go build -o "$servedir/propload" ./cmd/propload
+# -max-jobs 256: the 100× closed loop keeps 100 jobs outstanding, which
+# the default 64 in-flight cap would answer with 429s instead of queueing.
+"$servedir/propserve" -addr 127.0.0.1:0 -journal "$servedir/journal" \
+	-max-jobs 256 2>"$servedir/serve.log" &
+serve_pid=$!
+serve_addr=
+for _ in $(seq 1 100); do
+	serve_addr=$(sed -n 's/.*listening on \([^ ]*\).*/\1/p' "$servedir/serve.log" | head -1)
+	[ -n "$serve_addr" ] && break
+	sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+	echo "bench.sh: propserve never announced an address" >&2
+	cat "$servedir/serve.log" >&2
+	exit 1
+fi
+"$servedir/propload" -addr "http://$serve_addr" -mode async \
+	-levels 1,10,100 -duration 5s -tenants 2 -out BENCH_serve.json
+kill -TERM "$serve_pid"
+wait "$serve_pid" || {
+	echo "bench.sh: propserve exited non-zero after the serve study" >&2
+	exit 1
+}
+awk '
+	/"fairness_ratio"/ {
+		gsub(/[",]/, "", $2)
+		n++
+		if ($2 + 0 > 2.0) bad++
+	}
+	END {
+		if (n == 0) { print "bench.sh: no fairness_ratio rows in BENCH_serve.json" > "/dev/stderr"; exit 1 }
+		if (bad > 0) { printf "bench.sh: %d/%d serve levels show a starved tenant (fairness ratio > 2)\n", bad, n > "/dev/stderr"; exit 1 }
+		printf "serve fairness: %d levels, all within the 2.0x bar\n", n
+	}
+' BENCH_serve.json
+
 echo "bench: done"
