@@ -13,11 +13,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"prop/internal/bench"
 )
@@ -34,6 +39,9 @@ func main() {
 		hotpath    = flag.String("hotpath", "", "run the hot-path timing study and write the JSON report to this file")
 		increment  = flag.String("incremental", "", "run the warm-vs-cold ECO repartitioning study and write the JSON report to this file")
 		flowStudy  = flag.String("flow", "", "run the PROP vs PROP+flow polish study on the golden circuits and write the JSON report to this file")
+		scaleStudy = flag.String("scale", "", "run the n-level scale study (nodes vs wall clock vs peak RSS, plus the golden-five quality gate) and write the JSON report to this file")
+		scaleSizes = flag.String("scale-sizes", "", "with -scale, comma-separated node counts to measure (default 10000,100000,1000000)")
+		scaleRow   = flag.Int("scale-row", 0, "internal: measure one generated size in this process and print the row JSON (the -scale driver re-execs itself with this flag so each row gets its own peak-RSS accounting)")
 		trace      = flag.String("trace", "", "with -hotpath, write the traced series' JSONL events to this file (default: discard)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the requested work to this file")
 		maxNodes   = flag.Int("maxnodes", 0, "restrict suite to circuits with at most this many nodes")
@@ -151,6 +159,83 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("flow report written to %s\n", *flowStudy)
+		return
+	}
+
+	if *scaleRow != 0 {
+		// Subprocess leg of -scale: one generated size, measured in a fresh
+		// process so VmHWM (monotone per process) reflects this row alone.
+		row, err := bench.RunScaleRow(*scaleRow, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(row); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *scaleStudy != "" {
+		sizes := bench.DefaultScaleSizes()
+		if *scaleSizes != "" {
+			sizes = sizes[:0]
+			for _, f := range strings.Split(*scaleSizes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fatal(fmt.Errorf("bad -scale-sizes entry %q: %w", f, err))
+				}
+				sizes = append(sizes, n)
+			}
+		}
+		var progress *os.File
+		if *verbose {
+			progress = os.Stderr
+		}
+		rep := bench.ScaleReport{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			Seed:       *seed,
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range sizes {
+			if progress != nil {
+				fmt.Fprintf(progress, "scale row %d nodes...\n", n)
+			}
+			cmd := exec.Command(self, "-scale-row", strconv.Itoa(n), "-seed", strconv.FormatInt(*seed, 10))
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				fatal(fmt.Errorf("scale row %d: %w", n, err))
+			}
+			var row bench.ScaleRow
+			if err := json.Unmarshal(out, &row); err != nil {
+				fatal(fmt.Errorf("scale row %d: %w", n, err))
+			}
+			rep.Rows = append(rep.Rows, row)
+			if progress != nil {
+				fmt.Fprintf(progress, "scale row %d: cut=%g part=%.0fms rss=%.1fMB (%.2fx arena) check=%v\n",
+					n, row.CutCost, row.PartMillis, float64(row.PeakRSSBytes)/(1<<20), row.RSSOverArena, row.CheckOK)
+			}
+		}
+		golden, worse, err := bench.RunScaleGolden(*seed, progress)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Golden, rep.NLevelWorse = golden, worse
+		f, err := os.Create(*scaleStudy)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteScale(f, rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scale report written to %s\n", *scaleStudy)
 		return
 	}
 

@@ -6,6 +6,13 @@
 //
 //	circgen -suite balu -out balu.hgr
 //	circgen -nodes 5000 -nets 5200 -pins 18000 -seed 7 -format json -out c.json
+//	circgen -scale -nodes 1000000 -seed 7 -out big.hgr
+//
+// -scale streams a million-node-class circuit (Table-1-like power-law net
+// sizes, window locality) straight to the output in .hgr form without ever
+// materializing it, so generation needs O(nodes) memory at any size. The
+// big fixtures are therefore never checked in: anyone can regenerate them
+// bit-identically from (nodes, seed).
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"strings"
 
 	"prop"
+	"prop/internal/gen"
 )
 
 func main() {
@@ -24,12 +32,37 @@ func main() {
 		nets   = flag.Int("nets", 1050, "net count")
 		pins   = flag.Int("pins", 3600, "total pin count")
 		spread = flag.Float64("spread", 0, "mean net window spread (0 = default 10)")
+		scale  = flag.Bool("scale", false, "streaming scale generator: -nodes and -seed only, .hgr output (nets and pins follow the Table-1 regime)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		format = flag.String("format", "hgr", "output format: hgr, netare, json")
 		out    = flag.String("out", "", "output file (default stdout; netare writes <out> and <out>.are)")
 		stats  = flag.Bool("stats", false, "print circuit statistics to stderr")
 	)
 	flag.Parse()
+
+	if *scale {
+		if *suite != "" {
+			fatal(fmt.Errorf("-scale and -suite are mutually exclusive"))
+		}
+		if *format != "hgr" {
+			fatal(fmt.Errorf("-scale streams .hgr only (got -format %s)", *format))
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := gen.WriteScaleHGR(w, gen.ScaleParams{
+			Nodes: *nodes, Seed: *seed, MeanSpread: *spread,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var n *prop.Netlist
 	var err error

@@ -53,6 +53,8 @@ func main() {
 		format   = flag.String("format", "hgr", "input format: hgr, netare, json")
 		algo     = flag.String("algo", "prop", "algorithm: prop, fm, fm-tree, la, kl, sk, flow, sa, ml-prop, eig1, melo, paraboli, window")
 		laK      = flag.Int("la", 2, "lookahead depth for -algo la")
+		mlMode   = flag.String("ml-mode", "", "hierarchy style for -algo ml-prop: vcycle or nlevel")
+		mlBatch  = flag.Int("ml-batch", 0, "uncontraction batch size for -ml-mode nlevel (0 = default)")
 		r1       = flag.Float64("r1", 0.5, "lower balance bound")
 		r2       = flag.Float64("r2", 0.5, "upper balance bound")
 		runs     = flag.Int("runs", 20, "multi-start runs for iterative algorithms")
@@ -91,6 +93,9 @@ func main() {
 		R1:        *r1, R2: *r2,
 		Runs: *runs, Seed: *seed, LADepth: *laK,
 		Parallel: *par, MoveWorkers: *moveWork,
+	}
+	if *mlMode != "" || *mlBatch != 0 {
+		opts.ML = &prop.MLParams{Mode: *mlMode, UncontractBatch: *mlBatch}
 	}
 
 	lvl, ok := prop.ParseTraceLevel(*traceLvl)

@@ -455,6 +455,18 @@ func (s *server) decodeQueryValues(q map[string][]string) (*partitionRequest, er
 			req.opts.MoveWorkers = n
 		}
 	}
+	// mode selects the ml-prop hierarchy style; it changes which hierarchy
+	// (and therefore which result) runs, so it participates in the result
+	// cache fingerprint via Options.ML.
+	if v := get("mode"); v != "" && err == nil {
+		if v != "vcycle" && v != "nlevel" {
+			err = fmt.Errorf("bad mode %q: want vcycle or nlevel", v)
+		} else if req.opts.Algorithm != prop.AlgoMLPROP {
+			err = fmt.Errorf("mode applies to algo %q only (got algo %q)", prop.AlgoMLPROP, req.opts.Algorithm)
+		} else {
+			req.opts.ML = &prop.MLParams{Mode: v}
+		}
+	}
 	timeoutMS := 0
 	geti("timeout_ms", &timeoutMS)
 	if timeoutMS > 0 {

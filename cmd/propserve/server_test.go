@@ -185,6 +185,46 @@ func TestPartitionEndpointErrors(t *testing.T) {
 	}
 }
 
+// TestPartitionEndpointNLevelMode: ?mode= selects the ml-prop hierarchy
+// style, agrees with the library, and is validated (unknown mode and mode
+// on a non-multilevel algo are both client errors).
+func TestPartitionEndpointNLevelMode(t *testing.T) {
+	ts := newTestServer(t)
+	hgr := testNetlistHGR(t)
+	resp := postHGR(t, ts.URL+"/v1/partition?algo=ml-prop&mode=nlevel&seed=3", hgr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	pr := decodeBody[partitionResponse](t, resp)
+	if pr.Algorithm != "ml-prop" || len(pr.Sides) != 120 {
+		t.Errorf("response meta = %+v", pr)
+	}
+	n, err := prop.Generate(prop.GenParams{Nodes: 120, Nets: 140, Pins: 480, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prop.Partition(n, prop.Options{
+		Algorithm: prop.AlgoMLPROP, Seed: 3, ML: &prop.MLParams{Mode: "nlevel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CutCost != want.CutCost || pr.CutNets != want.CutNets {
+		t.Errorf("service nlevel cut (%g, %d) != library cut (%g, %d)",
+			pr.CutCost, pr.CutNets, want.CutCost, want.CutNets)
+	}
+	for _, bad := range []string{
+		"/v1/partition?algo=ml-prop&mode=zlevel",
+		"/v1/partition?algo=prop&mode=nlevel",
+	} {
+		resp := postHGR(t, ts.URL+bad, hgr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
 func TestAlgorithmsEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/v1/algorithms")

@@ -61,7 +61,7 @@ func (n *Netlist) Fingerprint() uint64 { return n.h.Fingerprint() }
 
 // Fingerprint returns a 64-bit content hash of every option that affects
 // partitioning results: algorithm, balance, runs, seed, lookahead depth,
-// clustered/warm start, PROP parameter overrides and the move-loop
+// clustered/warm start, PROP/Flow/ML parameter overrides and the move-loop
 // selection (serial vs parallel round loop; the worker count itself is
 // excluded, as every positive count is bit-identical). Parallel, OnRun,
 // Tracer and TraceID are excluded — results are bit-identical across
@@ -112,6 +112,14 @@ func (o Options) Fingerprint() uint64 {
 	// (MoveWorkers == 0) are unchanged.
 	if o.MoveWorkers > 0 {
 		put(2)
+	}
+	// ML hierarchy knobs change the result, so they participate; appended
+	// last so pre-existing fingerprints (ML == nil) are unchanged.
+	if p := o.ML; p != nil {
+		_, _ = f.Write([]byte(p.Mode))
+		put(uint64(p.CoarsestNodes))
+		put(uint64(p.InitialRuns))
+		put(uint64(p.UncontractBatch))
 	}
 	return f.Sum64()
 }

@@ -1,0 +1,191 @@
+package ds
+
+// SparseGainHeap is a gain max-heap for workloads where only a small,
+// shifting subset of a huge ID space is ever stored — the localized
+// refinement of an n-level hierarchy, where each batch seeds a few dozen
+// boundary nodes out of a million. GainHeap keeps a dense per-node gain
+// array (8 bytes × ID space per container); this heap stores gains inside
+// the entries, so the only dense state is the caller-supplied position
+// index, which several heaps with disjoint node sets can share.
+//
+// The order is the same strict (gain descending, node ID ascending) total
+// order as GainHeap, so ordered scans are deterministic.
+type SparseGainHeap struct {
+	pos   []int32 // caller-owned: pos[u] = entry index, -1 if absent
+	nodes []int32
+	gains []float64
+	cand  []int32 // TopDown scratch
+}
+
+// NewSparseGainHeap wraps a caller-owned position array covering the node
+// ID space. Every entry must be -1 (no node stored). Multiple heaps may
+// share one position array as long as no node is ever present in two of
+// them at once — each heap only touches the entries of its own members.
+func NewSparseGainHeap(pos []int32) *SparseGainHeap {
+	return &SparseGainHeap{pos: pos}
+}
+
+// FillAbsent sets every entry of pos to -1 (the required initial state).
+func FillAbsent(pos []int32) {
+	for i := range pos {
+		pos[i] = -1
+	}
+}
+
+// Len returns the number of stored nodes.
+func (h *SparseGainHeap) Len() int { return len(h.nodes) }
+
+// Contains reports whether node u is stored in this heap — valid only
+// under the disjointness contract when the position array is shared.
+func (h *SparseGainHeap) Contains(u int) bool { return h.pos[u] >= 0 }
+
+// Gain returns u's stored gain; u must be present in this heap.
+func (h *SparseGainHeap) Gain(u int) float64 { return h.gains[h.pos[u]] }
+
+func (h *SparseGainHeap) less(i, j int) bool {
+	if h.gains[i] != h.gains[j] {
+		return h.gains[i] > h.gains[j]
+	}
+	return h.nodes[i] < h.nodes[j]
+}
+
+func (h *SparseGainHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.gains[i], h.gains[j] = h.gains[j], h.gains[i]
+	h.pos[h.nodes[i]] = int32(i)
+	h.pos[h.nodes[j]] = int32(j)
+}
+
+// Insert adds node u with the given gain, or re-keys it if present.
+func (h *SparseGainHeap) Insert(u int, g float64) {
+	if i := h.pos[u]; i >= 0 {
+		h.gains[i] = g
+		h.siftDown(h.siftUp(int(i)))
+		return
+	}
+	h.nodes = append(h.nodes, int32(u))
+	h.gains = append(h.gains, g)
+	i := len(h.nodes) - 1
+	h.pos[u] = int32(i)
+	h.siftUp(i)
+}
+
+// Delete removes node u; no-op if absent.
+func (h *SparseGainHeap) Delete(u int) {
+	i := int(h.pos[u])
+	if i < 0 {
+		return
+	}
+	h.pos[u] = -1
+	last := len(h.nodes) - 1
+	if i != last {
+		h.nodes[i] = h.nodes[last]
+		h.gains[i] = h.gains[last]
+		h.pos[h.nodes[i]] = int32(i)
+		h.nodes = h.nodes[:last]
+		h.gains = h.gains[:last]
+		h.siftDown(h.siftUp(i))
+		return
+	}
+	h.nodes = h.nodes[:last]
+	h.gains = h.gains[:last]
+}
+
+// Clear removes every stored node, restoring their position entries to -1
+// and retaining entry capacity for the next batch.
+func (h *SparseGainHeap) Clear() {
+	for _, u := range h.nodes {
+		h.pos[u] = -1
+	}
+	h.nodes = h.nodes[:0]
+	h.gains = h.gains[:0]
+}
+
+func (h *SparseGainHeap) siftUp(i int) int {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+	return i
+}
+
+func (h *SparseGainHeap) siftDown(i int) {
+	n := len(h.nodes)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.less(l, best) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// TopDown visits stored nodes in decreasing (gain, then smallest-ID) order
+// until visit returns false, without mutating the heap. visit must not
+// mutate it either. Same candidate-frontier scheme as GainHeap.TopDown.
+func (h *SparseGainHeap) TopDown(visit func(u int, g float64) bool) {
+	if len(h.nodes) == 0 {
+		return
+	}
+	cand := h.cand[:0]
+	push := func(i int32) {
+		cand = append(cand, i)
+		c := len(cand) - 1
+		for c > 0 {
+			p := (c - 1) / 2
+			if !h.less(int(cand[c]), int(cand[p])) {
+				break
+			}
+			cand[c], cand[p] = cand[p], cand[c]
+			c = p
+		}
+	}
+	pop := func() int32 {
+		top := cand[0]
+		last := len(cand) - 1
+		cand[0] = cand[last]
+		cand = cand[:last]
+		c := 0
+		for {
+			l, r := 2*c+1, 2*c+2
+			best := c
+			if l < len(cand) && h.less(int(cand[l]), int(cand[best])) {
+				best = l
+			}
+			if r < len(cand) && h.less(int(cand[r]), int(cand[best])) {
+				best = r
+			}
+			if best == c {
+				break
+			}
+			cand[c], cand[best] = cand[best], cand[c]
+			c = best
+		}
+		return top
+	}
+	push(0)
+	for len(cand) > 0 {
+		i := pop()
+		if !visit(int(h.nodes[i]), h.gains[i]) {
+			break
+		}
+		if l := 2*i + 1; int(l) < len(h.nodes) {
+			push(l)
+		}
+		if r := 2*i + 2; int(r) < len(h.nodes) {
+			push(r)
+		}
+	}
+	h.cand = cand[:0]
+}

@@ -1,0 +1,115 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSparseGainHeapMatchesGainHeap(t *testing.T) {
+	const n = 200
+	pos := make([]int32, n)
+	FillAbsent(pos)
+	sh := NewSparseGainHeap(pos)
+	gh := NewGainHeap(n)
+	rng := rand.New(rand.NewSource(3))
+	present := map[int]bool{}
+	for op := 0; op < 2000; op++ {
+		u := rng.Intn(n)
+		switch {
+		case rng.Intn(3) == 0 && len(present) > 0:
+			sh.Delete(u)
+			gh.Delete(u)
+			delete(present, u)
+		default:
+			g := float64(rng.Intn(20)) - 10
+			sh.Insert(u, g)
+			gh.Insert(u, g)
+			present[u] = true
+		}
+		if sh.Len() != gh.Len() {
+			t.Fatalf("op %d: Len %d vs %d", op, sh.Len(), gh.Len())
+		}
+	}
+	var a, b []int
+	sh.TopDown(func(u int, _ float64) bool { a = append(a, u); return true })
+	gh.TopDown(func(u int, _ float64) bool { b = append(b, u); return true })
+	if len(a) != len(b) {
+		t.Fatalf("TopDown lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TopDown order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSparseGainHeapSharedPos(t *testing.T) {
+	// Two heaps over one position array with disjoint members — the
+	// n-level refiner's two-sides configuration.
+	const n = 100
+	pos := make([]int32, n)
+	FillAbsent(pos)
+	h0 := NewSparseGainHeap(pos)
+	h1 := NewSparseGainHeap(pos)
+	for u := 0; u < n; u++ {
+		if u%2 == 0 {
+			h0.Insert(u, float64(u))
+		} else {
+			h1.Insert(u, float64(-u))
+		}
+	}
+	if h0.Len() != 50 || h1.Len() != 50 {
+		t.Fatalf("Len = %d / %d, want 50 / 50", h0.Len(), h1.Len())
+	}
+	for u := 0; u < n; u++ {
+		h := h0
+		if u%2 == 1 {
+			h = h1
+		}
+		if !h.Contains(u) || h.Gain(u) == 0 && u != 0 {
+			t.Fatalf("node %d lost or mis-keyed", u)
+		}
+	}
+	h0.Clear()
+	if h0.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	// h1's members must be untouched by h0's Clear, and h0's positions
+	// must read absent again.
+	for u := 0; u < n; u++ {
+		if u%2 == 0 && pos[u] != -1 {
+			t.Fatalf("node %d position not reset", u)
+		}
+		if u%2 == 1 && !h1.Contains(u) {
+			t.Fatalf("node %d evicted from the other heap", u)
+		}
+	}
+}
+
+func TestSparseGainHeapOrderStrict(t *testing.T) {
+	pos := make([]int32, 64)
+	FillAbsent(pos)
+	h := NewSparseGainHeap(pos)
+	for u := 63; u >= 0; u-- {
+		h.Insert(u, float64(u/8)) // ties within blocks of 8
+	}
+	var got []int
+	h.TopDown(func(u int, _ float64) bool { got = append(got, u); return true })
+	want := make([]int, 64)
+	for i := range want {
+		want[i] = i
+	}
+	sort.Slice(want, func(i, j int) bool {
+		gi, gj := want[i]/8, want[j]/8
+		if gi != gj {
+			return gi > gj
+		}
+		return want[i] < want[j]
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order diverges at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"prop/internal/hypergraph"
+)
+
+// ScaleParams describes a million-node-class synthetic circuit. Unlike
+// Params, which allocates per-net pin slices and windows to hit exact
+// node/net/pin counts, the scale generator streams: every net is produced
+// into one reusable buffer and handed to a callback, so generating (or
+// writing) a million-node circuit needs O(nodes) auxiliary memory — one
+// degree array and one permutation — regardless of pin count.
+//
+// The shape follows the Table-1 suite statistics: nets ≈ 1.25× nodes, net
+// sizes power-law distributed (P(size=k) ∝ k^−α, 2 ≤ k ≤ MaxNetSize) with
+// a mean near 3.4 pins — so pins land near 4.2× nodes — and window
+// locality with geometric spread plus a cross-net fraction, the same model
+// Generate uses. Nodes the random nets leave isolated are stitched to
+// their successor with 2-pin nets, so every node is connected and
+// coarsening never stalls on net-free remainders.
+type ScaleParams struct {
+	Nodes int
+	Seed  int64
+	// MaxNetSize caps pins per net (0 → 64).
+	MaxNetSize int
+	// Alpha is the power-law exponent of the net-size distribution
+	// (0 → 2.9; larger means smaller nets).
+	Alpha float64
+	// MeanSpread is the mean geometric extra window width (0 → 10).
+	MeanSpread float64
+	// CrossFrac is the fraction of nets windowed in a second independent
+	// node ordering (negative disables; 0 → 0.05).
+	CrossFrac float64
+}
+
+// Validate reports parameter errors.
+func (p ScaleParams) Validate() error {
+	if p.Nodes < 16 {
+		return fmt.Errorf("gen: scale Nodes=%d, want ≥ 16", p.Nodes)
+	}
+	if p.MaxNetSize < 0 || p.MaxNetSize == 1 {
+		return fmt.Errorf("gen: scale MaxNetSize=%d, want 0 or ≥ 2", p.MaxNetSize)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("gen: scale Alpha=%g < 0", p.Alpha)
+	}
+	if p.MeanSpread < 0 {
+		return fmt.Errorf("gen: scale MeanSpread=%g < 0", p.MeanSpread)
+	}
+	if p.CrossFrac > 1 {
+		return fmt.Errorf("gen: scale CrossFrac=%g > 1", p.CrossFrac)
+	}
+	return nil
+}
+
+func (p ScaleParams) defaults() ScaleParams {
+	if p.MaxNetSize == 0 {
+		p.MaxNetSize = 64
+	}
+	if p.MaxNetSize > p.Nodes/2 {
+		p.MaxNetSize = p.Nodes / 2
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 2.9
+	}
+	if p.MeanSpread == 0 {
+		p.MeanSpread = 10
+	}
+	switch {
+	case p.CrossFrac == 0:
+		p.CrossFrac = 0.05
+	case p.CrossFrac < 0:
+		p.CrossFrac = 0
+	}
+	return p
+}
+
+// scaleNets runs the deterministic net stream: the power-law windowed nets
+// first, then the isolation-stitch nets, each passed to emit as a reused
+// buffer (copy it to keep it). Returns total net and pin counts. Both
+// GenerateScale and WriteScaleHGR are thin wrappers over this one
+// sequence, so the built hypergraph and the written file always agree.
+func scaleNets(p ScaleParams, emit func(pins []int32) error) (nets, pins int, err error) {
+	p = p.defaults()
+	n := p.Nodes
+	nNets := n + n/4
+
+	// Inverse-CDF table for the truncated power law over [2, MaxNetSize].
+	cdf := make([]float64, p.MaxNetSize+1)
+	sum := 0.0
+	for k := 2; k <= p.MaxNetSize; k++ {
+		sum += math.Pow(float64(k), -p.Alpha)
+		cdf[k] = sum
+	}
+	for k := 2; k <= p.MaxNetSize; k++ {
+		cdf[k] /= sum
+	}
+	drawSize := func(rng *rand.Rand) int {
+		x := rng.Float64()
+		for k := 2; k < p.MaxNetSize; k++ {
+			if x <= cdf[k] {
+				return k
+			}
+		}
+		return p.MaxNetSize
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Second ordering for cross nets, int32 to halve the footprint.
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	degree := make([]int32, n)
+	buf := make([]int32, 0, p.MaxNetSize)
+	rho := p.MeanSpread / (p.MeanSpread + 1)
+
+	for i := 0; i < nNets; i++ {
+		q := drawSize(rng)
+		w := q
+		for rng.Float64() < rho && w < n {
+			w++
+		}
+		lo := rng.Intn(n - w + 1)
+		cross := rng.Float64() < p.CrossFrac
+		buf = buf[:0]
+		for len(buf) < q {
+			u := int32(lo + rng.Intn(w))
+			if cross {
+				u = perm[u]
+			}
+			dup := false
+			for _, v := range buf {
+				if v == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				buf = append(buf, u)
+			}
+		}
+		for _, u := range buf {
+			degree[u]++
+		}
+		nets++
+		pins += q
+		if err := emit(buf); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Stitch isolated nodes to their successor. Processing in ID order
+	// means a stitched successor is no longer isolated when its own turn
+	// comes, so each gap costs exactly one 2-pin net.
+	for u := 0; u < n; u++ {
+		if degree[u] > 0 {
+			continue
+		}
+		v := (u + 1) % n
+		degree[u]++
+		degree[v]++
+		buf = append(buf[:0], int32(u), int32(v))
+		nets++
+		pins += 2
+		if err := emit(buf); err != nil {
+			return 0, 0, err
+		}
+	}
+	return nets, pins, nil
+}
+
+// GenerateScale synthesizes the circuit into a hypergraph. Deterministic
+// in ScaleParams; arenas are preallocated from the streamed counts'
+// analytic estimate, and the strict duplicate-pin mode doubles as a
+// self-check on the sampler.
+func GenerateScale(p ScaleParams) (*hypergraph.Hypergraph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := p.defaults()
+	b := hypergraph.NewBuilder()
+	// Expected pins ≈ mean net size (~3.4) × 1.25·n, plus stitch slack.
+	b.Reserve(d.Nodes, d.Nodes+d.Nodes/4+d.Nodes/16, 9*d.Nodes/2)
+	b.RejectDuplicatePins()
+	b.EnsureNodes(d.Nodes)
+	if _, _, err := scaleNets(p, func(pins []int32) error {
+		return b.AddNetInt32("", 1, pins)
+	}); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// WriteScaleHGR streams the circuit to w in hMETIS .hgr form (1-based pin
+// IDs) without materializing it: one counting pass for the header, one
+// emitting pass for the body. The written file parses back to exactly the
+// hypergraph GenerateScale returns for the same params.
+func WriteScaleHGR(w io.Writer, p ScaleParams) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	nets, _, err := scaleNets(p, func([]int32) error { return nil })
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", nets, p.defaults().Nodes); err != nil {
+		return err
+	}
+	var line []byte
+	if _, _, err := scaleNets(p, func(pins []int32) error {
+		line = line[:0]
+		for i, u := range pins {
+			if i > 0 {
+				line = append(line, ' ')
+			}
+			line = appendInt(line, int(u)+1)
+		}
+		line = append(line, '\n')
+		_, err := bw.Write(line)
+		return err
+	}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendInt appends the decimal form of v (≥ 0) to dst.
+func appendInt(dst []byte, v int) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prop/internal/hypergraph"
+)
+
+func TestGenerateScaleShape(t *testing.T) {
+	p := ScaleParams{Nodes: 20000, Seed: 9}
+	h, err := GenerateScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != 20000 {
+		t.Fatalf("nodes %d, want 20000", h.NumNodes())
+	}
+	// Nets ≈ 1.25× nodes plus stitches; pins ≈ 4.2× nodes. Loose windows —
+	// the assertion is about the Table-1-like regime, not exact counts.
+	if n := h.NumNets(); n < 24000 || n > 28000 {
+		t.Errorf("nets %d, want ≈ 25000", n)
+	}
+	if pp := h.NumPins(); pp < 70000 || pp > 110000 {
+		t.Errorf("pins %d, want ≈ 84000", pp)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every node connected (stitching) and the size distribution heavy at
+	// the bottom: over half of all nets are 2- or 3-pin, yet some net
+	// reaches past 16 pins (the power-law tail).
+	deg0 := 0
+	for u := 0; u < h.NumNodes(); u++ {
+		if len(h.NetsOf(u)) == 0 {
+			deg0++
+		}
+	}
+	if deg0 > 0 {
+		t.Errorf("%d isolated nodes, want 0 after stitching", deg0)
+	}
+	small, big := 0, 0
+	for e := 0; e < h.NumNets(); e++ {
+		switch sz := len(h.Net(e)); {
+		case sz <= 3:
+			small++
+		case sz > 16:
+			big++
+		}
+	}
+	if small*2 < h.NumNets() {
+		t.Errorf("only %d/%d nets are 2–3 pins; distribution not bottom-heavy", small, h.NumNets())
+	}
+	if big == 0 {
+		t.Error("no net above 16 pins; power-law tail missing")
+	}
+}
+
+func TestGenerateScaleDeterministic(t *testing.T) {
+	p := ScaleParams{Nodes: 3000, Seed: 4}
+	a, err := GenerateScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("same params, different fingerprints")
+	}
+	p.Seed = 5
+	c, err := GenerateScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seeds, same fingerprint")
+	}
+}
+
+// TestWriteScaleHGRRoundTrip: the streamed .hgr file parses back to the
+// exact hypergraph GenerateScale builds — same structure fingerprint.
+func TestWriteScaleHGRRoundTrip(t *testing.T) {
+	p := ScaleParams{Nodes: 2500, Seed: 11}
+	var buf bytes.Buffer
+	if err := WriteScaleHGR(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	h, err := GenerateScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse the .hgr text by hand (the facade reader lives above this
+	// package): header "nets nodes", then one whitespace-separated 1-based
+	// pin list per line.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var nets, nodes int
+	if _, err := fmt.Sscanf(lines[0], "%d %d", &nets, &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if nets != h.NumNets() || nodes != h.NumNodes() {
+		t.Fatalf("header (%d nets, %d nodes), hypergraph (%d, %d)", nets, nodes, h.NumNets(), h.NumNodes())
+	}
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(nodes)
+	for _, line := range lines[1:] {
+		var pins []int
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pins = append(pins, v-1)
+		}
+		if err := b.AddNet("", 1, pins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parsed, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Fingerprint() != h.Fingerprint() {
+		t.Fatal("round-tripped .hgr differs from the generated hypergraph")
+	}
+}

@@ -85,6 +85,17 @@ func (h *Hypergraph) TotalNodeWeight() int64 {
 	return t
 }
 
+// ArenaBytes returns the resident size of the dual-CSR arenas plus the
+// per-element cost and weight vectors: 4 bytes per entry of
+// pinArr/netOff/netArr/nodeOff, 8 per net cost and node weight. Symbolic
+// names are excluded — generated circuits carry none, and the scale
+// benchmark's "peak RSS ≤ 2× arena footprint" gate is defined against
+// exactly this number.
+func (h *Hypergraph) ArenaBytes() int64 {
+	return 4*int64(len(h.pinArr)+len(h.netOff)+len(h.netArr)+len(h.nodeOff)) +
+		8*int64(len(h.netCost)+len(h.nodeWeight))
+}
+
 // NodeName returns the symbolic name of node u ("" if unnamed).
 func (h *Hypergraph) NodeName(u int) string {
 	if u < len(h.nodeNames) {

@@ -1,0 +1,235 @@
+package hypergraph
+
+import "sync"
+
+// Pool recycles the scratch arenas the n-level hierarchy churns through:
+// pin copies, gain and stamp arrays, memento stacks. Every buffer here is
+// O(nodes), O(nets) or O(pins) — at a million nodes each one is multiple
+// megabytes, and the peak-RSS budget (≤ 2× the CSR arenas) leaves no room
+// to hold two generations of any of them, so coarsening scratch must be
+// returned before refinement scratch is taken.
+//
+// Get methods return zeroed slices of the exact requested length (backed
+// by a recycled arena when one is large enough); Put methods accept any
+// slice and keep at most poolSlots per element type, preferring the
+// largest capacities. A nil *Pool is valid everywhere and simply
+// allocates, so single-use callers never need to construct one.
+type Pool struct {
+	mu  sync.Mutex
+	i32 freelist[int32]
+	i64 freelist[int64]
+	u8  freelist[uint8]
+	u16 freelist[uint16]
+	f64 freelist[float64]
+	bl  freelist[bool]
+	sp  freelist[span]
+	mem freelist[Memento]
+}
+
+// poolSlots bounds how many free buffers each type keeps. The n-level
+// driver cycles a handful of distinct sizes (nodes, nets, pins), so a
+// short list is enough; an unbounded one would pin every transient ever
+// returned.
+const poolSlots = 8
+
+type freelist[T any] struct{ free [][]T }
+
+func (f *freelist[T]) get(n int) []T {
+	// Best fit: the smallest free buffer that is large enough, so a
+	// nodes-sized request doesn't burn a pins-sized arena.
+	best := -1
+	for i, s := range f.free {
+		if cap(s) >= n && (best < 0 || cap(s) < cap(f.free[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return make([]T, n)
+	}
+	s := f.free[best][:n]
+	last := len(f.free) - 1
+	f.free[best] = f.free[last]
+	f.free[last] = nil
+	f.free = f.free[:last]
+	clear(s)
+	return s
+}
+
+func (f *freelist[T]) put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	if len(f.free) < poolSlots {
+		f.free = append(f.free, s)
+		return
+	}
+	// Full: displace the smallest kept buffer if this one is bigger.
+	min := 0
+	for i := range f.free {
+		if cap(f.free[i]) < cap(f.free[min]) {
+			min = i
+		}
+	}
+	if cap(s) > cap(f.free[min]) {
+		f.free[min] = s
+	}
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// I32 returns a zeroed []int32 of length n.
+func (p *Pool) I32(n int) []int32 {
+	if p == nil {
+		return make([]int32, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.i32.get(n)
+}
+
+// PutI32 returns a buffer taken with I32 (or any []int32) to the pool.
+func (p *Pool) PutI32(s []int32) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.i32.put(s)
+}
+
+// I64 returns a zeroed []int64 of length n.
+func (p *Pool) I64(n int) []int64 {
+	if p == nil {
+		return make([]int64, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.i64.get(n)
+}
+
+// PutI64 returns a buffer to the pool.
+func (p *Pool) PutI64(s []int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.i64.put(s)
+}
+
+// U8 returns a zeroed []uint8 of length n.
+func (p *Pool) U8(n int) []uint8 {
+	if p == nil {
+		return make([]uint8, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.u8.get(n)
+}
+
+// PutU8 returns a buffer to the pool.
+func (p *Pool) PutU8(s []uint8) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.u8.put(s)
+}
+
+// U16 returns a zeroed []uint16 of length n.
+func (p *Pool) U16(n int) []uint16 {
+	if p == nil {
+		return make([]uint16, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.u16.get(n)
+}
+
+// PutU16 returns a buffer to the pool.
+func (p *Pool) PutU16(s []uint16) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.u16.put(s)
+}
+
+// F64 returns a zeroed []float64 of length n.
+func (p *Pool) F64(n int) []float64 {
+	if p == nil {
+		return make([]float64, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f64.get(n)
+}
+
+// PutF64 returns a buffer to the pool.
+func (p *Pool) PutF64(s []float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.f64.put(s)
+}
+
+// Bool returns a zeroed []bool of length n.
+func (p *Pool) Bool(n int) []bool {
+	if p == nil {
+		return make([]bool, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bl.get(n)
+}
+
+// PutBool returns a buffer to the pool.
+func (p *Pool) PutBool(s []bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bl.put(s)
+}
+
+func (p *Pool) spans(n int) []span {
+	if p == nil {
+		return make([]span, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sp.get(n)
+}
+
+func (p *Pool) putSpans(s []span) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sp.put(s)
+}
+
+func (p *Pool) mementos(n int) []Memento {
+	if p == nil {
+		return make([]Memento, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mem.get(n)
+}
+
+func (p *Pool) putMementos(s []Memento) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mem.put(s)
+}

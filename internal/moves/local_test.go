@@ -1,0 +1,236 @@
+package moves
+
+import (
+	"math/rand"
+	"testing"
+
+	"prop/internal/hypergraph"
+	"prop/internal/partition"
+)
+
+func localTestGraph(t *testing.T, n, nets, seed int) *hypergraph.Hypergraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	b := hypergraph.NewBuilder()
+	b.EnsureNodes(n)
+	for e := 0; e < nets; e++ {
+		sz := 2 + rng.Intn(4)
+		pins := make([]int, 0, sz)
+		for len(pins) < sz {
+			pins = append(pins, rng.Intn(n))
+		}
+		if err := b.AddNet("", 1, pins...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.MustBuild()
+}
+
+// recount computes the cut of sides on h from scratch.
+func recount(h *hypergraph.Hypergraph, sides []uint8) float64 {
+	cut := 0.0
+	for e := 0; e < h.NumNets(); e++ {
+		var c [2]int
+		for _, p := range h.Net(e) {
+			c[sides[p]]++
+		}
+		if c[0] > 0 && c[1] > 0 {
+			cut += h.NetCost(e)
+		}
+	}
+	return cut
+}
+
+func TestLocalizedRefineImprovesAndTracksCut(t *testing.T) {
+	h := localTestGraph(t, 120, 200, 9)
+	bal := partition.B4555()
+	rng := rand.New(rand.NewSource(2))
+	sides := partition.RandomSides(h, bal, rng)
+	var maxW int64 = 1
+	for u := 0; u < h.NumNodes(); u++ {
+		if w := h.NodeWeight(u); w > maxW {
+			maxW = w
+		}
+	}
+	l := NewLocalized(h, bal, maxW, sides, nil, nil)
+	start := l.CutCost()
+	if got := recount(h, sides); got != start {
+		t.Fatalf("initial cut %g, recount %g", start, got)
+	}
+	for u := 0; u < h.NumNodes(); u++ {
+		l.Seed(u)
+	}
+	out := l.Refine(0)
+	if out.Passes == 0 {
+		t.Fatal("Refine made no passes")
+	}
+	end := l.CutCost()
+	if end > start {
+		t.Fatalf("localized refinement worsened the cut: %g -> %g", start, end)
+	}
+	if got := recount(h, sides); got != end {
+		t.Fatalf("incremental cut %g diverged from recount %g", end, got)
+	}
+	// Side weights must match a from-scratch sum and stay inside the
+	// slack-widened window.
+	var w0, total int64
+	for u := 0; u < h.NumNodes(); u++ {
+		total += h.NodeWeight(u)
+		if sides[u] == 0 {
+			w0 += h.NodeWeight(u)
+		}
+	}
+	sw := l.SideWeights()
+	if sw[0] != w0 || sw[0]+sw[1] != total {
+		t.Fatalf("side weights %v, want w0=%d total=%d", sw, w0, total)
+	}
+	if !bal.FeasibleWithSlack(sw[0], total, maxW) {
+		t.Fatalf("refined sides infeasible: %v of %d", sw, total)
+	}
+	l.Release()
+}
+
+func TestLocalizedOnContractedMatchesRecount(t *testing.T) {
+	h := localTestGraph(t, 80, 140, 4)
+	c, err := hypergraph.NewContracted(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contract a handful of random alive pairs.
+	rng := rand.New(rand.NewSource(6))
+	for k := 0; k < 30; k++ {
+		var alive []int32
+		for u := 0; u < c.NumNodes(); u++ {
+			if c.Alive(u) {
+				alive = append(alive, int32(u))
+			}
+		}
+		u := alive[rng.Intn(len(alive))]
+		v := alive[rng.Intn(len(alive))]
+		if u == v {
+			continue
+		}
+		c.Contract(u, v)
+	}
+	bal := partition.B4555()
+	sides := make([]uint8, c.NumNodes())
+	var w [2]int64
+	for u := 0; u < c.NumNodes(); u++ {
+		if !c.Alive(u) {
+			continue
+		}
+		s := uint8(0)
+		if w[1] < w[0] {
+			s = 1
+		}
+		sides[u] = s
+		w[s] += c.NodeWeight(u)
+	}
+	l := NewLocalized(c, bal, c.MaxBaseNodeWeight(), sides, c.Alive, nil)
+	start := l.CutCost()
+	// Reference: active-pin recount on the view.
+	ref := 0.0
+	for e := 0; e < c.NumNets(); e++ {
+		if c.NetSize(e) < 2 {
+			continue
+		}
+		var cc [2]int
+		for _, p := range c.Net(e) {
+			cc[sides[p]]++
+		}
+		if cc[0] > 0 && cc[1] > 0 {
+			ref += c.NetCost(e)
+		}
+	}
+	if start != ref {
+		t.Fatalf("initial contracted cut %g, recount %g", start, ref)
+	}
+	for u := 0; u < c.NumNodes(); u++ {
+		if c.Alive(u) {
+			l.Seed(u)
+		}
+	}
+	l.Refine(0)
+	end := l.CutCost()
+	if end > start {
+		t.Fatalf("cut worsened on contracted view: %g -> %g", start, end)
+	}
+	ref = 0.0
+	for e := 0; e < c.NumNets(); e++ {
+		if c.NetSize(e) < 2 {
+			continue
+		}
+		var cc [2]int
+		for _, p := range c.Net(e) {
+			cc[sides[p]]++
+		}
+		if cc[0] > 0 && cc[1] > 0 {
+			ref += c.NetCost(e)
+		}
+	}
+	if end != ref {
+		t.Fatalf("incremental cut %g diverged from recount %g", end, ref)
+	}
+	l.Release()
+}
+
+func TestLocalizedUncontractedSeeding(t *testing.T) {
+	// Contract, assign sides at the coarse level, then uncontract through
+	// Uncontracted: the tracked cut must equal a recount after every pop
+	// (uncontraction with side inheritance is cut-neutral).
+	h := localTestGraph(t, 60, 100, 11)
+	c, err := hypergraph.NewContracted(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for k := 0; k < 40; k++ {
+		var alive []int32
+		for u := 0; u < c.NumNodes(); u++ {
+			if c.Alive(u) {
+				alive = append(alive, int32(u))
+			}
+		}
+		if len(alive) < 2 {
+			break
+		}
+		u := alive[rng.Intn(len(alive))]
+		v := alive[rng.Intn(len(alive))]
+		if u != v {
+			c.Contract(u, v)
+		}
+	}
+	sides := make([]uint8, c.NumNodes())
+	for u := 0; u < c.NumNodes(); u++ {
+		if c.Alive(u) {
+			sides[u] = uint8(rng.Intn(2))
+		}
+	}
+	l := NewLocalized(c, partition.B4555(), c.MaxBaseNodeWeight(), sides, c.Alive, nil)
+	caseA := make([]int32, 0, 32)
+	for c.Depth() > 0 {
+		var m hypergraph.Memento
+		m, caseA = c.Uncontract(caseA[:0])
+		l.Uncontracted(int(m.U), int(m.V), caseA)
+		want := 0.0
+		for e := 0; e < c.NumNets(); e++ {
+			if c.NetSize(e) < 2 {
+				continue
+			}
+			var cc [2]int
+			for _, p := range c.Net(e) {
+				cc[sides[p]]++
+			}
+			if cc[0] > 0 && cc[1] > 0 {
+				want += c.NetCost(e)
+			}
+		}
+		if l.CutCost() != want {
+			t.Fatalf("after pop at depth %d: tracked cut %g, recount %g", c.Depth(), l.CutCost(), want)
+		}
+	}
+	l.Refine(0)
+	if got := recount(h, sides); got != l.CutCost() {
+		t.Fatalf("final cut %g diverged from recount %g", l.CutCost(), got)
+	}
+}

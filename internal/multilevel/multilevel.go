@@ -74,13 +74,50 @@ func FlowRefiner() Refiner {
 	}
 }
 
+// Mode names for Config.Mode.
+const (
+	// ModeVCycle is the classic V-cycle: each coarsening round materializes
+	// a copied hypergraph, and uncoarsening projects + refines per level.
+	ModeVCycle = "vcycle"
+	// ModeNLevel is the n-level hierarchy: contractions are recorded as an
+	// in-arena memento stack (one node pair per level), and uncoarsening
+	// pops mementos lazily, refining only around just-revived boundary
+	// nodes. Peak memory stays O(pins) regardless of depth, which is what
+	// makes million-node instances fit.
+	ModeNLevel = "nlevel"
+)
+
 // Config controls the V-cycle.
 type Config struct {
 	Balance partition.Balance
+	// Mode selects the hierarchy style: ModeVCycle (default) or ModeNLevel.
+	Mode string
 	// CoarsestNodes stops coarsening at roughly this size (0 → 120).
 	CoarsestNodes int
 	// InitialRuns is the multi-start count at the coarsest level (0 → 10).
 	InitialRuns int
+	// UncontractBatch (n-level only) is how many mementos are popped
+	// between localized refinement episodes (0 → 64). Smaller batches
+	// refine more often; larger ones amortize heap fills.
+	UncontractBatch int
+	// InPlace (n-level only) mutates the input hypergraph's arenas during
+	// the hierarchy instead of copying them — the full unwind restores
+	// them bit-for-bit before Partition returns, halving peak memory. Off
+	// by default because callers sharing the hypergraph across goroutines
+	// (e.g. a server's circuit cache) must not observe the transient state.
+	InPlace bool
+	// Cycles (n-level only) is how many additional side-respecting
+	// recoarsening cycles run after the initial hierarchy (0 → 2, negative
+	// → none). Each cycle recoarsens within the current sides — the
+	// partition rides to the coarsest level intact — refines it there, and
+	// unwinds again; the best cut across cycles wins. Cycles stop early
+	// when one fails to improve.
+	Cycles int
+	// PolishMaxNodes (n-level only) bounds the full-graph refinement polish
+	// after the unwind: graphs up to this size get a complete cfg.Refine
+	// pass at depth 0 (0 → 20000, negative → never). Million-node runs skip
+	// it — the localized batches have already refined every boundary.
+	PolishMaxNodes int
 	// Refine is the per-level engine (nil → PROPRefiner, or a
 	// MoveWorkers-configured PROP refiner when MoveWorkers > 0).
 	Refine Refiner
@@ -110,6 +147,11 @@ type Result struct {
 	// CoarsestCut is the cut before uncoarsening began (coarse costs are
 	// comparable because coarsening preserves net costs).
 	CoarsestCut float64
+	// HierarchyBytes is the peak CSR-arena footprint the n-level
+	// hierarchy held on top of the base graph (zero for the V-cycle): the
+	// contraction view's tables, overflow arena and undo stacks. The
+	// scale study's RSS gate divides peak RSS by base + hierarchy arenas.
+	HierarchyBytes int64
 }
 
 // Partition runs the multilevel V-cycle.
@@ -123,14 +165,26 @@ func Partition(h *hypergraph.Hypergraph, cfg Config) (Result, error) {
 	if cfg.InitialRuns == 0 {
 		cfg.InitialRuns = 10
 	}
+	if cfg.UncontractBatch == 0 {
+		cfg.UncontractBatch = 64
+	}
 	if cfg.Refine == nil {
 		cfg.Refine = AlgoRefinerOpts(refine.Options{
 			Algorithm: "prop", MoveWorkers: cfg.MoveWorkers,
 			Tracer: cfg.Tracer, TraceRun: cfg.TraceRun,
 		})
 	}
+	var body func(*hypergraph.Hypergraph, Config) (Result, error)
+	switch cfg.Mode {
+	case "", ModeVCycle:
+		body = vcycle
+	case ModeNLevel:
+		body = nlevel
+	default:
+		return Result{}, fmt.Errorf("multilevel: unknown mode %q", cfg.Mode)
+	}
 	sp := cfg.Tracer.StartPhase(cfg.TraceRun, "multilevel")
-	res, err := vcycle(h, cfg)
+	res, err := body(h, cfg)
 	sp.End()
 	return res, err
 }

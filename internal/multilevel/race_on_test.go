@@ -1,0 +1,8 @@
+//go:build race
+
+package multilevel
+
+// raceEnabled reports whether the race detector is active. Allocation
+// counts are not meaningful under race instrumentation: it inhibits
+// inlining, which turns stack allocations into heap ones.
+const raceEnabled = true

@@ -166,6 +166,9 @@ type Options struct {
 	// Flow overrides the defaults of AlgoFlow's max-flow polish stage when
 	// non-nil.
 	Flow *FlowParams
+
+	// ML overrides the defaults of AlgoMLPROP's hierarchy when non-nil.
+	ML *MLParams
 }
 
 // RunUpdate reports one completed multi-start run to Options.OnRun.
@@ -198,6 +201,24 @@ type PROPParams struct {
 	// read is pure, so the result is bit-identical for every value; leave
 	// it 0 when multi-start Runs already saturate the cores.
 	RefineWorkers int
+}
+
+// MLParams exposes the knobs of AlgoMLPROP's multilevel hierarchy (zero
+// values select its defaults).
+type MLParams struct {
+	// Mode selects the hierarchy style: "vcycle" (the default) rebuilds a
+	// copied hypergraph per coarsening round and refines whole levels;
+	// "nlevel" records one contraction per level on a memento stack and
+	// refines lazily around just-uncontracted nodes, keeping peak memory
+	// O(pins) — the mode for million-node netlists.
+	Mode string
+	// CoarsestNodes stops coarsening at roughly this size (0 → 120).
+	CoarsestNodes int
+	// InitialRuns is the multi-start count at the coarsest level (0 → 10).
+	InitialRuns int
+	// UncontractBatch (nlevel only) is how many uncontractions are popped
+	// between localized refinement episodes (0 → 64).
+	UncontractBatch int
 }
 
 // FlowParams exposes the knobs of AlgoFlow's corridor max-flow polish
@@ -289,12 +310,19 @@ func PartitionCtx(ctx context.Context, n *Netlist, o Options) (Result, error) {
 		// The V-cycle is a single deterministic run outside the portfolio
 		// engine, so emit its run span here — the phase tree then has a
 		// run-wall denominator like every portfolio trace.
-		o.Tracer.EmitRunStart(obs.RunStart{ID: o.TraceID, Run: 0})
-		mlStart := time.Now()
-		r, err := multilevel.Partition(n.h, multilevel.Config{
+		cfg := multilevel.Config{
 			Balance: bal, Seed: o.Seed, MoveWorkers: o.MoveWorkers,
 			Tracer: o.Tracer, TraceRun: 0,
-		})
+		}
+		if p := o.ML; p != nil {
+			cfg.Mode = p.Mode
+			cfg.CoarsestNodes = p.CoarsestNodes
+			cfg.InitialRuns = p.InitialRuns
+			cfg.UncontractBatch = p.UncontractBatch
+		}
+		o.Tracer.EmitRunStart(obs.RunStart{ID: o.TraceID, Run: 0})
+		mlStart := time.Now()
+		r, err := multilevel.Partition(n.h, cfg)
 		end := obs.RunEnd{ID: o.TraceID, Run: 0, Dur: time.Since(mlStart)}
 		if err != nil {
 			end.Err = err.Error()

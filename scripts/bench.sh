@@ -137,6 +137,34 @@ if [ -z "$improved" ] || [ "$improved" -lt 3 ]; then
 	exit 1
 fi
 
+echo "== n-level scale study (BENCH_scale.json) =="
+# Nodes vs wall clock vs peak RSS for the in-place n-level path on
+# generated circuits (default 10k/100k/1M; override here so the committed
+# report stays reproducible but a quick machine can trim the series with
+# BENCH_SCALE_SIZES). cmd/bench re-execs itself per row so VmHWM — the
+# kernel's monotone peak-RSS counter — is accounted per size, and appends
+# the golden-five quality gate (n-level vs V-cycle, same seeds). Gates:
+# every row's independent recount must pass, the largest row must finish
+# within 2x its CSR arena footprint, and n-level must not lose to the
+# V-cycle on any golden circuit.
+scaledir=$(mktemp -d)
+go build -o "$scaledir/bench" ./cmd/bench
+"$scaledir/bench" -scale BENCH_scale.json -seed 7 \
+	${BENCH_SCALE_SIZES:+-scale-sizes "$BENCH_SCALE_SIZES"} -v
+rm -rf "$scaledir"
+awk '
+	/"check_ok"/       { rows++; if ($2 !~ /true/) badcheck++ }
+	/"rss_over_arena"/ { gsub(/[",]/, "", $2); rss = $2 + 0 }
+	/"nlevel_worse"/   { gsub(/[",]/, "", $2); worse = $2 + 0 }
+	END {
+		if (rows == 0) { print "bench.sh: no scale rows in BENCH_scale.json" > "/dev/stderr"; exit 1 }
+		if (badcheck > 0) { printf "bench.sh: %d scale rows failed the cut recount\n", badcheck > "/dev/stderr"; exit 1 }
+		if (rss > 2.0) { printf "bench.sh: largest scale row peaked at %.2fx its arena footprint (want <= 2x)\n", rss > "/dev/stderr"; exit 1 }
+		if (worse > 0) { printf "bench.sh: n-level lost to the V-cycle on %d golden circuits (want 0)\n", worse > "/dev/stderr"; exit 1 }
+		printf "scale: %d rows, largest peaked at %.2fx arena, golden-five gate clean\n", rows, rss
+	}
+' BENCH_scale.json
+
 echo "== serve study (BENCH_serve.json) =="
 # Closed-loop serving curve: journal-backed propserve, two equal-demand
 # tenants, cold-partition/warm-repartition mix through the durable batch

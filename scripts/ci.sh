@@ -205,4 +205,25 @@ wait "$serve_pid" || {
 	exit 1
 }
 
+echo "== n-level scale smoke =="
+# Million-node-class readiness on CI hardware: generate a 100k-node
+# circuit on the fly (nothing checked in), run the in-place n-level
+# 2-way partition in a dedicated subprocess, and hold it to a wall-clock
+# budget. The row's check_ok field is the independent full recount plus
+# the balance check, so a silently wrong cut fails here too.
+go build -o "$tracedir/bench" ./cmd/bench
+start=$(date +%s)
+"$tracedir/bench" -scale-row 100000 -seed 7 >"$tracedir/scale_row.json"
+elapsed=$(( $(date +%s) - start ))
+if ! grep -q '"check_ok":true' "$tracedir/scale_row.json"; then
+	echo "scale smoke: 100k-node n-level row failed its recount:" >&2
+	cat "$tracedir/scale_row.json" >&2
+	exit 1
+fi
+if [ "$elapsed" -gt 240 ]; then
+	echo "scale smoke: 100k-node n-level row took ${elapsed}s (budget 240s)" >&2
+	exit 1
+fi
+echo "scale smoke: 100k nodes in ${elapsed}s, recount ok"
+
 echo "ci: all checks passed"
